@@ -1,0 +1,338 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus Bechamel micro-benchmarks for the flow stages and the
+   ablations called out in DESIGN.md.
+
+   - Table 1: parameters of the regenerated benchmark designs, printed next
+     to the published values.
+   - Table 2: the "w/o Sel" / "Detour First" / PACOR self-comparison on all
+     seven designs, printed next to the published table, plus the paper's
+     qualitative shape checks.
+   - Fig. 3: DME candidate-tree enumeration summary for a 4-valve cluster.
+
+   Pass --quick (or set PACOR_BENCH_QUICK=1) to restrict the Table 2 sweep
+   to the synthetic S designs and shorten micro-benchmark quotas. *)
+
+open Bechamel
+
+let quick =
+  Array.exists (String.equal "--quick") Sys.argv
+  || (match Sys.getenv_opt "PACOR_BENCH_QUICK" with Some ("1" | "true") -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_sinks =
+  Pacor_geom.
+    [ Point.make 2 2; Point.make 2 10; Point.make 12 3; Point.make 13 11 ]
+
+let bench_table1 =
+  (* One Test.make per generated design: the cost of regenerating the
+     Table 1 workloads. *)
+  let gen name () =
+    match Pacor_designs.Table1.load name with
+    | Ok p -> ignore (Pacor.Problem.valve_count p)
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"table1"
+    [ Test.make ~name:"generate-S1" (Staged.stage (gen "S1"));
+      Test.make ~name:"generate-S2" (Staged.stage (gen "S2"));
+      Test.make ~name:"generate-S3" (Staged.stage (gen "S3")) ]
+
+let bench_table2 =
+  (* One Test.make per Table 2 variant: full-flow runtime on a small
+     design (relative runtimes are the paper's last column group). *)
+  let problem =
+    match Pacor_designs.Table1.load "S2" with Ok p -> p | Error e -> failwith e
+  in
+  let run variant () =
+    match Pacor.Engine.run ~config:(Pacor.Config.make ~variant ()) problem with
+    | Ok sol -> ignore (Pacor.Solution.stats sol)
+    | Error e -> failwith e.message
+  in
+  Test.make_grouped ~name:"table2-S2"
+    [ Test.make ~name:"wosel" (Staged.stage (run Pacor.Config.Without_selection));
+      Test.make ~name:"detour-first" (Staged.stage (run Pacor.Config.Detour_first));
+      Test.make ~name:"pacor" (Staged.stage (run Pacor.Config.Full)) ]
+
+let bench_fig3 =
+  let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:14 () in
+  Test.make_grouped ~name:"fig3"
+    [ Test.make ~name:"enumerate-candidates"
+        (Staged.stage (fun () ->
+           ignore
+             (Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true)
+                ~max_candidates:8 fig3_sinks))) ]
+
+(* Ablations from DESIGN.md. *)
+
+let bench_ablation_candidates =
+  (* Candidate enumeration breadth: 1 vs 8 candidates. *)
+  let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:14 () in
+  let enum k () =
+    ignore
+      (Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true) ~max_candidates:k
+         fig3_sinks)
+  in
+  Test.make_grouped ~name:"ablation-candidates"
+    [ Test.make ~name:"k1" (Staged.stage (enum 1));
+      Test.make ~name:"k8" (Staged.stage (enum 8)) ]
+
+let bench_ablation_solvers =
+  (* Selection solver choice on a medium instance (the paper implemented
+     three and kept the ILP; ours: exact B&B vs greedy vs local search). *)
+  let grid = Pacor_grid.Routing_grid.create ~width:40 ~height:40 () in
+  let mk_cluster dx dy =
+    Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true) ~max_candidates:6
+      Pacor_geom.
+        [ Point.make (2 + dx) (2 + dy); Point.make (2 + dx) (8 + dy);
+          Point.make (8 + dx) (3 + dy); Point.make (9 + dx) (9 + dy) ]
+  in
+  let per_cluster = [ mk_cluster 0 0; mk_cluster 10 4; mk_cluster 4 12; mk_cluster 14 14 ] in
+  let solve solver () =
+    match
+      Pacor_select.Tree_select.select
+        ~config:{ Pacor_select.Tree_select.lambda = 0.1; solver } per_cluster
+    with
+    | Ok sel -> ignore sel.Pacor_select.Tree_select.objective
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"ablation-selection"
+    [ Test.make ~name:"exact" (Staged.stage (solve Pacor_select.Tree_select.Exact));
+      Test.make ~name:"greedy" (Staged.stage (solve Pacor_select.Tree_select.Greedy));
+      Test.make ~name:"local-search"
+        (Staged.stage (solve Pacor_select.Tree_select.Local_search)) ]
+
+let bench_ablation_negotiation =
+  (* Negotiation (gamma = 10) vs single-pass sequential routing (gamma = 1)
+     on a congested batch. *)
+  let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:16 () in
+  let edges =
+    List.init 6 (fun i ->
+      { Pacor_route.Negotiation.edge_id = i;
+        ends = Pacor_geom.(Point.make 2 (4 + i), Point.make 13 (9 - i)) })
+  in
+  let route gamma () =
+    let config = { Pacor_route.Negotiation.default_config with gamma } in
+    ignore
+      (Pacor_route.Negotiation.route ~config ~grid
+         ~obstacles:(Pacor_grid.Routing_grid.fresh_work_map grid)
+         edges)
+  in
+  Test.make_grouped ~name:"ablation-negotiation"
+    [ Test.make ~name:"negotiated-gamma10" (Staged.stage (route 10));
+      Test.make ~name:"sequential-gamma1" (Staged.stage (route 1)) ]
+
+let bench_ablation_detour =
+  (* Bump insertion vs minimum-length bounded A* for the same lengthening
+     task. *)
+  let grid = Pacor_grid.Routing_grid.create ~width:20 ~height:20 () in
+  let path =
+    Pacor_grid.Path.of_points (List.init 7 (fun i -> Pacor_geom.Point.make (4 + i) 10))
+  in
+  let usable p = Pacor_grid.Routing_grid.free grid p in
+  Test.make_grouped ~name:"ablation-detour"
+    [ Test.make ~name:"bump-insertion"
+        (Staged.stage (fun () -> ignore (Pacor_route.Detour.lengthen path ~target:14 ~usable)));
+      Test.make ~name:"bounded-astar"
+        (Staged.stage (fun () ->
+           ignore
+             (Pacor_route.Bounded_astar.search ~grid ~usable
+                ~source:(Pacor_geom.Point.make 4 10) ~target:(Pacor_geom.Point.make 10 10)
+                ~min_length:14 ()))) ]
+
+let bench_ablation_rsmt =
+  (* The cost of length matching: DME balanced tree vs unconstrained RSMT
+     on the same sinks. *)
+  let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:14 () in
+  Test.make_grouped ~name:"ablation-dme-vs-rsmt"
+    [ Test.make ~name:"dme-candidates"
+        (Staged.stage (fun () ->
+           ignore
+             (Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true)
+                ~max_candidates:4 fig3_sinks)));
+      Test.make ~name:"rsmt"
+        (Staged.stage (fun () -> ignore (Pacor_route.Steiner.rsmt fig3_sinks))) ]
+
+let bench_flow_solvers =
+  (* Min-cost-flow implementations on a grid-like network. *)
+  let build_mcmf () =
+    let n = 200 in
+    let net = Pacor_flow.Mcmf.create n in
+    for i = 0 to n - 2 do
+      Pacor_flow.Mcmf.add_edge net ~src:i ~dst:(i + 1) ~cap:2 ~cost:1;
+      if i + 10 < n then Pacor_flow.Mcmf.add_edge net ~src:i ~dst:(i + 10) ~cap:1 ~cost:3
+    done;
+    net
+  in
+  let build_spfa () =
+    let n = 200 in
+    let net = Pacor_flow.Mcmf_spfa.create n in
+    for i = 0 to n - 2 do
+      Pacor_flow.Mcmf_spfa.add_edge net ~src:i ~dst:(i + 1) ~cap:2 ~cost:1;
+      if i + 10 < n then
+        Pacor_flow.Mcmf_spfa.add_edge net ~src:i ~dst:(i + 10) ~cap:1 ~cost:3
+    done;
+    net
+  in
+  Test.make_grouped ~name:"flow-solvers"
+    [ Test.make ~name:"mcmf-dijkstra"
+        (Staged.stage (fun () ->
+           ignore (Pacor_flow.Mcmf.solve (build_mcmf ()) ~source:0 ~sink:199)));
+      Test.make ~name:"mcmf-spfa"
+        (Staged.stage (fun () ->
+           ignore (Pacor_flow.Mcmf_spfa.solve (build_spfa ()) ~source:0 ~sink:199))) ]
+
+let all_micro_benches =
+  Test.make_grouped ~name:"pacor"
+    [ bench_table1; bench_table2; bench_fig3; bench_ablation_candidates;
+      bench_ablation_solvers; bench_ablation_negotiation; bench_ablation_detour;
+      bench_ablation_rsmt; bench_flow_solvers ]
+
+let run_micro_benches () =
+  let quota = if quick then Time.second 0.05 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] all_micro_benches in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+         let ns =
+           match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+         in
+         (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.printf "@.== Micro-benchmarks (monotonic clock, ns/run) ==@.";
+  List.iter
+    (fun (name, ns) ->
+       let pretty =
+         if Float.is_nan ns then "n/a"
+         else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+         else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+         else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+         else Printf.sprintf "%8.0f ns" ns
+       in
+       Format.printf "  %-55s %s@." name pretty)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table and figure regeneration                                       *)
+(* ------------------------------------------------------------------ *)
+
+let print_table1 () =
+  Format.printf "@.== Table 1: benchmark design parameters (published vs regenerated) ==@.";
+  Format.printf "%-7s | %-18s | %-18s | %-12s | %-12s@." "Design" "Size (paper=ours)"
+    "#Valves (p=o)" "#CP (p=o)" "#Obs (p~o)";
+  List.iter
+    (fun (r : Pacor_designs.Table1.row) ->
+       match Pacor_designs.Table1.load r.design with
+       | Error e -> Format.printf "%-7s | generation failed: %s@." r.design e
+       | Ok p ->
+         let grid = p.Pacor.Problem.grid in
+         Format.printf "%-7s | %dx%d = %dx%d | %d = %d | %d = %d | %d ~ %d@." r.design
+           r.width r.height
+           (Pacor_grid.Routing_grid.width grid)
+           (Pacor_grid.Routing_grid.height grid)
+           r.valves (Pacor.Problem.valve_count p) r.control_pins (Pacor.Problem.pin_count p)
+           r.obstacles (Pacor.Problem.obstacle_count p))
+    Pacor_designs.Table1.rows
+
+let print_fig3 () =
+  Format.printf "@.== Fig. 3: DME candidate Steiner trees (4-valve cluster) ==@.";
+  let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:14 () in
+  let cands =
+    Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true) ~max_candidates:8
+      fig3_sinks
+  in
+  Format.printf "candidates: %d@." (List.length cands);
+  List.iteri
+    (fun i (c : Pacor_dme.Candidate.t) ->
+       Format.printf "  %d: %a  lengths=[%s]@." (i + 1) Pacor_dme.Candidate.pp c
+         (String.concat ";"
+            (Array.to_list (Array.map string_of_int c.full_path_lengths))))
+    cands
+
+let print_table2 () =
+  let designs =
+    if quick then Pacor_designs.Table1.small_names else Pacor_designs.Table1.names
+  in
+  Format.printf "@.== Table 2: self-comparison on %s ==@."
+    (String.concat ", " designs);
+  match
+    Pacor_designs.Harness.measure_table2
+      ~progress:(fun n -> Format.eprintf "measured %s@." n)
+      designs
+  with
+  | Error e -> Format.printf "measurement failed: %s@." e
+  | Ok rows ->
+    Format.printf "Measured (this machine, synthetic stand-ins):@.";
+    Pacor.Report.print_table Format.std_formatter rows;
+    Format.printf "@.Published Table 2 (authors' testbed):@.";
+    let paper =
+      List.filter
+        (fun r ->
+           List.exists (fun m -> m.Pacor.Report.design = r.Pacor.Report.design) rows)
+        Pacor.Report.paper_table2
+    in
+    Pacor.Report.print_table Format.std_formatter paper;
+    Format.printf "@.Shape checks (Sec. 7 qualitative claims, on measured data):@.";
+    List.iter
+      (fun (name, ok) ->
+         Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+      (Pacor.Report.shape_checks ~measured:rows)
+
+(* Extension studies beyond the paper's evaluation. *)
+
+let print_rsmt_comparison () =
+  Format.printf
+    "@.== Extension: cost of length matching (DME balanced tree vs RSMT) ==@.";
+  let grid = Pacor_grid.Routing_grid.create ~width:20 ~height:20 () in
+  let cases =
+    [ ("fig3-4sinks", fig3_sinks);
+      ("triple", Pacor_geom.[ Point.make 3 3; Point.make 12 4; Point.make 7 11 ]);
+      ("spread-5", Pacor_geom.
+         [ Point.make 2 2; Point.make 16 3; Point.make 9 9; Point.make 3 15;
+           Point.make 15 16 ]) ]
+  in
+  Format.printf "%-12s %6s %6s %9s@." "sinks" "RSMT" "DME" "overhead";
+  List.iter
+    (fun (name, sinks) ->
+       let rsmt = (Pacor_route.Steiner.rsmt sinks).length in
+       match Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true) sinks with
+       | [] -> Format.printf "%-12s (no DME candidate)@." name
+       | best :: _ ->
+         Format.printf "%-12s %6d %6d %8.0f%%@." name rsmt
+           best.Pacor_dme.Candidate.total_estimate
+           (100.0
+            *. (float_of_int best.Pacor_dme.Candidate.total_estimate /. float_of_int rsmt
+                -. 1.0)))
+    cases
+
+let print_delta_sweep () =
+  Format.printf "@.== Extension: length-matching threshold sweep (S3, PACOR) ==@.";
+  match Pacor_designs.Sweep.run_design ~deltas:[ 0; 1; 2; 3; 4 ] "S3" with
+  | Error e -> Format.printf "sweep failed: %s@." e
+  | Ok samples -> Pacor_designs.Sweep.pp_table Format.std_formatter samples
+
+let print_scaling () =
+  Format.printf "@.== Extension: scaling study (doubling chip area per step) ==@.";
+  let steps = if quick then 3 else 5 in
+  match Pacor_designs.Scaling.measure (Pacor_designs.Scaling.family ~steps ()) with
+  | Error e -> Format.printf "scaling failed: %s@." e
+  | Ok samples -> Pacor_designs.Scaling.pp_table Format.std_formatter samples
+
+let () =
+  Format.printf "PACOR benchmark harness%s@." (if quick then " (quick mode)" else "");
+  print_table1 ();
+  print_fig3 ();
+  print_table2 ();
+  print_rsmt_comparison ();
+  print_delta_sweep ();
+  print_scaling ();
+  run_micro_benches ();
+  Format.printf "@.done.@."

@@ -1,0 +1,276 @@
+(* PACOR command-line interface: route instances, list the Table 1
+   designs, regenerate Table 2, and print the Fig. 3 candidate trees. *)
+
+open Cmdliner
+
+let variant_conv =
+  let parse = function
+    | "full" | "pacor" -> Ok Pacor.Config.Full
+    | "wosel" | "no-selection" -> Ok Pacor.Config.Without_selection
+    | "detour-first" | "detourfirst" -> Ok Pacor.Config.Detour_first
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S (full|wosel|detour-first)" s))
+  in
+  let print ppf v = Format.fprintf ppf "%s" (Pacor.Config.variant_name v) in
+  Arg.conv (parse, print)
+
+let load_problem ~design ~file =
+  match design, file with
+  | Some d, None -> Pacor_designs.Table1.load d
+  | None, Some path -> Pacor.Problem_io.load ~path
+  | Some _, Some _ -> Error "pass either --design or --file, not both"
+  | None, None -> Error "pass --design NAME or --file PATH"
+
+let run_solution problem variant verbose =
+  let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.verbose } in
+  match Pacor.Engine.run ~config problem with
+  | Error e -> Error (Printf.sprintf "engine failed at %s: %s" e.stage e.message)
+  | Ok sol -> Ok sol
+
+(* ---- route ---- *)
+
+let route_cmd =
+  let design =
+    Arg.(value & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+           ~doc:"Route a built-in Table 1 design (Chip1, Chip2, S1..S5).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
+           ~doc:"Route an instance from a problem file (see lib/core/problem_io.mli).")
+  in
+  let variant =
+    Arg.(value & opt variant_conv Pacor.Config.Full & info [ "variant"; "v" ]
+           ~docv:"VARIANT" ~doc:"Flow variant: full, wosel or detour-first.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log flow stages.") in
+  let render =
+    Arg.(value & flag & info [ "render" ] ~doc:"Print an ASCII rendering of the solution.")
+  in
+  let skew =
+    Arg.(value & flag & info [ "skew" ]
+           ~doc:"Print the pressure-propagation actuation skew per cluster.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save-instance" ] ~docv:"PATH"
+           ~doc:"Also write the instance to a problem file.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH"
+           ~doc:"Write an SVG drawing of the routed chip.")
+  in
+  let run design file variant verbose render skew save svg =
+    match load_problem ~design ~file with
+    | Error msg -> `Error (false, msg)
+    | Ok problem ->
+      (match save with
+       | Some path ->
+         (match Pacor.Problem_io.save problem ~path with
+          | Ok () -> ()
+          | Error e -> Format.eprintf "warning: could not save instance: %s@." e)
+       | None -> ());
+      (match run_solution problem variant verbose with
+       | Error msg -> `Error (false, msg)
+       | Ok sol ->
+         Format.printf "%a@." Pacor.Problem.pp_summary problem;
+         Format.printf "%s: %a@."
+           (Pacor.Config.variant_name variant)
+           Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
+         if verbose then
+           List.iter
+             (fun (stage, seconds) -> Format.printf "  stage %-14s %.3fs@." stage seconds)
+             sol.Pacor.Solution.stage_seconds;
+         if render then Format.printf "%s@." (Pacor.Render.solution sol);
+         if skew then
+           Format.printf "%a" Pacor_timing.Skew.pp (Pacor_timing.Skew.analyze sol);
+         (match svg with
+          | Some path ->
+            (match Pacor.Svg.save_solution sol ~path with
+             | Ok () -> Format.printf "svg written to %s@." path
+             | Error e -> Format.eprintf "svg failed: %s@." e)
+          | None -> ());
+         (match Pacor.Solution.validate sol with
+          | Ok () ->
+            Format.printf "validation: OK@.";
+            `Ok ()
+          | Error es ->
+            List.iter (Format.printf "validation: %s@.") es;
+            `Error (false, "solution failed validation")))
+  in
+  let info =
+    Cmd.info "route" ~doc:"Run the PACOR control-layer routing flow on one instance."
+  in
+  Cmd.v info Term.(ret (const run $ design $ file $ variant $ verbose $ render $ skew $ save $ svg))
+
+(* ---- designs (Table 1) ---- *)
+
+let designs_cmd =
+  let run () =
+    Format.printf "%-7s %-9s %8s %8s %8s %10s@." "Design" "Size" "#Valves" "#CP" "#Obs"
+      "#Clusters";
+    List.iter
+      (fun (r : Pacor_designs.Table1.row) ->
+         Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@." r.design r.width r.height
+           r.valves r.control_pins r.obstacles r.multi_clusters)
+      Pacor_designs.Table1.rows;
+    `Ok ()
+  in
+  let info = Cmd.info "designs" ~doc:"Print the benchmark parameters (paper Table 1)." in
+  Cmd.v info Term.(ret (const run $ const ()))
+
+(* ---- table2 ---- *)
+
+let table2_cmd =
+  let designs_arg =
+    Arg.(value & opt (list string) Pacor_designs.Table1.names
+         & info [ "designs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated design names (default: all seven).")
+  in
+  let run names =
+    match
+      Pacor_designs.Harness.measure_table2
+        ~progress:(fun n -> Format.eprintf "measured %s@." n)
+        names
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok rows ->
+      Format.printf "Measured (this machine, synthetic stand-ins):@.";
+      Pacor.Report.print_table Format.std_formatter rows;
+      Format.printf "@.Paper Table 2 (published numbers, authors' testbed):@.";
+      let paper =
+        List.filter
+          (fun r -> List.exists (fun m -> m.Pacor.Report.design = r.Pacor.Report.design) rows)
+          Pacor.Report.paper_table2
+      in
+      Pacor.Report.print_table Format.std_formatter paper;
+      Format.printf "@.Shape checks (Sec. 7 qualitative claims on measured data):@.";
+      List.iter
+        (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+        (Pacor.Report.shape_checks ~measured:rows);
+      `Ok ()
+  in
+  let info =
+    Cmd.info "table2"
+      ~doc:"Regenerate the paper's Table 2 self-comparison on the benchmark designs."
+  in
+  Cmd.v info Term.(ret (const run $ designs_arg))
+
+(* ---- fig3 ---- *)
+
+let fig3_cmd =
+  let run () =
+    let open Pacor_geom in
+    let grid = Pacor_grid.Routing_grid.create ~width:16 ~height:14 () in
+    let sinks = [ Point.make 2 2; Point.make 2 10; Point.make 12 3; Point.make 13 11 ] in
+    let cands =
+      Pacor_dme.Candidate.enumerate ~grid ~usable:(fun _ -> true) ~max_candidates:4 sinks
+    in
+    Format.printf
+      "Candidate Steiner trees for a 4-valve cluster (cf. Fig. 3).@.Sinks: %a@.@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Point.pp)
+      sinks;
+    List.iteri
+      (fun i (c : Pacor_dme.Candidate.t) ->
+         Format.printf "-- candidate %d: %a@." (i + 1) Pacor_dme.Candidate.pp c;
+         Format.printf "   full path lengths:";
+         Array.iter (fun l -> Format.printf " %d" l) c.full_path_lengths;
+         Format.printf "@.";
+         (* ASCII render: S = sink, * = merging node, R = root. *)
+         let is_sink p = List.exists (Point.equal p) sinks in
+         let nodes =
+           List.filter_map
+             (fun (n : Pacor_dme.Candidate.node) ->
+                if n.sink = None then Some n.pos else None)
+             c.nodes
+         in
+         for y = 13 downto 0 do
+           Format.printf "   ";
+           for x = 0 to 15 do
+             let p = Point.make x y in
+             if is_sink p then Format.print_char 'S'
+             else if Point.equal p c.root then Format.print_char 'R'
+             else if List.exists (Point.equal p) nodes then Format.print_char '*'
+             else Format.print_char '.'
+           done;
+           Format.printf "@."
+         done;
+         Format.printf "@.")
+      cands;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "fig3"
+      ~doc:"Print several DME candidate Steiner trees for one cluster (paper Fig. 3)."
+  in
+  Cmd.v info Term.(ret (const run $ const ()))
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let design =
+    Arg.(required & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+           ~doc:"Design to sweep (Chip1, Chip2, S1..S5).")
+  in
+  let max_delta =
+    Arg.(value & opt int 4 & info [ "max-delta" ] ~docv:"N"
+           ~doc:"Sweep delta over 0..N (default 4).")
+  in
+  let run name max_delta =
+    let deltas = List.init (max_delta + 1) Fun.id in
+    match Pacor_designs.Sweep.run_design ~deltas name with
+    | Error msg -> `Error (false, msg)
+    | Ok samples ->
+      Format.printf "delta sweep on %s (PACOR variant):@." name;
+      Pacor_designs.Sweep.pp_table Format.std_formatter samples;
+      `Ok ()
+  in
+  let info =
+    Cmd.info "sweep"
+      ~doc:"Sweep the length-matching threshold delta and report matched clusters."
+  in
+  Cmd.v info Term.(ret (const run $ design $ max_delta))
+
+(* ---- check: pre-flight analysis without routing ---- *)
+
+let check_cmd =
+  let design =
+    Arg.(value & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+           ~doc:"A built-in design.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
+           ~doc:"An instance file.")
+  in
+  let run design file =
+    match load_problem ~design ~file with
+    | Error msg -> `Error (false, msg)
+    | Ok problem ->
+      Format.printf "%a@." Pacor.Problem.pp_summary problem;
+      let graph = Pacor_valve.Compatibility_graph.build problem.Pacor.Problem.valves in
+      Format.printf "compatibility: %a@." Pacor_valve.Compatibility_graph.pp_summary graph;
+      let lower, upper = Pacor_valve.Compatibility_graph.pin_bounds graph in
+      if upper > Pacor.Problem.pin_count problem then
+        Format.printf
+          "WARNING: greedy clustering needs %d pins but only %d candidates exist@."
+          upper (Pacor.Problem.pin_count problem)
+      else
+        Format.printf "pin budget OK: need between %d and %d of %d candidate pins@."
+          lower upper (Pacor.Problem.pin_count problem);
+      List.iter
+        (fun (c : Pacor_valve.Cluster.t) ->
+           Format.printf "  %a@." Pacor_valve.Cluster.pp c)
+        problem.Pacor.Problem.lm_clusters;
+      `Ok ()
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:"Validate an instance and report compatibility/pin-budget analysis (no routing)."
+  in
+  Cmd.v info Term.(ret (const run $ design $ file))
+
+let () =
+  let info =
+    Cmd.info "pacor" ~version:"1.0.0"
+      ~doc:"Control-layer routing with length-matching for flow-based biochips (PACOR)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/dme_candidates.ml: Array Candidate Format List Merge Pacor_dme Pacor_geom Pacor_grid Point Tilted Topology

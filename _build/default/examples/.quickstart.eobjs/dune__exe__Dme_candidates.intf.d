@@ -1,0 +1,1 @@
+examples/dme_candidates.mli:

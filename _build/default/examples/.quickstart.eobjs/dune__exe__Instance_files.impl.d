@@ -1,0 +1,1 @@
+examples/instance_files.ml: Activation Cluster Filename Format List Pacor Pacor_geom Pacor_grid Pacor_valve Point Rect String Sys Valve

@@ -1,0 +1,1 @@
+examples/instance_files.mli:

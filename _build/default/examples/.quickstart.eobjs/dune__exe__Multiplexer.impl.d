@@ -1,0 +1,1 @@
+examples/multiplexer.ml: Activation Array Cluster Format Fun List Pacor Pacor_geom Pacor_grid Pacor_valve Point Valve

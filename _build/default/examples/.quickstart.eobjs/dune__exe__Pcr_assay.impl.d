@@ -1,0 +1,1 @@
+examples/pcr_assay.ml: Format List Pacor Pacor_assay Pacor_geom Pacor_grid Pacor_valve Phase Point Printf Schedule

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activation Cluster Format List Pacor Pacor_geom Pacor_grid Pacor_valve Point Valve

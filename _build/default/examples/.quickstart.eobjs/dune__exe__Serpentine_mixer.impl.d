@@ -1,0 +1,1 @@
+examples/serpentine_mixer.ml: Activation Cluster Format List Pacor Pacor_geom Pacor_grid Pacor_valve Point Rect Valve

@@ -1,0 +1,1 @@
+examples/serpentine_mixer.mli:

@@ -1,0 +1,1 @@
+examples/timing_analysis.ml: Format List Pacor Pacor_designs Pacor_flow Pacor_geom Pacor_timing Pacor_valve

@@ -1,0 +1,48 @@
+(* Working with instance files: build a problem, save it in the plain-text
+   format, reload it, route it, and show the textual format itself.
+
+   Run with: dune exec examples/instance_files.exe *)
+
+open Pacor_geom
+open Pacor_valve
+
+let seq s =
+  match Activation.sequence_of_string s with
+  | Ok x -> x
+  | Error e -> failwith e
+
+let () =
+  let v0 = Valve.make ~id:0 ~position:(Point.make 3 3) ~sequence:(seq "010") in
+  let v1 = Valve.make ~id:1 ~position:(Point.make 9 7) ~sequence:(seq "010") in
+  let v2 = Valve.make ~id:2 ~position:(Point.make 6 9) ~sequence:(seq "101") in
+  let grid =
+    Pacor_grid.Routing_grid.create ~width:14 ~height:12
+      ~obstacles:[ Rect.make ~x0:6 ~y0:4 ~x1:7 ~y1:5 ] ()
+  in
+  let problem =
+    Pacor.Problem.create_exn ~name:"file-demo" ~grid ~valves:[ v0; v1; v2 ]
+      ~lm_clusters:[ Cluster.make_exn ~id:0 ~length_matched:true [ v0; v1 ] ]
+      ~pins:[ Point.make 0 3; Point.make 13 7; Point.make 6 0 ]
+      ~delta:1 ()
+  in
+  let path = Filename.temp_file "pacor-demo" ".chip" in
+  (match Pacor.Problem_io.save problem ~path with
+   | Ok () -> Format.printf "instance written to %s@." path
+   | Error e -> failwith e);
+  Format.printf "--- file format (first lines) ---@.";
+  let text = Pacor.Problem_io.to_string problem in
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> i < 12)
+  |> List.iter print_endline;
+  Format.printf "--- reloading and routing ---@.";
+  match Pacor.Problem_io.load ~path with
+  | Error e -> failwith e
+  | Ok reloaded ->
+    assert (Pacor.Problem_io.to_string reloaded = text);
+    (match Pacor.Engine.run reloaded with
+     | Error e -> Format.printf "routing failed: %s@." e.message
+     | Ok sol ->
+       Format.printf "%a@.%s@."
+         Pacor.Solution.pp_stats (Pacor.Solution.stats sol)
+         (Pacor.Render.solution sol);
+       Sys.remove path)

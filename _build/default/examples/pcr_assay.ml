@@ -1,0 +1,121 @@
+(* From assay schedule to routed control layer, end to end.
+
+   The paper assumes the valve activation sequences and the length-matched
+   clusters arrive from an upstream control-synthesis step. This example
+   performs that step with the [Pacor_assay] library: a small PCR-style
+   assay (prime, load sample, load reagent, peristaltic mixing, flush) is
+   described as phases; compilation yields the "0-1-X" sequences, derives
+   the synchronisation clusters, and the result is routed by PACOR.
+
+   Run with: dune exec examples/pcr_assay.exe *)
+
+open Pacor_geom
+open Pacor_assay
+
+(* Valve roles. *)
+let sample_l = 0 and sample_r = 1        (* sample inlet pair: must sync *)
+let reagent_l = 2 and reagent_r = 3      (* reagent inlet pair: must sync *)
+let sieve_a = 4 and sieve_b = 5 and sieve_c = 6  (* metering sieve: triple *)
+let pump1 = 7 and pump2 = 8 and pump3 = 9        (* peristaltic pump stages *)
+let waste_l = 10 and waste_r = 11        (* waste outlet pair: must sync *)
+
+let all_closed ids = List.map Phase.closed ids
+let all_open ids = List.map Phase.open_ ids
+
+let schedule =
+  let everything =
+    [ sample_l; sample_r; reagent_l; reagent_r; sieve_a; sieve_b; sieve_c;
+      pump1; pump2; pump3; waste_l; waste_r ]
+  in
+  let sieves = [ sieve_a; sieve_b; sieve_c ] in
+  let pumps = [ pump1; pump2; pump3 ] in
+  (* One peristaltic step: exactly one pump stage open, rotating. *)
+  let pump_step i open_stage =
+    Phase.make_exn
+      ~name:(Printf.sprintf "mix-%d" i)
+      ~duration:1
+      (all_closed (List.filter (fun p -> p <> open_stage) pumps)
+       @ [ Phase.open_ open_stage ]
+       @ all_closed [ sample_l; sample_r; reagent_l; reagent_r; waste_l; waste_r ]
+       @ all_closed sieves)
+  in
+  Schedule.make_exn
+    ([ Phase.make_exn ~name:"prime" ~duration:2 (all_closed everything);
+       Phase.make_exn ~name:"load-sample" ~duration:3
+         ~sync_groups:[ [ sample_l; sample_r ] ]
+         (all_open [ sample_l; sample_r ]
+          @ all_closed [ reagent_l; reagent_r; waste_l; waste_r ]
+          @ all_open sieves @ all_closed pumps);
+       Phase.make_exn ~name:"load-reagent" ~duration:3
+         ~sync_groups:[ [ reagent_l; reagent_r ] ]
+         (all_open [ reagent_l; reagent_r ]
+          @ all_closed [ sample_l; sample_r; waste_l; waste_r ]
+          @ all_open sieves @ all_closed pumps);
+       Phase.make_exn ~name:"meter" ~duration:2
+         ~sync_groups:[ sieves ]
+         (all_closed sieves
+          @ all_closed [ sample_l; sample_r; reagent_l; reagent_r; waste_l; waste_r ]
+          @ all_closed pumps) ]
+     @ List.concat
+         (List.init 2 (fun round ->
+            List.mapi (fun i p -> pump_step ((3 * round) + i) p) pumps))
+     @ [ Phase.make_exn ~name:"flush" ~duration:3
+           ~sync_groups:[ [ waste_l; waste_r ] ]
+           (all_open [ waste_l; waste_r ]
+            @ all_open sieves
+            @ all_closed [ sample_l; sample_r; reagent_l; reagent_r ]
+            @ all_closed pumps) ])
+
+let positions id =
+  match id with
+  | 0 -> Point.make 4 6   (* sample_l *)
+  | 1 -> Point.make 4 14  (* sample_r *)
+  | 2 -> Point.make 25 6  (* reagent_l *)
+  | 3 -> Point.make 25 14 (* reagent_r *)
+  | 4 -> Point.make 12 10 (* sieve_a *)
+  | 5 -> Point.make 15 10 (* sieve_b *)
+  | 6 -> Point.make 18 10 (* sieve_c *)
+  | 7 -> Point.make 12 4  (* pump1 *)
+  | 8 -> Point.make 15 4  (* pump2 *)
+  | 9 -> Point.make 18 4  (* pump3 *)
+  | 10 -> Point.make 12 16 (* waste_l *)
+  | 11 -> Point.make 18 16 (* waste_r *)
+  | _ -> invalid_arg "unknown valve"
+
+let () =
+  Format.printf "%a@." Schedule.pp schedule;
+  Format.printf "compiled activation sequences:@.";
+  List.iter
+    (fun (id, seq) ->
+       Format.printf "  v%-2d %s@." id (Pacor_valve.Activation.string_of_sequence seq))
+    (Schedule.sequences schedule);
+  let valves = Schedule.to_valves schedule ~positions in
+  match Schedule.lm_clusters schedule ~valves with
+  | Error e -> Format.printf "cluster derivation failed: %s@." e
+  | Ok lm_clusters ->
+    Format.printf "derived %d synchronisation clusters:@." (List.length lm_clusters);
+    List.iter
+      (fun c -> Format.printf "  %a@." Pacor_valve.Cluster.pp c)
+      lm_clusters;
+    let grid = Pacor_grid.Routing_grid.create ~width:30 ~height:22 () in
+    let pins =
+      List.concat
+        [ List.init 6 (fun i -> Point.make 0 (2 + (3 * i)));
+          List.init 6 (fun i -> Point.make 29 (2 + (3 * i)));
+          List.init 6 (fun i -> Point.make (3 + (5 * i)) 0) ]
+    in
+    let problem =
+      Pacor.Problem.create_exn ~name:"pcr-assay" ~grid ~valves ~lm_clusters ~pins
+        ~delta:1 ()
+    in
+    (match Pacor.Engine.run problem with
+     | Error e -> Format.printf "routing failed at %s: %s@." e.stage e.message
+     | Ok solution ->
+       let stats = Pacor.Solution.stats solution in
+       Format.printf "@.%a@." Pacor.Solution.pp_stats stats;
+       Format.printf "pins used: %d for %d valves (broadcast addressing)@."
+         (List.length solution.clusters) (List.length valves);
+       Format.printf "@.%s@." (Pacor.Render.solution solution);
+       (match Pacor.Solution.validate solution with
+        | Ok () -> Format.printf "validation: OK@."
+        | Error es -> List.iter (Format.printf "validation error: %s@.") es))

@@ -1,0 +1,53 @@
+(* Quickstart: build a tiny chip by hand, route it, inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pacor_geom
+open Pacor_valve
+
+let seq s =
+  match Activation.sequence_of_string s with
+  | Ok x -> x
+  | Error e -> failwith e
+
+let () =
+  (* A 18x14 control layer. Two valves that must switch simultaneously
+     (same activation sequence, length-matching constraint) plus one
+     independent valve. *)
+  let v0 = Valve.make ~id:0 ~position:(Point.make 4 4) ~sequence:(seq "0101") in
+  let v1 = Valve.make ~id:1 ~position:(Point.make 12 7) ~sequence:(seq "0101") in
+  let v2 = Valve.make ~id:2 ~position:(Point.make 8 10) ~sequence:(seq "1010") in
+  let grid = Pacor_grid.Routing_grid.create ~width:18 ~height:14 () in
+  let sync_cluster = Cluster.make_exn ~id:0 ~length_matched:true [ v0; v1 ] in
+  let pins =
+    [ Point.make 0 4; Point.make 0 9; Point.make 17 4; Point.make 17 9; Point.make 8 0 ]
+  in
+  let problem =
+    Pacor.Problem.create_exn ~name:"quickstart" ~grid ~valves:[ v0; v1; v2 ]
+      ~lm_clusters:[ sync_cluster ] ~pins ~delta:1 ()
+  in
+  Format.printf "Problem: %a@.@.%s@." Pacor.Problem.pp_summary problem
+    (Pacor.Render.problem problem);
+
+  (* Route with the full PACOR flow. *)
+  match Pacor.Engine.run problem with
+  | Error e -> Format.printf "routing failed at %s: %s@." e.stage e.message
+  | Ok solution ->
+    let stats = Pacor.Solution.stats solution in
+    Format.printf "Routed: %a@.@." Pacor.Solution.pp_stats stats;
+    Format.printf "%s@." (Pacor.Render.solution solution);
+    (* Per-valve channel lengths of the synchronised cluster: the whole
+       point of the paper is that these agree within delta. *)
+    List.iter
+      (fun (rc : Pacor.Solution.routed_cluster) ->
+         if rc.lengths <> [] then begin
+           Format.printf "cluster %d (%s):"
+             rc.routed.Pacor.Routed.cluster.Cluster.id
+             (if rc.matched then "matched" else "NOT matched");
+           List.iter (fun (vid, len) -> Format.printf " v%d->pin=%d" vid len) rc.lengths;
+           Format.printf "@."
+         end)
+      solution.clusters;
+    (match Pacor.Solution.validate solution with
+     | Ok () -> Format.printf "validation: OK@."
+     | Error es -> List.iter (Format.printf "validation error: %s@.") es)

@@ -1,0 +1,70 @@
+(* Why length matching matters physically: pressure-propagation skew.
+
+   Routes the S3 benchmark twice — once with the length-matching
+   constraint (PACOR proper) and once with the constraint stripped (the
+   same valve groups still share pins, but are routed as ordinary MST
+   clusters) — and compares the valve actuation skew under the Elmore
+   pressure-propagation model of [Pacor_timing.Rc_model].
+
+   Run with: dune exec examples/timing_analysis.exe *)
+
+let route problem =
+  match Pacor.Engine.run problem with
+  | Ok sol -> sol
+  | Error e -> failwith (e.stage ^ ": " ^ e.message)
+
+let () =
+  let problem =
+    match Pacor_designs.Table1.load "S3" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  (* The same instance without the length-matching constraint: greedy
+     clustering still groups the compatible valves (they share pins), but
+     nothing equalises their channel lengths. *)
+  let unconstrained =
+    Pacor.Problem.create_exn ~name:"S3-unconstrained"
+      ~rules:problem.Pacor.Problem.rules ~grid:problem.Pacor.Problem.grid
+      ~valves:problem.Pacor.Problem.valves ~pins:problem.Pacor.Problem.pins
+      ~delta:problem.Pacor.Problem.delta ()
+  in
+  let matched_sol = route problem in
+  let unmatched_sol = route unconstrained in
+  Format.printf "== with length matching (PACOR) ==@.%a@." Pacor_timing.Skew.pp
+    (Pacor_timing.Skew.analyze matched_sol);
+  (* The unconstrained run reports no LM clusters, so compute skews from
+     the shared-pin groups directly. *)
+  Format.printf "== without length matching (plain MST clusters) ==@.";
+  let params = Pacor_timing.Rc_model.default in
+  let rules = unconstrained.Pacor.Problem.rules in
+  List.iter
+    (fun (rc : Pacor.Solution.routed_cluster) ->
+       let cluster = rc.routed.Pacor.Routed.cluster in
+       if Pacor_valve.Cluster.size cluster >= 2 then begin
+         (* Approximate each valve's channel length as its shortest path
+            through the cluster's claimed cells to the escape start, plus
+            the escape; for a plain cluster the spread of tree distances is
+            a fair proxy: use Manhattan distance valve -> pin along the
+            claimed network lower-bounded by Manhattan to the pin. *)
+         match rc.escape with
+         | None -> ()
+         | Some e ->
+           let pin = e.Pacor_flow.Escape.pin in
+           let lengths =
+             List.map
+               (fun (v : Pacor_valve.Valve.t) ->
+                  Pacor_geom.Point.manhattan v.position pin)
+               cluster.Pacor_valve.Cluster.valves
+           in
+           let skew = Pacor_timing.Rc_model.skew_of_lengths params ~rules lengths in
+           Format.printf
+             "  pin-shared group %d: %d valves, channel-length spread >= %d, skew >= %.3f ms@."
+             cluster.Pacor_valve.Cluster.id
+             (List.length lengths)
+             (List.fold_left max min_int lengths - List.fold_left min max_int lengths)
+             (1000.0 *. skew)
+       end)
+    unmatched_sol.Pacor.Solution.clusters;
+  Format.printf
+    "@.(The matched run bounds every cluster's skew by the delta window;@.\
+    \ the unconstrained run's skews scale with the raw distance spread.)@."

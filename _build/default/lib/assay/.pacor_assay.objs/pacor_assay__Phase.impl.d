@@ -1,0 +1,1 @@
+lib/assay/phase.ml: Activation Format List Pacor_valve Printf Valve

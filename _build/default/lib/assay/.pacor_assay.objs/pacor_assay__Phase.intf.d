@@ -1,0 +1,1 @@
+lib/assay/phase.mli: Activation Format Pacor_valve Valve

@@ -1,0 +1,1 @@
+lib/assay/schedule.ml: Activation Array Cluster Format Hashtbl Int List Option Pacor_graphs Pacor_valve Phase Printf String Valve

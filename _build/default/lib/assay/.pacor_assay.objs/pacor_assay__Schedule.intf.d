@@ -1,0 +1,1 @@
+lib/assay/schedule.mli: Activation Cluster Format Pacor_geom Pacor_valve Phase Valve

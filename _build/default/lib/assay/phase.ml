@@ -1,0 +1,63 @@
+open Pacor_valve
+
+type requirement = {
+  valve : Valve.id;
+  state : Activation.status;
+}
+
+type t = {
+  name : string;
+  duration : int;
+  requirements : requirement list;
+  sync_groups : Valve.id list list;
+}
+
+let open_ valve = { valve; state = Activation.Open }
+let closed valve = { valve; state = Activation.Closed }
+
+let conflicting requirements =
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      (match
+         List.find_opt
+           (fun r' -> r'.valve = r.valve && r'.state <> r.state)
+           rest
+       with
+       | Some _ -> Some r.valve
+       | None -> go rest)
+  in
+  go requirements
+
+let make ?(sync_groups = []) ~name ~duration requirements =
+  if duration < 1 then Error (Printf.sprintf "phase %s: duration must be >= 1" name)
+  else
+    match conflicting requirements with
+    | Some v ->
+      Error (Printf.sprintf "phase %s: valve %d required in two different states" name v)
+    | None ->
+      let constrained = List.map (fun r -> r.valve) requirements in
+      let unconstrained_sync =
+        List.concat sync_groups |> List.find_opt (fun v -> not (List.mem v constrained))
+      in
+      (match unconstrained_sync with
+       | Some v ->
+         Error
+           (Printf.sprintf
+              "phase %s: sync valve %d has no state requirement in this phase" name v)
+       | None -> Ok { name; duration; requirements; sync_groups })
+
+let make_exn ?sync_groups ~name ~duration requirements =
+  match make ?sync_groups ~name ~duration requirements with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Phase.make: " ^ msg)
+
+let state_of t valve =
+  match List.find_opt (fun r -> r.valve = valve) t.requirements with
+  | Some r -> r.state
+  | None -> Activation.Dont_care
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d steps, %d requirements, %d sync groups)" t.name t.duration
+    (List.length t.requirements)
+    (List.length t.sync_groups)

@@ -1,0 +1,49 @@
+(** One phase of a scheduled bioassay.
+
+    The paper's input — per-valve "0-1-X" activation sequences and the
+    length-matched clusters — comes from an upstream control-synthesis step
+    (resource binding and scheduling, ref. [8] of the paper). This library
+    is that front end: assays are described as phases with per-valve state
+    requirements, and compiled into the sequences and synchronisation
+    clusters the router consumes. *)
+
+open Pacor_valve
+
+type requirement = {
+  valve : Valve.id;
+  state : Activation.status;  (** demanded state for the whole phase *)
+}
+
+type t = {
+  name : string;
+  duration : int;                     (** time steps, >= 1 *)
+  requirements : requirement list;    (** unconstrained valves default to X *)
+  sync_groups : Valve.id list list;
+      (** groups of valves that must switch at the {e start} of this phase
+          simultaneously — they become length-matched clusters *)
+}
+
+val make :
+  ?sync_groups:Valve.id list list ->
+  name:string ->
+  duration:int ->
+  requirement list ->
+  (t, string) result
+(** Validates: positive duration; no valve required in two different
+    states; every sync-group valve also has a requirement in this phase
+    (a valve cannot be synchronisation-critical while unconstrained). *)
+
+val make_exn :
+  ?sync_groups:Valve.id list list ->
+  name:string ->
+  duration:int ->
+  requirement list ->
+  t
+
+val state_of : t -> Valve.id -> Activation.status
+(** The state this phase demands ([Dont_care] when unconstrained). *)
+
+val open_ : Valve.id -> requirement
+val closed : Valve.id -> requirement
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+open Pacor_valve
+
+type t = {
+  phases : Phase.t list;
+  valves : Valve.id list;
+}
+
+let make phases =
+  match phases with
+  | [] -> Error "schedule needs at least one phase"
+  | _ :: _ ->
+    let names = List.map (fun (p : Phase.t) -> p.name) phases in
+    let dup =
+      let sorted = List.sort String.compare names in
+      let rec find = function
+        | a :: b :: _ when String.equal a b -> Some a
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find sorted
+    in
+    (match dup with
+     | Some name -> Error (Printf.sprintf "duplicate phase name %S" name)
+     | None ->
+       let valves =
+         List.concat_map
+           (fun (p : Phase.t) ->
+              List.map (fun (r : Phase.requirement) -> r.valve) p.requirements
+              @ List.concat p.sync_groups)
+           phases
+         |> List.sort_uniq Int.compare
+       in
+       Ok { phases; valves })
+
+let make_exn phases =
+  match make phases with Ok t -> t | Error msg -> invalid_arg ("Schedule.make: " ^ msg)
+
+let total_steps t =
+  List.fold_left (fun acc (p : Phase.t) -> acc + p.duration) 0 t.phases
+
+let sequence_of t valve =
+  let steps = total_steps t in
+  let seq = Array.make steps Activation.Dont_care in
+  let pos = ref 0 in
+  List.iter
+    (fun (p : Phase.t) ->
+       let state = Phase.state_of p valve in
+       for i = !pos to !pos + p.duration - 1 do
+         seq.(i) <- state
+       done;
+       pos := !pos + p.duration)
+    t.phases;
+  seq
+
+let sequences t = List.map (fun v -> (v, sequence_of t v)) t.valves
+
+let sync_clusters t =
+  match t.valves with
+  | [] -> Ok []
+  | _ :: _ ->
+    (* Union-find over valve ids (dense-indexed through their rank in
+       [t.valves]). *)
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace index v i) t.valves;
+    let uf = Pacor_graphs.Union_find.create (List.length t.valves) in
+    List.iter
+      (fun (p : Phase.t) ->
+         List.iter
+           (fun group ->
+              match group with
+              | [] | [ _ ] -> ()
+              | first :: rest ->
+                List.iter
+                  (fun v ->
+                     ignore
+                       (Pacor_graphs.Union_find.union uf (Hashtbl.find index first)
+                          (Hashtbl.find index v)))
+                  rest)
+           p.sync_groups)
+      t.phases;
+    (* Only valves that appear in some sync group form clusters. *)
+    let synced =
+      List.concat_map (fun (p : Phase.t) -> List.concat p.sync_groups) t.phases
+      |> List.sort_uniq Int.compare
+    in
+    let by_root = Hashtbl.create 16 in
+    List.iter
+      (fun v ->
+         let root = Pacor_graphs.Union_find.find uf (Hashtbl.find index v) in
+         let existing = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
+         Hashtbl.replace by_root root (v :: existing))
+      synced;
+    let clusters =
+      Hashtbl.fold (fun _ vs acc -> List.sort Int.compare vs :: acc) by_root []
+      |> List.filter (fun vs -> List.length vs >= 2)
+      |> List.sort compare
+    in
+    (* Compatibility inside each cluster. *)
+    let incompatible =
+      List.find_opt
+        (fun vs ->
+           let seqs = List.map (sequence_of t) vs in
+           let rec pairwise = function
+             | [] -> false
+             | s :: rest ->
+               List.exists (fun s' -> not (Activation.compatible s s')) rest
+               || pairwise rest
+           in
+           pairwise seqs)
+        clusters
+    in
+    (match incompatible with
+     | Some vs ->
+       Error
+         (Printf.sprintf "sync cluster {%s} contains incompatible activation sequences"
+            (String.concat ", " (List.map string_of_int vs)))
+     | None -> Ok clusters)
+
+let to_valves t ~positions =
+  List.map
+    (fun (id, sequence) -> Valve.make ~id ~position:(positions id) ~sequence)
+    (sequences t)
+
+let lm_clusters t ~valves =
+  match sync_clusters t with
+  | Error _ as e -> e
+  | Ok groups ->
+    let find id = List.find_opt (fun (v : Valve.t) -> v.id = id) valves in
+    let rec build cid = function
+      | [] -> Ok []
+      | group :: rest ->
+        let members = List.filter_map find group in
+        if List.length members <> List.length group then
+          Error "sync cluster references a valve that was not placed"
+        else
+          (match Cluster.make ~id:cid ~length_matched:true members with
+           | Error e -> Error e
+           | Ok c ->
+             (match build (cid + 1) rest with
+              | Ok cs -> Ok (c :: cs)
+              | Error _ as e -> e))
+    in
+    build 0 groups
+
+let pp ppf t =
+  Format.fprintf ppf "schedule: %d phases, %d steps, %d valves" (List.length t.phases)
+    (total_steps t) (List.length t.valves)

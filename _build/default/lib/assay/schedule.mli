@@ -1,0 +1,43 @@
+(** Assay schedules: an ordered list of phases compiled into the router's
+    inputs — activation sequences (Def. 1) and length-matched clusters.
+
+    Compilation expands each phase to [duration] identical time steps.
+    Synchronisation groups from all phases are merged transitively (a valve
+    synchronised with [a] in one phase and with [b] in another forces
+    [a], [b] into one cluster, since all three must share one control pin),
+    then checked for pairwise compatibility. *)
+
+open Pacor_valve
+
+type t = private {
+  phases : Phase.t list;   (** non-empty *)
+  valves : Valve.id list;  (** every valve mentioned anywhere, sorted *)
+}
+
+val make : Phase.t list -> (t, string) result
+(** Validates non-emptiness and distinct phase names. *)
+
+val make_exn : Phase.t list -> t
+
+val total_steps : t -> int
+
+val sequences : t -> (Valve.id * Activation.sequence) list
+(** One sequence per valve, [total_steps] long, [Dont_care] where a phase
+    leaves the valve unconstrained. *)
+
+val sequence_of : t -> Valve.id -> Activation.sequence
+
+val sync_clusters : t -> (Valve.id list list, string) result
+(** Transitive closure of all phases' sync groups; errors if a resulting
+    cluster contains valves with incompatible compiled sequences (they
+    could never share a pin). Singleton groups are dropped. *)
+
+val to_valves : t -> positions:(Valve.id -> Pacor_geom.Point.t) -> Valve.t list
+(** Attach chip positions to the compiled sequences. *)
+
+val lm_clusters :
+  t -> valves:Valve.t list -> (Cluster.t list, string) result
+(** The length-matched seed clusters for {!Pacor.Problem.create}, built
+    from {!sync_clusters} over the given placed valves (ids must match). *)
+
+val pp : Format.formatter -> t -> unit

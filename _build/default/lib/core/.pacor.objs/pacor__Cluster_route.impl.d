@@ -1,0 +1,1 @@
+lib/core/cluster_route.ml: Candidate Cluster Config Int List Obstacle_map Pacor_dme Pacor_geom Pacor_grid Pacor_route Pacor_select Pacor_valve Path Point Routed Routing_grid Valve

@@ -1,0 +1,1 @@
+lib/core/cluster_route.mli: Cluster Config Obstacle_map Pacor_dme Pacor_geom Pacor_grid Pacor_valve Point Routed Routing_grid

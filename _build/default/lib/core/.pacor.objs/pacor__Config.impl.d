@@ -1,0 +1,1 @@
+lib/core/config.ml: Format Pacor_route Pacor_select

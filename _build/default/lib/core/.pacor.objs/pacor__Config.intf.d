@@ -1,0 +1,1 @@
+lib/core/config.mli: Format Pacor_route Pacor_select

@@ -1,0 +1,1 @@
+lib/core/detour_stage.ml: Array Candidate Hashtbl Int List Obstacle_map Option Pacor_dme Pacor_geom Pacor_grid Pacor_route Pacor_valve Path Point Routed Routing_grid

@@ -1,0 +1,1 @@
+lib/core/detour_stage.mli: Pacor_geom Pacor_grid Point Routed Routing_grid

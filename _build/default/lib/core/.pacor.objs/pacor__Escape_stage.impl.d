@@ -1,0 +1,1 @@
+lib/core/escape_stage.ml: Hashtbl List Pacor_flow Pacor_geom Pacor_valve Point Routed

@@ -1,0 +1,1 @@
+lib/core/escape_stage.mli: Pacor_flow Pacor_geom Pacor_grid Point Routed Routing_grid

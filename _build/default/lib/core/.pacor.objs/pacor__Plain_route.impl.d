@@ -1,0 +1,1 @@
+lib/core/plain_route.ml: Cluster Int List Obstacle_map Pacor_geom Pacor_grid Pacor_route Pacor_valve Point Routed Routing_grid

@@ -1,0 +1,1 @@
+lib/core/plain_route.mli: Cluster Pacor_geom Pacor_grid Pacor_valve Point Routed Routing_grid

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Cluster Design_rules Format Int List Obstacle_map Pacor_geom Pacor_grid Pacor_valve Point Routing_grid Valve

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Cluster Design_rules Format Pacor_geom Pacor_grid Pacor_valve Point Routing_grid Valve

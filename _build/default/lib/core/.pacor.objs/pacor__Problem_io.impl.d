@@ -1,0 +1,1 @@
+lib/core/problem_io.ml: Activation Buffer Cluster Format List Obstacle_map Pacor_geom Pacor_grid Pacor_valve Point Printf Problem Rect Routing_grid String Valve

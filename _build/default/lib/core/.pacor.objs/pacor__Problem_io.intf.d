@@ -1,0 +1,1 @@
+lib/core/problem_io.mli: Problem

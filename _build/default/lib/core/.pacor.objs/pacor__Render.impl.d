@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer List Obstacle_map Pacor_flow Pacor_geom Pacor_grid Pacor_valve Path Point Problem Routed Routing_grid Solution String Valve

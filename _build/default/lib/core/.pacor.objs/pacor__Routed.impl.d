@@ -1,0 +1,1 @@
+lib/core/routed.ml: Array Candidate Cluster List Option Pacor_dme Pacor_geom Pacor_grid Pacor_valve Path Point Valve

@@ -1,0 +1,1 @@
+lib/core/routed.mli: Candidate Cluster Pacor_dme Pacor_geom Pacor_grid Pacor_valve Path Point Valve

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Cluster Config Format Hashtbl Int List Obstacle_map Pacor_flow Pacor_geom Pacor_grid Pacor_valve Path Point Problem Routed Routing_grid Valve

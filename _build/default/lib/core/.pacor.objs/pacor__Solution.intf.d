@@ -1,0 +1,1 @@
+lib/core/solution.mli: Config Format Pacor_flow Pacor_valve Problem Routed Valve

@@ -1,0 +1,1 @@
+lib/core/svg.mli: Problem Solution

@@ -1,0 +1,38 @@
+type variant =
+  | Full
+  | Without_selection
+  | Detour_first
+
+type t = {
+  variant : variant;
+  lambda : float;
+  max_candidates : int;
+  solver : Pacor_select.Tree_select.solver;
+  negotiation : Pacor_route.Negotiation.config;
+  theta : int;
+  max_ripup_rounds : int;
+  verbose : bool;
+}
+
+let default =
+  {
+    variant = Full;
+    lambda = 0.1;
+    max_candidates = 8;
+    solver = Pacor_select.Tree_select.Exact;
+    negotiation = Pacor_route.Negotiation.default_config;
+    theta = 10;
+    max_ripup_rounds = 10;
+    verbose = false;
+  }
+
+let make ?(variant = Full) () = { default with variant }
+
+let variant_name = function
+  | Full -> "PACOR"
+  | Without_selection -> "w/o Sel"
+  | Detour_first -> "Detour First"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (lambda=%.2f cand=%d gamma=%d theta=%d)"
+    (variant_name t.variant) t.lambda t.max_candidates t.negotiation.gamma t.theta

@@ -1,0 +1,20 @@
+(** The PACOR flow of Fig. 2, end to end:
+
+    valve clustering -> length-matching cluster routing (DME candidates,
+    MWCP selection, negotiated routing) -> MST routing of ordinary clusters
+    -> min-cost-flow escape routing with rip-up / declustering -> final path
+    detouring for length matching.
+
+    The [Detour_first] variant runs the detour stage between negotiation and
+    escape instead; [Without_selection] skips the MWCP selection. *)
+
+type error = {
+  stage : string;
+  message : string;
+}
+
+val run : ?config:Config.t -> Problem.t -> (Solution.t, error) result
+(** Routes the instance. Structural failures (malformed escape inputs)
+    surface as [Error]; congestion never does — unrouted valves and
+    unmatched clusters simply show up in the solution's statistics and in
+    {!Solution.validate}. *)

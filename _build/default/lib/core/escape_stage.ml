@@ -1,0 +1,46 @@
+open Pacor_geom
+
+
+type assignment = {
+  routed : Routed.t;
+  escape : Pacor_flow.Escape.routed option;
+}
+
+type outcome = {
+  assignments : assignment list;
+  failed_clusters : int list;
+  escape_length : int;
+}
+
+let run ~grid ~pins routed_clusters =
+  let claimed =
+    List.fold_left
+      (fun acc (r : Routed.t) -> Point.Set.union acc r.claimed)
+      Point.Set.empty routed_clusters
+  in
+  let requests =
+    List.mapi
+      (fun i (r : Routed.t) ->
+         { Pacor_flow.Escape.cluster_idx = i; start_cells = Routed.start_cells r })
+      routed_clusters
+  in
+  match Pacor_flow.Escape.route ~grid ~claimed ~pins requests with
+  | Error _ as e -> e
+  | Ok out ->
+    let by_idx = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Pacor_flow.Escape.routed) -> Hashtbl.replace by_idx r.idx r)
+      out.routed;
+    let assignments =
+      List.mapi
+        (fun i r -> { routed = r; escape = Hashtbl.find_opt by_idx i })
+        routed_clusters
+    in
+    let failed_clusters =
+      List.filter_map
+        (fun a ->
+           if a.escape = None then Some a.routed.Routed.cluster.Pacor_valve.Cluster.id
+           else None)
+        assignments
+    in
+    Ok { assignments; failed_clusters; escape_length = out.total_length }

@@ -1,0 +1,24 @@
+(** Stage "Escape routing for control pins" (Sec. 5): one global min-cost
+    flow connecting every routed cluster to a distinct control pin. *)
+
+open Pacor_geom
+open Pacor_grid
+
+type assignment = {
+  routed : Routed.t;
+  escape : Pacor_flow.Escape.routed option;  (** [None] = escape failed *)
+}
+
+type outcome = {
+  assignments : assignment list;   (** input order *)
+  failed_clusters : int list;      (** cluster ids without a pin *)
+  escape_length : int;
+}
+
+val run :
+  grid:Routing_grid.t ->
+  pins:Point.t list ->
+  Routed.t list ->
+  (outcome, string) result
+(** Claims of all routed clusters become non-transit cells; each cluster's
+    start cells follow Sec. 5's three cases (see {!Routed.start_cells}). *)

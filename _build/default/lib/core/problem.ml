@@ -1,0 +1,100 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+type t = {
+  name : string;
+  grid : Routing_grid.t;
+  rules : Design_rules.t;
+  valves : Valve.t list;
+  lm_clusters : Cluster.t list;
+  pins : Point.t list;
+  delta : int;
+}
+
+let rec first_duplicate compare = function
+  | [] | [ _ ] -> None
+  | a :: (b :: _ as rest) -> if compare a b = 0 then Some a else first_duplicate compare rest
+
+let create ?(name = "unnamed") ?(rules = Design_rules.default) ~grid ~valves
+    ?(lm_clusters = []) ~pins ?(delta = 1) () =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if valves = [] then err "no valves"
+  else if delta < 0 then err "negative delta"
+  else begin
+    let ids = List.sort Int.compare (List.map (fun (v : Valve.t) -> v.id) valves) in
+    match first_duplicate Int.compare ids with
+    | Some id -> err "duplicate valve id %d" id
+    | None ->
+      let positions =
+        List.sort Point.compare (List.map (fun (v : Valve.t) -> v.position) valves)
+      in
+      (match first_duplicate Point.compare positions with
+       | Some p -> err "two valves share position %a" Point.pp p
+       | None ->
+         let bad_valve =
+           List.find_opt
+             (fun (v : Valve.t) ->
+                (not (Routing_grid.in_bounds grid v.position))
+                || Routing_grid.blocked grid v.position)
+             valves
+         in
+         (match bad_valve with
+          | Some v -> err "valve %d sits on a blocked or out-of-bounds cell" v.id
+          | None ->
+            let valve_cells =
+              Point.Set.of_list (List.map (fun (v : Valve.t) -> v.position) valves)
+            in
+            let bad_pin =
+              List.find_opt
+                (fun p ->
+                   (not (Routing_grid.on_boundary grid p))
+                   || Routing_grid.blocked grid p
+                   || Point.Set.mem p valve_cells)
+                pins
+            in
+            (match bad_pin with
+             | Some p -> err "pin %a is not a free boundary cell" Point.pp p
+             | None ->
+               (match first_duplicate Point.compare (List.sort Point.compare pins) with
+                | Some p -> err "duplicate pin %a" Point.pp p
+                | None ->
+                  if List.length pins < List.length valves then
+                    err "fewer pins (%d) than valves (%d)" (List.length pins)
+                      (List.length valves)
+                  else begin
+                    let known = List.map (fun (v : Valve.t) -> v.id) valves in
+                    let bad_seed =
+                      List.find_opt
+                        (fun (c : Cluster.t) ->
+                           (not c.length_matched)
+                           || List.exists
+                                (fun id -> not (List.mem id known))
+                                (Cluster.valve_ids c))
+                        lm_clusters
+                    in
+                    match bad_seed with
+                    | Some c ->
+                      err "seed cluster %d is not a valid length-matched cluster" c.id
+                    | None ->
+                      Ok { name; grid; rules; valves; lm_clusters; pins; delta }
+                  end))))
+  end
+
+let create_exn ?name ?rules ~grid ~valves ?lm_clusters ~pins ?delta () =
+  match create ?name ?rules ~grid ~valves ?lm_clusters ~pins ?delta () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Problem.create: " ^ msg)
+
+let valve_count t = List.length t.valves
+let pin_count t = List.length t.pins
+let obstacle_count t = Obstacle_map.blocked_count (Routing_grid.obstacles t.grid)
+let find_valve t id = List.find_opt (fun (v : Valve.t) -> v.id = id) t.valves
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %dx%d grid, %d valves, %d pins, %d obstacles, delta=%d" t.name
+    (Routing_grid.width t.grid) (Routing_grid.height t.grid) (valve_count t) (pin_count t)
+    (obstacle_count t) t.delta
+
+let with_delta t delta =
+  if delta < 0 then Error "negative delta" else Ok { t with delta }

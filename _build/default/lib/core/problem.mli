@@ -1,0 +1,62 @@
+(** A control-layer routing problem instance (Sec. 2).
+
+    Given: valves with coordinates and activation sequences, clusters with
+    the length-matching constraint and threshold [delta], feasible control
+    pin positions, and design rules (encoded as the routing grid pitch plus
+    explicit blockages). *)
+
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+type t = private {
+  name : string;
+  grid : Routing_grid.t;
+  rules : Design_rules.t;
+  valves : Valve.t list;
+  lm_clusters : Cluster.t list;
+      (** the length-matched seed clusters [M(V)]; always flagged *)
+  pins : Point.t list;   (** candidate control pin cells, free, on boundary *)
+  delta : int;           (** length-matching threshold, grid edges *)
+}
+
+val create :
+  ?name:string ->
+  ?rules:Design_rules.t ->
+  grid:Routing_grid.t ->
+  valves:Valve.t list ->
+  ?lm_clusters:Cluster.t list ->
+  pins:Point.t list ->
+  ?delta:int ->
+  unit ->
+  (t, string) result
+(** Validates:
+    - at least one valve; distinct valve ids and positions;
+    - every valve on a free in-bounds cell;
+    - every pin a distinct free boundary cell not under a valve;
+    - at least as many pins as valves (an upper bound on needed pins even
+      after full declustering);
+    - seed clusters pairwise compatible, flagged length-matched, and only
+      referencing known valves;
+    - [delta >= 0] (default 1, the paper's setting). *)
+
+val create_exn :
+  ?name:string ->
+  ?rules:Design_rules.t ->
+  grid:Routing_grid.t ->
+  valves:Valve.t list ->
+  ?lm_clusters:Cluster.t list ->
+  pins:Point.t list ->
+  ?delta:int ->
+  unit ->
+  t
+
+val valve_count : t -> int
+val pin_count : t -> int
+val obstacle_count : t -> int
+val find_valve : t -> Valve.id -> Valve.t option
+val pp_summary : Format.formatter -> t -> unit
+
+val with_delta : t -> int -> (t, string) result
+(** Same instance under a different length-matching threshold (used by the
+    delta-sweep experiment). *)

@@ -1,0 +1,167 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+let to_string (p : Problem.t) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  add "# PACOR control-layer routing instance";
+  add "name %s" p.name;
+  add "grid %d %d" (Routing_grid.width p.grid) (Routing_grid.height p.grid);
+  add "delta %d" p.delta;
+  (* Obstacles are stored cell by cell: rectangles are a convenience of the
+     input format only. *)
+  Obstacle_map.iter_blocked (Routing_grid.obstacles p.grid) (fun (pt : Point.t) ->
+    add "obstacle %d %d %d %d" pt.x pt.y pt.x pt.y);
+  List.iter
+    (fun (v : Valve.t) ->
+       add "valve %d %d %d %s" v.id v.position.x v.position.y
+         (Activation.string_of_sequence v.sequence))
+    p.valves;
+  List.iter
+    (fun (c : Cluster.t) ->
+       add "cluster %d %s" c.id
+         (String.concat " " (List.map string_of_int (Cluster.valve_ids c))))
+    p.lm_clusters;
+  List.iter (fun (pt : Point.t) -> add "pin %d %d" pt.x pt.y) p.pins;
+  Buffer.contents buf
+
+type accum = {
+  mutable name : string;
+  mutable dims : (int * int) option;
+  mutable delta : int;
+  mutable obstacles : Rect.t list;
+  mutable valves : Valve.t list;
+  mutable clusters : (int * int list) list;
+  mutable pins : Point.t list;
+}
+
+let of_string text =
+  let acc =
+    { name = "unnamed"; dims = None; delta = 1; obstacles = []; valves = [];
+      clusters = []; pins = [] }
+  in
+  let err line fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "line %d: %s" line s)) fmt in
+  let parse_int line s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> err line "expected integer, got %S" s
+  in
+  let rec ints line = function
+    | [] -> Ok []
+    | s :: rest ->
+      (match parse_int line s with
+       | Error _ as e -> e
+       | Ok v -> (match ints line rest with Ok vs -> Ok (v :: vs) | Error _ as e -> e))
+  in
+  let handle lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+    | [] -> Ok ()
+    | "name" :: rest ->
+      acc.name <- String.concat " " rest;
+      Ok ()
+    | [ "grid"; w; h ] ->
+      (match ints lineno [ w; h ] with
+       | Ok [ w; h ] ->
+         acc.dims <- Some (w, h);
+         Ok ()
+       | Ok _ -> assert false
+       | Error e -> Error e)
+    | [ "delta"; d ] ->
+      (match parse_int lineno d with
+       | Ok d ->
+         acc.delta <- d;
+         Ok ()
+       | Error e -> Error e)
+    | [ "obstacle"; x0; y0; x1; y1 ] ->
+      (match ints lineno [ x0; y0; x1; y1 ] with
+       | Ok [ x0; y0; x1; y1 ] ->
+         acc.obstacles <- Rect.make ~x0 ~y0 ~x1 ~y1 :: acc.obstacles;
+         Ok ()
+       | Ok _ -> assert false
+       | Error e -> Error e)
+    | [ "valve"; id; x; y; seq ] ->
+      (match ints lineno [ id; x; y ] with
+       | Ok [ id; x; y ] ->
+         (match Activation.sequence_of_string seq with
+          | Ok sequence ->
+            acc.valves <-
+              Valve.make ~id ~position:(Point.make x y) ~sequence :: acc.valves;
+            Ok ()
+          | Error e -> err lineno "%s" e)
+       | Ok _ -> assert false
+       | Error e -> Error e)
+    | "cluster" :: id :: members ->
+      (match ints lineno (id :: members) with
+       | Ok (id :: members) ->
+         acc.clusters <- (id, members) :: acc.clusters;
+         Ok ()
+       | Ok [] -> assert false
+       | Error e -> Error e)
+    | [ "pin"; x; y ] ->
+      (match ints lineno [ x; y ] with
+       | Ok [ x; y ] ->
+         acc.pins <- Point.make x y :: acc.pins;
+         Ok ()
+       | Ok _ -> assert false
+       | Error e -> Error e)
+    | keyword :: _ -> err lineno "unknown or malformed directive %S" keyword
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec run lineno = function
+    | [] -> Ok ()
+    | l :: rest ->
+      (match handle lineno l with Ok () -> run (lineno + 1) rest | Error _ as e -> e)
+  in
+  match run 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+    (match acc.dims with
+     | None -> Error "missing 'grid' directive"
+     | Some (width, height) ->
+       let grid =
+         Routing_grid.create ~width ~height ~obstacles:(List.rev acc.obstacles) ()
+       in
+       let valves = List.rev acc.valves in
+       let find_valve id = List.find_opt (fun (v : Valve.t) -> v.id = id) valves in
+       let rec build_clusters = function
+         | [] -> Ok []
+         | (id, members) :: rest ->
+           let vs = List.filter_map find_valve members in
+           if List.length vs <> List.length members then
+             Error (Printf.sprintf "cluster %d references an unknown valve" id)
+           else
+             (match Cluster.make ~id ~length_matched:true vs with
+              | Error e -> Error (Printf.sprintf "cluster %d: %s" id e)
+              | Ok c ->
+                (match build_clusters rest with
+                 | Ok cs -> Ok (c :: cs)
+                 | Error _ as e -> e))
+       in
+       (match build_clusters (List.rev acc.clusters) with
+        | Error _ as e -> e
+        | Ok lm_clusters ->
+          Problem.create ~name:acc.name ~grid ~valves ~lm_clusters
+            ~pins:(List.rev acc.pins) ~delta:acc.delta ()))
+
+let save p ~path =
+  try
+    let oc = open_out path in
+    output_string oc (to_string p);
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load ~path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+  with Sys_error e -> Error e

@@ -1,0 +1,20 @@
+(** Plain-text problem instance format, so external designs can be routed
+    with the CLI and instances can be archived with experiments.
+
+    Line-oriented; [#] starts a comment; blank lines ignored:
+
+    {v
+    name     <string>
+    grid     <width> <height>
+    delta    <int>
+    obstacle <x0> <y0> <x1> <y1>      # inclusive rectangle, repeatable
+    valve    <id> <x> <y> <sequence>  # sequence over 0/1/X, repeatable
+    cluster  <id> <valve-id> ...      # length-matched cluster, repeatable
+    pin      <x> <y>                  # candidate control pin, repeatable
+    v} *)
+
+val to_string : Problem.t -> string
+val of_string : string -> (Problem.t, string) result
+
+val save : Problem.t -> path:string -> (unit, string) result
+val load : path:string -> (Problem.t, string) result

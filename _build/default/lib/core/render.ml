@@ -1,0 +1,47 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+let cluster_symbols = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+let base_canvas (p : Problem.t) =
+  let w = Routing_grid.width p.grid and h = Routing_grid.height p.grid in
+  let canvas = Array.make_matrix h w '.' in
+  Obstacle_map.iter_blocked (Routing_grid.obstacles p.grid) (fun (pt : Point.t) ->
+    canvas.(pt.y).(pt.x) <- '#');
+  List.iter (fun (pt : Point.t) -> canvas.(pt.y).(pt.x) <- 'P') p.pins;
+  List.iter (fun (v : Valve.t) -> canvas.(v.position.y).(v.position.x) <- 'V') p.valves;
+  canvas
+
+let to_string canvas =
+  let h = Array.length canvas in
+  let buf = Buffer.create (h * (Array.length canvas.(0) + 1)) in
+  for y = h - 1 downto 0 do
+    Array.iter (Buffer.add_char buf) canvas.(y);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let problem p = to_string (base_canvas p)
+
+let solution (s : Solution.t) =
+  let canvas = base_canvas s.problem in
+  let draw ch (pt : Point.t) =
+    match canvas.(pt.y).(pt.x) with
+    | 'V' | '@' -> ()
+    | _ -> canvas.(pt.y).(pt.x) <- ch
+  in
+  List.iteri
+    (fun i (rc : Solution.routed_cluster) ->
+       let ch = cluster_symbols.[i mod String.length cluster_symbols] in
+       List.iter
+         (fun path -> List.iter (draw ch) (Path.points path))
+         rc.routed.Routed.paths;
+       match rc.escape with
+       | None -> ()
+       | Some e ->
+         List.iter (draw ch) (Path.points e.Pacor_flow.Escape.path);
+         let pin = e.Pacor_flow.Escape.pin in
+         canvas.(pin.y).(pin.x) <- '@')
+    s.clusters;
+  to_string canvas

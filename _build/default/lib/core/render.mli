@@ -1,0 +1,9 @@
+(** ASCII rendering of problems and solutions, for examples and debugging.
+
+    Legend: ['#'] obstacle, ['V'] valve, ['P'] unused candidate pin,
+    ['@'] pin in use, digits/letters cluster channels (one symbol per
+    cluster, cycling), ['.'] free cell. Row [height-1] prints first (the
+    chip as drawn, y up). *)
+
+val problem : Problem.t -> string
+val solution : Solution.t -> string

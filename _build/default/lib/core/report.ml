@@ -1,0 +1,165 @@
+type cell = {
+  matched : int;
+  matched_length : int;
+  total_length : int;
+  runtime_s : float;
+}
+
+type row = {
+  design : string;
+  clusters : int;
+  without_sel : cell;
+  detour_first : cell;
+  pacor : cell;
+}
+
+let cell_of_stats (s : Solution.stats) =
+  {
+    matched = s.matched_clusters;
+    matched_length = s.matched_length;
+    total_length = s.total_length;
+    runtime_s = s.runtime_s;
+  }
+
+let row_of_stats ~design ~without_sel ~detour_first ~pacor =
+  {
+    design;
+    clusters = pacor.Solution.clusters;
+    without_sel = cell_of_stats without_sel;
+    detour_first = cell_of_stats detour_first;
+    pacor = cell_of_stats pacor;
+  }
+
+(* Table 2 of the paper, verbatim. *)
+let paper_table2 =
+  let c matched matched_length total_length runtime_s =
+    { matched; matched_length; total_length; runtime_s }
+  in
+  [ { design = "Chip1"; clusters = 40;
+      without_sel = c 13 1422 11011 305.78;
+      detour_first = c 20 1525 9495 376.5;
+      pacor = c 24 2412 10929 201.26 };
+    { design = "Chip2"; clusters = 22;
+      without_sel = c 22 1262 3612 31.97;
+      detour_first = c 22 1262 3612 35.55;
+      pacor = c 22 1262 3612 35.14 };
+    { design = "S1"; clusters = 2;
+      without_sel = c 2 28 36 0.02;
+      detour_first = c 2 28 36 0.01;
+      pacor = c 2 28 36 0.01 };
+    { design = "S2"; clusters = 2;
+      without_sel = c 1 71 168 0.18;
+      detour_first = c 1 40 109 0.18;
+      pacor = c 1 40 105 0.11 };
+    { design = "S3"; clusters = 5;
+      without_sel = c 4 264 425 1.35;
+      detour_first = c 4 161 277 1.36;
+      pacor = c 4 161 277 1.3 };
+    { design = "S4"; clusters = 7;
+      without_sel = c 6 1371 1547 2.98;
+      detour_first = c 6 595 809 1.45;
+      pacor = c 6 531 888 1.39 };
+    { design = "S5"; clusters = 13;
+      without_sel = c 3 293 2945 58.41;
+      detour_first = c 4 830 3153 51.15;
+      pacor = c 5 1065 3110 62.65 } ]
+
+let ratio num den = if den = 0.0 then 1.0 else num /. den
+
+let averages rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  let fold f =
+    let ws, df, pa =
+      List.fold_left
+        (fun (ws, df, pa) r ->
+           let w, d, p = f r in
+           (ws +. w, df +. d, pa +. p))
+        (0.0, 0.0, 0.0) rows
+    in
+    (ws /. n, df /. n, pa /. n)
+  in
+  let matched =
+    fold (fun r ->
+      ( ratio (float_of_int r.without_sel.matched) (float_of_int r.pacor.matched),
+        ratio (float_of_int r.detour_first.matched) (float_of_int r.pacor.matched),
+        1.0 ))
+  in
+  let matched_len =
+    fold (fun r ->
+      ( ratio (float_of_int r.without_sel.matched_length) (float_of_int r.pacor.matched_length),
+        ratio (float_of_int r.detour_first.matched_length) (float_of_int r.pacor.matched_length),
+        1.0 ))
+  in
+  let total_len =
+    fold (fun r ->
+      ( ratio (float_of_int r.without_sel.total_length) (float_of_int r.pacor.total_length),
+        ratio (float_of_int r.detour_first.total_length) (float_of_int r.pacor.total_length),
+        1.0 ))
+  in
+  let runtime =
+    fold (fun r ->
+      ( ratio r.without_sel.runtime_s r.pacor.runtime_s,
+        ratio r.detour_first.runtime_s r.pacor.runtime_s,
+        1.0 ))
+  in
+  (matched, matched_len, total_len, runtime)
+
+let print_table ppf rows =
+  let line () =
+    Format.fprintf ppf
+      "+--------+------+---------------------+---------------------------+---------------------------+---------------------------+@."
+  in
+  line ();
+  Format.fprintf ppf
+    "| Design | #Cl  | #Matched Clusters   | Matched channel length    | Total channel length      | Runtime (s)               |@.";
+  Format.fprintf ppf
+    "|        |      |  w/oSel DetFst PACOR |   w/oSel  DetFst   PACOR  |   w/oSel  DetFst   PACOR  |   w/oSel  DetFst   PACOR  |@.";
+  line ();
+  List.iter
+    (fun r ->
+       Format.fprintf ppf
+         "| %-6s | %4d | %6d %6d %6d | %8d %8d %8d | %8d %8d %8d | %8.2f %8.2f %8.2f |@."
+         r.design r.clusters r.without_sel.matched r.detour_first.matched r.pacor.matched
+         r.without_sel.matched_length r.detour_first.matched_length r.pacor.matched_length
+         r.without_sel.total_length r.detour_first.total_length r.pacor.total_length
+         r.without_sel.runtime_s r.detour_first.runtime_s r.pacor.runtime_s)
+    rows;
+  line ();
+  let (m_w, m_d, m_p), (ml_w, ml_d, ml_p), (tl_w, tl_d, tl_p), (rt_w, rt_d, rt_p) =
+    averages rows
+  in
+  Format.fprintf ppf
+    "| Avg.   |      | %6.2f %6.2f %6.2f | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f |@."
+    m_w m_d m_p ml_w ml_d ml_p tl_w tl_d tl_p rt_w rt_d rt_p;
+  line ()
+
+let shape_checks ~measured =
+  let find design = List.find_opt (fun r -> r.design = design) measured in
+  let all_designs_present =
+    List.for_all (fun r -> find r.design <> None) paper_table2
+  in
+  let pacor_ge_without_sel =
+    List.for_all (fun r -> r.pacor.matched >= r.without_sel.matched) measured
+  in
+  (* The paper singles out Chip2 — two-valve clusters only, abundant
+     routing resource — as the design where the three variants tie. *)
+  let saturated_tie =
+    match find "Chip2" with
+    | None -> true (* not measured in this sweep *)
+    | Some r ->
+      r.pacor.matched = r.without_sel.matched
+      && r.pacor.matched = r.detour_first.matched
+      && (r.pacor.total_length = r.without_sel.total_length
+          || abs (r.pacor.total_length - r.without_sel.total_length) * 20
+             <= r.pacor.total_length)
+  in
+  let pacor_most_matched_overall =
+    let sum f = List.fold_left (fun a r -> a + f r) 0 measured in
+    let p = sum (fun r -> r.pacor.matched) in
+    p >= sum (fun r -> r.without_sel.matched)
+    && p >= sum (fun r -> r.detour_first.matched)
+  in
+  [ ("all seven designs measured", all_designs_present);
+    ("PACOR matches >= w/o Sel on every design", pacor_ge_without_sel);
+    ("variants tie on saturated designs (Chip2 effect)", saturated_tie);
+    ("PACOR matches the most clusters overall", pacor_most_matched_overall) ]

@@ -1,0 +1,48 @@
+(** Table-2-style reporting: the paper's self-comparison of "w/o Sel",
+    "Detour First" and PACOR across designs, plus the published reference
+    numbers so paper-vs-measured shape can be checked mechanically. *)
+
+type cell = {
+  matched : int;
+  matched_length : int;
+  total_length : int;
+  runtime_s : float;
+}
+
+type row = {
+  design : string;
+  clusters : int;
+  without_sel : cell;
+  detour_first : cell;
+  pacor : cell;
+}
+
+val row_of_stats :
+  design:string ->
+  without_sel:Solution.stats ->
+  detour_first:Solution.stats ->
+  pacor:Solution.stats ->
+  row
+
+val paper_table2 : row list
+(** The numbers published in the paper's Table 2 (runtime in the authors'
+    environment). Used by EXPERIMENTS.md and the bench harness for
+    shape comparison, never for assertions on absolute values. *)
+
+val print_table : Format.formatter -> row list -> unit
+(** Renders rows in the paper's column layout, appending the normalised
+    "Avg." row (each variant's metric divided by PACOR's, averaged over
+    designs — the convention of the paper's last row). *)
+
+val averages : row list -> (float * float * float) * (float * float * float) * (float * float * float) * (float * float * float)
+(** Normalised averages per metric group:
+    (matched clusters, matched length, total length, runtime), each as
+    (w/o Sel, Detour First, PACOR-normalised = 1.0 baseline) ratios. *)
+
+val shape_checks : measured:row list -> (string * bool) list
+(** The qualitative claims of Sec. 7, evaluated on measured rows:
+    - every variant completes all designs (implicit: rows exist);
+    - PACOR matches at least as many clusters as "w/o Sel" on every design;
+    - on Chip2-like designs (all variants matched everything) the three
+      variants tie;
+    - summed over designs, PACOR matches the most clusters. *)

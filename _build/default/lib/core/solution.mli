@@ -1,0 +1,52 @@
+(** The final routing solution and its Table-2 statistics, plus an
+    independent design-rule validator used by tests and the CLI. *)
+
+open Pacor_valve
+
+type routed_cluster = {
+  routed : Routed.t;
+  escape : Pacor_flow.Escape.routed option;
+  lengths : (Valve.id * int) list;
+      (** full channel length valve -> control pin (internal + escape);
+          only populated for length-matched shapes *)
+  matched : bool;   (** length-matched within delta (always false for
+                        ordinary routes) *)
+}
+
+type t = {
+  problem : Problem.t;
+  config : Config.t;
+  clusters : routed_cluster list;
+  initial_multi_clusters : int;
+      (** "#Clusters" of Table 2: clusters with >= 2 valves after the
+          initial valve-clustering stage *)
+  runtime_s : float;
+  stage_seconds : (string * float) list;
+      (** per-stage CPU time, in flow order (clustering, lm-routing,
+          plain-routing, escape, detour, rematch) *)
+}
+
+type stats = {
+  clusters : int;            (** initial multi-valve clusters *)
+  matched_clusters : int;
+  matched_length : int;      (** total channel length of matched clusters *)
+  total_length : int;        (** all channels, internal + escape *)
+  completion : float;        (** routed valves / valves *)
+  runtime_s : float;
+}
+
+val cluster_total_length : routed_cluster -> int
+val stats : t -> stats
+
+val validate : t -> (unit, string list) result
+(** Re-checks the solution from scratch:
+    - every path cell is in bounds and off static obstacles;
+    - channels of different clusters are vertex-disjoint;
+    - escape channels are vertex-disjoint from everything foreign;
+    - every escape ends on a distinct problem pin;
+    - every valve reaches a pin (100 % completion) — reported as an error
+      string, not an exception, since congested instances may fail;
+    - every cluster marked [matched] really has length spread <= delta;
+    - valves sharing a pin are pairwise compatible. *)
+
+val pp_stats : Format.formatter -> stats -> unit

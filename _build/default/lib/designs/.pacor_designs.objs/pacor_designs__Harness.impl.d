@@ -1,0 +1,1 @@
+lib/designs/harness.ml: List Pacor Printf String Table1

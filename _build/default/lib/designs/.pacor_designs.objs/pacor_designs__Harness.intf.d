@@ -1,0 +1,1 @@
+lib/designs/harness.mli: Pacor

@@ -1,0 +1,1 @@
+lib/designs/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/designs/rng.mli:

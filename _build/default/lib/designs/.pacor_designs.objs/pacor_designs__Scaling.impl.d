@@ -1,0 +1,1 @@
+lib/designs/scaling.ml: Float Format Int64 List Pacor Printf Synthetic

@@ -1,0 +1,1 @@
+lib/designs/scaling.mli: Format Synthetic

@@ -1,0 +1,1 @@
+lib/designs/sweep.ml: Format List Pacor Printf Table1

@@ -1,0 +1,1 @@
+lib/designs/sweep.mli: Format Pacor

@@ -1,0 +1,1 @@
+lib/designs/synthetic.ml: Activation Array Cluster Format List Pacor Pacor_geom Pacor_grid Pacor_valve Point Rect Rng Routing_grid Valve

@@ -1,0 +1,1 @@
+lib/designs/synthetic.mli: Pacor

@@ -1,0 +1,1 @@
+lib/designs/table1.ml: Hashtbl Int64 List Printf Synthetic

@@ -1,0 +1,1 @@
+lib/designs/table1.mli: Pacor Synthetic

@@ -1,0 +1,46 @@
+let run_variant problem variant =
+  let config = Pacor.Config.make ~variant () in
+  match Pacor.Engine.run ~config problem with
+  | Error e ->
+    Error
+      (Printf.sprintf "%s failed at %s: %s" (Pacor.Config.variant_name variant) e.stage
+         e.message)
+  | Ok sol ->
+    (match Pacor.Solution.validate sol with
+     | Ok () -> Ok (Pacor.Solution.stats sol)
+     | Error es ->
+       Error
+         (Printf.sprintf "%s produced an invalid solution: %s"
+            (Pacor.Config.variant_name variant)
+            (String.concat "; " es)))
+
+let measure_problem problem =
+  match run_variant problem Pacor.Config.Without_selection with
+  | Error _ as e -> e
+  | Ok without_sel ->
+    (match run_variant problem Pacor.Config.Detour_first with
+     | Error _ as e -> e
+     | Ok detour_first ->
+       (match run_variant problem Pacor.Config.Full with
+        | Error _ as e -> e
+        | Ok pacor ->
+          Ok
+            (Pacor.Report.row_of_stats ~design:problem.Pacor.Problem.name ~without_sel
+               ~detour_first ~pacor)))
+
+let measure_design name =
+  match Table1.load name with
+  | Error _ as e -> e
+  | Ok problem -> measure_problem problem
+
+let measure_table2 ?(progress = fun _ -> ()) names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest ->
+      (match measure_design n with
+       | Error _ as e -> e
+       | Ok row ->
+         progress n;
+         go (row :: acc) rest)
+  in
+  go [] names

@@ -1,0 +1,13 @@
+(** Shared experiment harness: run the three Table 2 flow variants on a
+    design and collect a report row. Used by both the CLI and the bench. *)
+
+val measure_problem : Pacor.Problem.t -> (Pacor.Report.row, string) result
+(** Runs "w/o Sel", "Detour First" and PACOR on the instance, validating
+    each solution; any validation failure is an error. *)
+
+val measure_design : string -> (Pacor.Report.row, string) result
+(** [measure_design name] loads a Table 1 design and measures it. *)
+
+val measure_table2 :
+  ?progress:(string -> unit) -> string list -> (Pacor.Report.row list, string) result
+(** Measure several designs, reporting progress through [progress]. *)

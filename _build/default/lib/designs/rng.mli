@@ -1,0 +1,18 @@
+(** Deterministic splitmix64 PRNG for benchmark generation.
+
+    The published Chip1/Chip2 layouts are proprietary; our stand-ins must be
+    reproducible bit for bit across runs and machines, so the generators use
+    this fixed-seed PRNG instead of [Random]. *)
+
+type t
+
+val create : seed:int64 -> t
+val next : t -> int64
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); [bound > 0]. *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** Uniform element; raises [Invalid_argument] on empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

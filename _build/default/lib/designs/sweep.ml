@@ -1,0 +1,45 @@
+type sample = {
+  delta : int;
+  matched : int;
+  clusters : int;
+  total_length : int;
+  completion : float;
+}
+
+let run ?(variant = Pacor.Config.Full) ~deltas problem =
+  let config = Pacor.Config.make ~variant () in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | delta :: rest ->
+      (match Pacor.Problem.with_delta problem delta with
+       | Error _ as e -> e
+       | Ok p ->
+         (match Pacor.Engine.run ~config p with
+          | Error e -> Error (Printf.sprintf "delta=%d: %s" delta e.message)
+          | Ok sol ->
+            let stats = Pacor.Solution.stats sol in
+            let sample =
+              {
+                delta;
+                matched = stats.matched_clusters;
+                clusters = stats.clusters;
+                total_length = stats.total_length;
+                completion = stats.completion;
+              }
+            in
+            go (sample :: acc) rest))
+  in
+  go [] deltas
+
+let run_design ?variant ~deltas name =
+  match Table1.load name with
+  | Error _ as e -> e
+  | Ok problem -> run ?variant ~deltas problem
+
+let pp_table ppf samples =
+  Format.fprintf ppf "%6s %10s %12s %12s@." "delta" "matched" "total_len" "completion";
+  List.iter
+    (fun s ->
+       Format.fprintf ppf "%6d %6d/%-3d %12d %11.0f%%@." s.delta s.matched s.clusters
+         s.total_length (100.0 *. s.completion))
+    samples

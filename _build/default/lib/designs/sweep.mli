@@ -1,0 +1,30 @@
+(** Delta-sweep experiment (an extension study beyond the paper's Table 2):
+    how does the length-matching threshold [delta] trade off against the
+    number of matched clusters and the total channel length?
+
+    The paper fixes [delta = 1]; sweeping it quantifies how much of the
+    matching comes "for free" from DME balance (already matched at
+    [delta = 0] up to parity) versus from detouring. *)
+
+type sample = {
+  delta : int;
+  matched : int;
+  clusters : int;
+  total_length : int;
+  completion : float;
+}
+
+val run :
+  ?variant:Pacor.Config.variant ->
+  deltas:int list ->
+  Pacor.Problem.t ->
+  (sample list, string) result
+(** Route the instance once per threshold. Deterministic. *)
+
+val run_design :
+  ?variant:Pacor.Config.variant ->
+  deltas:int list ->
+  string ->
+  (sample list, string) result
+
+val pp_table : Format.formatter -> sample list -> unit

@@ -1,0 +1,175 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+type spec = {
+  name : string;
+  width : int;
+  height : int;
+  obstacle_cells : int;
+  lm_cluster_sizes : int list;
+  singleton_valves : int;
+  pin_count : int;
+  seed : int64;
+  delta : int;
+}
+
+let margin = 2
+
+(* Obstacle rectangles: small random blocks in the interior until the
+   blocked-cell budget is (approximately) met. *)
+let make_obstacles rng spec =
+  let rects = ref [] and blocked = ref 0 and attempts = ref 0 in
+  let max_attempts = 50 * (spec.obstacle_cells + 1) in
+  while !blocked < spec.obstacle_cells && !attempts < max_attempts do
+    incr attempts;
+    let w = 1 + Rng.int rng ~bound:3 and h = 1 + Rng.int rng ~bound:3 in
+    let x = margin + Rng.int rng ~bound:(max 1 (spec.width - (2 * margin) - w)) in
+    let y = margin + Rng.int rng ~bound:(max 1 (spec.height - (2 * margin) - h)) in
+    let r = Rect.make ~x0:x ~y0:y ~x1:(x + w - 1) ~y1:(y + h - 1) in
+    let overlaps = List.exists (fun r' -> Rect.overlap_cells r r' > 0) !rects in
+    if (not overlaps) && !blocked + Rect.cells r <= spec.obstacle_cells + 4 then begin
+      rects := r :: !rects;
+      blocked := !blocked + Rect.cells r
+    end
+  done;
+  !rects
+
+(* Activation sequences: group [g] of [groups] is open at step [g], closed
+   at every other group's step, don't-care elsewhere — so groups are
+   pairwise incompatible and members identical, which makes the clustering
+   stage reproduce the generated structure exactly. *)
+let group_sequence ~groups g =
+  let steps = max 8 groups in
+  Array.init steps (fun i ->
+    if i >= groups then Activation.Dont_care
+    else if i = g then Activation.Open
+    else Activation.Closed)
+
+let too_close existing p =
+  List.exists (fun q -> Point.manhattan p q < 2) existing
+
+let place_valve rng ~grid ~existing ~center ~radius =
+  let rec try_once attempt =
+    if attempt > 200 then None
+    else begin
+      let dx = Rng.int rng ~bound:((2 * radius) + 1) - radius in
+      let dy = Rng.int rng ~bound:((2 * radius) + 1) - radius in
+      let p = Point.add center (Point.make dx dy) in
+      let interior (q : Point.t) =
+        q.x >= margin
+        && q.x < Routing_grid.width grid - margin
+        && q.y >= margin
+        && q.y < Routing_grid.height grid - margin
+      in
+      if interior p && Routing_grid.free grid p && not (too_close existing p) then Some p
+      else try_once (attempt + 1)
+    end
+  in
+  try_once 0
+
+let random_center rng ~grid =
+  let w = Routing_grid.width grid and h = Routing_grid.height grid in
+  Point.make
+    (margin + Rng.int rng ~bound:(max 1 (w - (2 * margin))))
+    (margin + Rng.int rng ~bound:(max 1 (h - (2 * margin))))
+
+let place_cluster rng ~grid ~existing ~size =
+  let rec with_center attempt =
+    if attempt > 100 then None
+    else begin
+      let center = random_center rng ~grid in
+      let radius = max 4 (2 * size) in
+      let rec fill placed n =
+        if n = 0 then Some (List.rev placed)
+        else
+          match place_valve rng ~grid ~existing:(placed @ existing) ~center ~radius with
+          | Some p -> fill (p :: placed) (n - 1)
+          | None -> None
+      in
+      match fill [] size with
+      | Some ps -> Some ps
+      | None -> with_center (attempt + 1)
+    end
+  in
+  with_center 0
+
+let make_pins rng ~grid ~valve_cells count =
+  ignore rng;
+  let candidates =
+    List.filter
+      (fun p -> Routing_grid.free grid p && not (Point.Set.mem p valve_cells))
+      (Routing_grid.boundary_points grid)
+  in
+  let n = List.length candidates in
+  if n < count then None
+  else begin
+    (* Even spacing along the ring keeps pins realistic (pad rows). *)
+    let stride = float_of_int n /. float_of_int count in
+    let arr = Array.of_list candidates in
+    let pins =
+      List.init count (fun i -> arr.(int_of_float (float_of_int i *. stride) mod n))
+    in
+    Some (List.sort_uniq Point.compare pins)
+  end
+
+let generate spec =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if List.exists (fun s -> s < 2) spec.lm_cluster_sizes then
+    err "LM cluster sizes must be >= 2"
+  else if spec.width < 8 || spec.height < 8 then err "grid too small"
+  else begin
+    let rng = Rng.create ~seed:spec.seed in
+    let obstacles = make_obstacles rng spec in
+    let grid = Routing_grid.create ~width:spec.width ~height:spec.height ~obstacles () in
+    let groups = List.length spec.lm_cluster_sizes + spec.singleton_valves in
+    let next_valve = ref 0 in
+    let fresh_valve position ~group =
+      let id = !next_valve in
+      incr next_valve;
+      Valve.make ~id ~position ~sequence:(group_sequence ~groups group)
+    in
+    (* Length-matched clusters first. *)
+    let rec place_clusters acc_valves acc_clusters group = function
+      | [] -> Ok (acc_valves, List.rev acc_clusters, group)
+      | size :: rest ->
+        (match place_cluster rng ~grid ~existing:(List.map (fun (v : Valve.t) -> v.position) acc_valves) ~size with
+         | None -> err "could not place a %d-valve cluster on %s" size spec.name
+         | Some positions ->
+           let valves = List.map (fun p -> fresh_valve p ~group) positions in
+           let cluster =
+             Cluster.make_exn ~id:group ~length_matched:true valves
+           in
+           place_clusters (acc_valves @ valves) (cluster :: acc_clusters) (group + 1) rest)
+    in
+    match place_clusters [] [] 0 spec.lm_cluster_sizes with
+    | Error _ as e -> e
+    | Ok (valves, lm_clusters, group0) ->
+      let rec place_singles acc group n =
+        if n = 0 then Ok acc
+        else begin
+          let existing = List.map (fun (v : Valve.t) -> v.position) acc in
+          match
+            place_cluster rng ~grid ~existing ~size:1
+          with
+          | Some [ p ] -> place_singles (acc @ [ fresh_valve p ~group ]) (group + 1) (n - 1)
+          | Some _ | None -> err "could not place singleton valves on %s" spec.name
+        end
+      in
+      (match place_singles valves group0 spec.singleton_valves with
+       | Error _ as e -> e
+       | Ok all_valves ->
+         let valve_cells =
+           Point.Set.of_list (List.map (fun (v : Valve.t) -> v.position) all_valves)
+         in
+         (match make_pins rng ~grid ~valve_cells spec.pin_count with
+          | None -> err "not enough free boundary cells for %d pins on %s" spec.pin_count spec.name
+          | Some pins ->
+            Pacor.Problem.create ~name:spec.name ~grid ~valves:all_valves
+              ~lm_clusters ~pins ~delta:spec.delta ()))
+  end
+
+let generate_exn spec =
+  match generate spec with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Synthetic.generate: " ^ msg)

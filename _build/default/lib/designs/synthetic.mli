@@ -1,0 +1,27 @@
+(** Synthetic benchmark generator.
+
+    Produces problem instances with the same observable parameters as the
+    paper's Table 1 (grid size, valve count, candidate-pin count, obstructed
+    cells) and Table 2 (number of multi-valve clusters): length-matched
+    clusters are placed as geographically coherent groups, remaining valves
+    are singletons, activation sequences are constructed so that the greedy
+    clustering stage reproduces exactly the intended cluster structure
+    (groups are pairwise incompatible, members identical). *)
+
+type spec = {
+  name : string;
+  width : int;
+  height : int;
+  obstacle_cells : int;       (** approximate blocked-cell target *)
+  lm_cluster_sizes : int list;(** one entry (>= 2) per length-matched cluster *)
+  singleton_valves : int;
+  pin_count : int;
+  seed : int64;
+  delta : int;
+}
+
+val generate : spec -> (Pacor.Problem.t, string) result
+(** Deterministic for a fixed spec. Errors when the spec cannot fit (too
+    many valves for the free area, more pins than boundary cells, ...). *)
+
+val generate_exn : spec -> Pacor.Problem.t

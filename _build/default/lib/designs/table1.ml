@@ -1,0 +1,78 @@
+type row = {
+  design : string;
+  width : int;
+  height : int;
+  valves : int;
+  control_pins : int;
+  obstacles : int;
+  multi_clusters : int;
+}
+
+let rows =
+  [ { design = "Chip1"; width = 179; height = 413; valves = 176; control_pins = 556;
+      obstacles = 1800; multi_clusters = 40 };
+    { design = "Chip2"; width = 231; height = 265; valves = 56; control_pins = 495;
+      obstacles = 1863; multi_clusters = 22 };
+    { design = "S1"; width = 12; height = 12; valves = 5; control_pins = 14;
+      obstacles = 9; multi_clusters = 2 };
+    { design = "S2"; width = 22; height = 22; valves = 10; control_pins = 40;
+      obstacles = 54; multi_clusters = 2 };
+    { design = "S3"; width = 52; height = 52; valves = 15; control_pins = 93;
+      obstacles = 0; multi_clusters = 5 };
+    { design = "S4"; width = 72; height = 72; valves = 20; control_pins = 139;
+      obstacles = 27; multi_clusters = 7 };
+    { design = "S5"; width = 152; height = 152; valves = 40; control_pins = 306;
+      obstacles = 135; multi_clusters = 13 } ]
+
+(* Cluster size mixes: multi-valve clusters per Table 2, sizes chosen so
+   that the valve totals match Table 1. Chip2's clusters are all pairs, as
+   the paper states. *)
+let cluster_sizes = function
+  | "Chip1" ->
+    (* 16 pairs + 16 triples + 8 quads = 112 valves; 64 singletons. *)
+    Some
+      (List.concat
+         [ List.init 16 (fun _ -> 2); List.init 16 (fun _ -> 3); List.init 8 (fun _ -> 4) ],
+       64)
+  | "Chip2" -> Some (List.init 22 (fun _ -> 2), 12)
+  | "S1" -> Some ([ 2; 2 ], 1)
+  | "S2" -> Some ([ 3; 2 ], 5)
+  | "S3" -> Some ([ 2; 2; 3; 2; 3 ], 3)
+  | "S4" -> Some ([ 2; 2; 2; 3; 3; 2; 2 ], 4)
+  | "S5" ->
+    Some (List.concat [ List.init 8 (fun _ -> 2); List.init 5 (fun _ -> 3) ], 9)
+  | _ -> None
+
+let seed_of name =
+  (* Stable per-design seeds. *)
+  Int64.of_int (Hashtbl.hash ("pacor-" ^ name) + 1)
+
+let spec_of name =
+  match List.find_opt (fun r -> r.design = name) rows, cluster_sizes name with
+  | Some r, Some (sizes, singles) ->
+    Some
+      {
+        Synthetic.name = r.design;
+        width = r.width;
+        height = r.height;
+        obstacle_cells = r.obstacles;
+        lm_cluster_sizes = sizes;
+        singleton_valves = singles;
+        pin_count = r.control_pins;
+        seed = seed_of name;
+        delta = 1;
+      }
+  | _, _ -> None
+
+let names = List.map (fun r -> r.design) rows
+let small_names = [ "S1"; "S2"; "S3"; "S4"; "S5" ]
+
+let load name =
+  match spec_of name with
+  | None -> Error (Printf.sprintf "unknown design %S" name)
+  | Some spec -> Synthetic.generate spec
+
+let load_exn name =
+  match load name with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Table1.load: " ^ msg)

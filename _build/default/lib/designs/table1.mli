@@ -1,0 +1,34 @@
+(** The seven benchmark designs of the paper's Table 1.
+
+    Chip1 and Chip2 are synthetic stand-ins for the two (proprietary) real
+    biochips, regenerated to every published parameter: grid size, valve
+    count, candidate control-pin count, obstructed cells — and the Table 2
+    cluster counts (40 multi-valve clusters for Chip1; 22, all two-valve,
+    for Chip2, which the paper singles out as the reason all flow variants
+    tie on that design). S1–S5 match their published parameters directly. *)
+
+type row = {
+  design : string;
+  width : int;
+  height : int;
+  valves : int;
+  control_pins : int;
+  obstacles : int;
+  multi_clusters : int;  (** Table 2's "#Clusters" column *)
+}
+
+val rows : row list
+(** The published Table 1 parameters (plus Table 2 cluster counts). *)
+
+val spec_of : string -> Synthetic.spec option
+(** Generator spec for a design name ("Chip1", "S3", ...). *)
+
+val names : string list
+
+val load : string -> (Pacor.Problem.t, string) result
+(** Generate a design by name. *)
+
+val load_exn : string -> Pacor.Problem.t
+
+val small_names : string list
+(** S1–S5 — the designs cheap enough for unit tests and micro-benchmarks. *)

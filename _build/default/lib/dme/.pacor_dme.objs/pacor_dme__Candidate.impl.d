@@ -1,0 +1,1 @@
+lib/dme/candidate.ml: Array Format Int List Merge Pacor_geom Pacor_grid Point Routing_grid Tilted Topology

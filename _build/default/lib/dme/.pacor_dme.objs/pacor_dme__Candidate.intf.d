@@ -1,0 +1,1 @@
+lib/dme/candidate.mli: Format Merge Pacor_geom Pacor_grid Point Routing_grid Tilted

@@ -1,0 +1,1 @@
+lib/dme/merge.ml: Array List Pacor_geom Tilted Topology

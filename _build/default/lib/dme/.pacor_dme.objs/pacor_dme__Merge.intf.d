@@ -1,0 +1,1 @@
+lib/dme/merge.mli: Pacor_geom Point Tilted Topology

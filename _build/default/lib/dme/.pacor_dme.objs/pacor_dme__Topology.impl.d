@@ -1,0 +1,1 @@
+lib/dme/topology.ml: Array Format Fun List Pacor_geom Point

@@ -1,0 +1,1 @@
+lib/dme/topology.mli: Format Pacor_geom Point

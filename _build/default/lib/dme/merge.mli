@@ -1,0 +1,34 @@
+(** Bottom-up DME phase: merging-region computation.
+
+    Walks the connection topology leaves-up, computing for every node the
+    tilted region of positions from which all sinks underneath are
+    equidistant (doubled units, see {!Pacor_geom.Tilted}), together with the
+    prescribed edge lengths toward the two children. When one subtree is
+    too far to balance ([|dl - dr| > dist]), the shorter side's edge is
+    marked for detour — the extra length is realised later by the detour
+    stage, exactly as in the paper.
+
+    All distances here are in {b doubled} units (2 x grid edges). *)
+
+open Pacor_geom
+
+type node = {
+  topology : Topology.t;          (** subtree this node embeds *)
+  region : Tilted.t;              (** merging region *)
+  sink_dist : int;                (** doubled distance to every sink below *)
+  children : (node * int) list;   (** (child, prescribed doubled edge length);
+                                      empty for leaves, two entries otherwise *)
+}
+
+val build : sinks:Point.t array -> Topology.t -> node
+(** Merging regions for the whole topology. Leaf regions are the sink
+    points; raises [Invalid_argument] when a leaf index is out of range. *)
+
+val merging_regions : node -> (Tilted.t * int) list
+(** All internal-node regions with their sink distances, bottom-up — the
+    data Fig. 3(a) draws. *)
+
+val check_sink_distances : node -> bool
+(** Internal consistency: every sink below a node is (approximately, within
+    the rounding slack of one doubled unit per level) [sink_dist] away from
+    the region. Used by tests. *)

@@ -1,0 +1,35 @@
+(** Connection topologies for DME: balanced bipartition (BB).
+
+    The DME algorithm embeds a {e given} topology; the paper computes that
+    topology with the balanced-bipartition heuristic of Chao et al.: split
+    the sink set recursively into two equal-size halves minimising the sum
+    of the halves' diameters (all sink capacitances are 1, so the tree is a
+    balanced binary tree for an even number of sinks). *)
+
+open Pacor_geom
+
+type t =
+  | Leaf of int          (** index into the sink array *)
+  | Node of t * t
+
+val leaves : t -> int list
+(** Sink indices, left to right. *)
+
+val size : t -> int
+val depth : t -> int
+
+val balanced_bipartition : Point.t list -> t
+(** Topology over sinks [0 .. n-1]. Exhaustive over balanced splits for
+    small sets (n <= 12), median split on the wider axis beyond that.
+    Raises [Invalid_argument] on the empty list. Deterministic. *)
+
+val alternatives : Point.t list -> t list
+(** Several distinct balanced topologies, best (BB) first: all balanced
+    top-level splits for up to four sinks, just the BB topology beyond.
+    Extra topologies diversify the DME candidates when the best split's
+    embeddings are all blocked or unmatchable. *)
+
+val is_balanced : t -> bool
+(** Every node's subtree sizes differ by at most one. *)
+
+val pp : Format.formatter -> t -> unit

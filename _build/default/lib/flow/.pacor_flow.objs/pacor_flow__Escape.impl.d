@@ -1,0 +1,1 @@
+lib/flow/escape.ml: Array Format Hashtbl List Maxflow Mcmf Pacor_geom Pacor_grid Path Point Routing_grid

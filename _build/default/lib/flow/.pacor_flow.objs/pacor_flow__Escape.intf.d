@@ -1,0 +1,1 @@
+lib/flow/escape.mli: Pacor_geom Pacor_grid Path Point Routing_grid

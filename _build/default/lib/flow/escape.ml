@@ -1,0 +1,178 @@
+open Pacor_geom
+open Pacor_grid
+
+type request = {
+  cluster_idx : int;
+  start_cells : Point.t list;
+}
+
+type routed = {
+  idx : int;
+  start_cell : Point.t;
+  pin : Point.t;
+  path : Path.t;
+}
+
+type outcome = {
+  routed : routed list;
+  failed : int list;
+  total_length : int;
+}
+
+(* Cell roles in the flow network. *)
+type role =
+  | Excluded          (* obstacle, non-pin boundary, or foreign claimed cell *)
+  | Ordinary          (* free interior transit cell *)
+  | Pin               (* candidate control pin: sink only *)
+  | Start             (* claimed cell usable as some cluster's source *)
+
+(* Shared network layout: node-split grid plus one node per request and a
+   super source/sink. [emit] is called once per arc with (src, dst, cost). *)
+let build_network ~grid ~claimed ~pins requests ~emit =
+  let w = Routing_grid.width grid and h = Routing_grid.height grid in
+  let cells = w * h in
+  let pin_set = Point.Set.of_list pins in
+  let start_set =
+    List.fold_left
+      (fun acc r -> List.fold_left (fun s p -> Point.Set.add p s) acc r.start_cells)
+      Point.Set.empty requests
+  in
+  let role_of p =
+    if Routing_grid.blocked grid p then Excluded
+    else if Point.Set.mem p pin_set then Pin
+    else if Point.Set.mem p start_set then Start
+    else if Point.Set.mem p claimed then Excluded
+    else if Routing_grid.on_boundary grid p then Excluded
+    else Ordinary
+  in
+  let nreq = List.length requests in
+  let n = (2 * cells) + nreq + 2 in
+  let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
+  let cluster_node i = (2 * cells) + i in
+  let in_node p = 2 * Routing_grid.index grid p in
+  let out_node p = (2 * Routing_grid.index grid p) + 1 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let p = Point.make x y in
+      match role_of p with
+      | Excluded -> ()
+      | Pin -> emit (in_node p) sink 0
+      | Start ->
+        List.iter
+          (fun q ->
+             if Routing_grid.in_bounds grid q then
+               match role_of q with
+               | Ordinary | Pin -> emit (out_node p) (in_node q) 1
+               | Excluded | Start -> ())
+          (Point.neighbours4 p)
+      | Ordinary ->
+        emit (in_node p) (out_node p) 0;
+        List.iter
+          (fun q ->
+             if Routing_grid.in_bounds grid q then
+               match role_of q with
+               | Ordinary | Pin -> emit (out_node p) (in_node q) 1
+               | Excluded | Start -> ())
+          (Point.neighbours4 p)
+    done
+  done;
+  List.iteri
+    (fun i r ->
+       emit source (cluster_node i) 0;
+       List.iter (fun p -> emit (cluster_node i) (out_node p) 0) r.start_cells)
+    requests;
+  (n, source, sink, cells)
+
+let validate ~grid ~pins requests =
+  let bad_pin =
+    List.find_opt
+      (fun p -> (not (Routing_grid.on_boundary grid p)) || Routing_grid.blocked grid p)
+      pins
+  in
+  match bad_pin with
+  | Some p -> Error (Format.asprintf "pin %a is not a free boundary cell" Point.pp p)
+  | None ->
+    let bad_start =
+      List.concat_map (fun r -> r.start_cells) requests
+      |> List.find_opt (fun p -> (not (Routing_grid.in_bounds grid p)) || Routing_grid.blocked grid p)
+    in
+    (match bad_start with
+     | Some p -> Error (Format.asprintf "start cell %a is blocked or out of bounds" Point.pp p)
+     | None ->
+       if List.exists (fun r -> r.start_cells = []) requests then
+         Error "a request has no start cells"
+       else Ok ())
+
+let feasibility_bound ~grid ~claimed ~pins requests =
+  match validate ~grid ~pins requests with
+  | Error _ -> 0
+  | Ok () ->
+    let w = Routing_grid.width grid and h = Routing_grid.height grid in
+    let cells = w * h in
+    let n = (2 * cells) + List.length requests + 2 in
+    let network = Maxflow.create n in
+    let emit src dst _cost = Maxflow.add_edge network ~src ~dst ~cap:1 in
+    let n_nodes, source, sink, _ = build_network ~grid ~claimed ~pins requests ~emit in
+    assert (n_nodes = n);
+    Maxflow.max_flow network ~source ~sink
+
+let route ~grid ~claimed ~pins requests =
+  match validate ~grid ~pins requests with
+  | Error _ as e -> e
+  | Ok () ->
+    let w = Routing_grid.width grid and h = Routing_grid.height grid in
+    let cells = w * h in
+    let nreq = List.length requests in
+    let n = (2 * cells) + nreq + 2 in
+    let net = Mcmf.create n in
+    let beta = (4 * cells) + 16 in
+    let emit src dst cost = Mcmf.add_edge net ~src ~dst ~cap:1 ~cost in
+    let n_nodes, source, sink, _ = build_network ~grid ~claimed ~pins requests ~emit in
+    assert (n_nodes = n);
+    (* The paper's [-beta] reward per routed path is realised as a stopping
+       threshold: augment while a path still costs less than beta, which is
+       larger than any possible augmenting-path cost — so the flow first
+       maximises the number of routed clusters, then total length. *)
+    let _outcome = Mcmf.solve ~stop_when_cost_reaches:beta net ~source ~sink in
+    let node_paths = Mcmf.decompose_paths net ~source ~sink in
+    (* Map each unit path back to its request (second node is the cluster
+       node) and to grid points (in/out pairs collapse). *)
+    let request_arr = Array.of_list requests in
+    let routed_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun nodes ->
+         match nodes with
+         | _src :: cnode :: rest when cnode >= 2 * cells && cnode < (2 * cells) + nreq ->
+           let req = request_arr.(cnode - (2 * cells)) in
+           let points =
+             List.filter_map
+               (fun node ->
+                  if node < 2 * cells then Some (Routing_grid.point_of_index grid (node / 2))
+                  else None)
+               rest
+           in
+           let rec collapse = function
+             | a :: b :: tl when Point.equal a b -> collapse (b :: tl)
+             | a :: tl -> a :: collapse tl
+             | [] -> []
+           in
+           let pts = collapse points in
+           (match pts with
+            | [] -> ()
+            | first :: _ ->
+              let path = Path.of_points pts in
+              Hashtbl.replace routed_tbl req.cluster_idx
+                { idx = req.cluster_idx; start_cell = first; pin = Path.target path; path })
+         | _ -> ())
+      node_paths;
+    let routed =
+      List.filter_map (fun r -> Hashtbl.find_opt routed_tbl r.cluster_idx) requests
+    in
+    let failed =
+      List.filter_map
+        (fun r ->
+           if Hashtbl.mem routed_tbl r.cluster_idx then None else Some r.cluster_idx)
+        requests
+    in
+    let total_length = List.fold_left (fun acc r -> acc + Path.length r.path) 0 routed in
+    Ok { routed; failed; total_length }

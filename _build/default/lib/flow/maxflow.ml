@@ -1,0 +1,131 @@
+(* Dinic: BFS level graph + DFS blocking flows. Same compact adjacency
+   encoding as {!Mcmf} (edge i's reverse is i lxor 1). *)
+type t = {
+  n : int;
+  head : int array;
+  mutable next_edge : int array;
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable edge_count : int;
+  mutable solved : bool;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Maxflow.create: need at least one node";
+  {
+    n;
+    head = Array.make n (-1);
+    next_edge = [||];
+    dst = [||];
+    cap = [||];
+    edge_count = 0;
+    solved = false;
+  }
+
+let grow t =
+  let cur = Array.length t.dst in
+  if t.edge_count + 2 > cur then begin
+    let ncap = max 64 (2 * cur) in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cur;
+      b
+    in
+    t.next_edge <- extend t.next_edge (-1);
+    t.dst <- extend t.dst 0;
+    t.cap <- extend t.cap 0
+  end
+
+let push_edge t ~src ~dst ~cap =
+  let i = t.edge_count in
+  t.next_edge.(i) <- t.head.(src);
+  t.head.(src) <- i;
+  t.dst.(i) <- dst;
+  t.cap.(i) <- cap;
+  t.edge_count <- i + 1
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: bad node";
+  if t.solved then invalid_arg "Maxflow.add_edge: network already solved";
+  grow t;
+  push_edge t ~src ~dst ~cap;
+  push_edge t ~src:dst ~dst:src ~cap:0
+
+let max_flow t ~source ~sink =
+  if t.solved then invalid_arg "Maxflow.max_flow: already solved";
+  t.solved <- true;
+  let level = Array.make t.n (-1) in
+  let iter = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  let bfs () =
+    Array.fill level 0 t.n (-1);
+    Queue.clear queue;
+    level.(source) <- 0;
+    Queue.push source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let e = ref t.head.(u) in
+      while !e >= 0 do
+        let i = !e in
+        let v = t.dst.(i) in
+        if t.cap.(i) > 0 && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.push v queue
+        end;
+        e := t.next_edge.(i)
+      done
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs u pushed =
+    if u = sink then pushed
+    else begin
+      let result = ref 0 in
+      while !result = 0 && iter.(u) >= 0 do
+        let i = iter.(u) in
+        let v = t.dst.(i) in
+        if t.cap.(i) > 0 && level.(v) = level.(u) + 1 then begin
+          let got = dfs v (min pushed t.cap.(i)) in
+          if got > 0 then begin
+            t.cap.(i) <- t.cap.(i) - got;
+            t.cap.(i lxor 1) <- t.cap.(i lxor 1) + got;
+            result := got
+          end
+          else iter.(u) <- t.next_edge.(i)
+        end
+        else iter.(u) <- t.next_edge.(i)
+      done;
+      !result
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.blit t.head 0 iter 0 t.n;
+    let rec pump () =
+      let got = dfs source max_int in
+      if got > 0 then begin
+        flow := !flow + got;
+        pump ()
+      end
+    in
+    pump ()
+  done;
+  !flow
+
+let min_cut_reachable t ~source =
+  let seen = Array.make t.n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      let e = ref t.head.(u) in
+      while !e >= 0 do
+        let i = !e in
+        if t.cap.(i) > 0 then go t.dst.(i);
+        e := t.next_edge.(i)
+      done
+    end
+  in
+  go source;
+  seen

@@ -1,0 +1,22 @@
+(** Dinic's maximum-flow algorithm.
+
+    Used as an independent feasibility oracle: the maximum number of
+    escape paths that {e any} assignment could route equals the max flow of
+    the escape network with costs ignored. The rip-up loop's outcome can be
+    compared against this bound, and the min-cost solver's flow value is
+    cross-checked against it in tests. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Directed edge with non-negative capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Computes the maximum flow (destructive; call once). *)
+
+val min_cut_reachable : t -> source:int -> bool array
+(** After {!max_flow}: which nodes remain reachable from the source in the
+    residual graph — the source side of a minimum cut. *)

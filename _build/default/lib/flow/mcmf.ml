@@ -1,0 +1,235 @@
+(* Compact adjacency: edges stored in parallel growable arrays; [head] and
+   [next] thread per-node edge lists; edge i and its reverse (i lxor 1) are
+   created together. *)
+type t = {
+  n : int;
+  mutable head : int array;            (* per node: first edge index or -1 *)
+  mutable next_edge : int array;
+  mutable dst : int array;
+  mutable cap : int array;             (* residual capacity *)
+  mutable cost : int array;
+  mutable edge_count : int;
+  mutable solved : bool;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Mcmf.create: need at least one node";
+  {
+    n;
+    head = Array.make n (-1);
+    next_edge = [||];
+    dst = [||];
+    cap = [||];
+    cost = [||];
+    edge_count = 0;
+    solved = false;
+  }
+
+let node_count t = t.n
+
+let grow t =
+  let cur = Array.length t.dst in
+  if t.edge_count + 2 > cur then begin
+    let ncap = max 64 (2 * cur) in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cur;
+      b
+    in
+    t.next_edge <- extend t.next_edge (-1);
+    t.dst <- extend t.dst 0;
+    t.cap <- extend t.cap 0;
+    t.cost <- extend t.cost 0
+  end
+
+let push_edge t ~src ~dst ~cap ~cost =
+  let i = t.edge_count in
+  t.next_edge.(i) <- t.head.(src);
+  t.head.(src) <- i;
+  t.dst.(i) <- dst;
+  t.cap.(i) <- cap;
+  t.cost.(i) <- cost;
+  t.edge_count <- i + 1
+
+let add_edge t ~src ~dst ~cap ~cost =
+  if cap < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then invalid_arg "Mcmf.add_edge: bad node";
+  if t.solved then invalid_arg "Mcmf.add_edge: network already solved";
+  grow t;
+  push_edge t ~src ~dst ~cap ~cost;
+  push_edge t ~src:dst ~dst:src ~cap:0 ~cost:(-cost)
+
+type outcome = { flow : int; cost : int }
+
+let infinity_cost = max_int / 4
+
+(* Bellman-Ford from [source] to establish potentials when negative edge
+   costs exist. O(V * E) but run once. *)
+let initial_potentials t ~source =
+  let dist = Array.make t.n infinity_cost in
+  dist.(source) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= t.n do
+    changed := false;
+    incr rounds;
+    for src = 0 to t.n - 1 do
+      if dist.(src) < infinity_cost then begin
+        let e = ref t.head.(src) in
+        while !e >= 0 do
+          let i = !e in
+          if t.cap.(i) > 0 && dist.(src) + t.cost.(i) < dist.(t.dst.(i)) then begin
+            dist.(t.dst.(i)) <- dist.(src) + t.cost.(i);
+            changed := true
+          end;
+          e := t.next_edge.(i)
+        done
+      end
+    done
+  done;
+  if !changed then failwith "Mcmf: negative cycle in network";
+  Array.map (fun d -> if d >= infinity_cost then 0 else d) dist
+
+let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
+  if t.solved then invalid_arg "Mcmf.solve: already solved";
+  t.solved <- true;
+  (* Bellman-Ford is only needed when negative costs exist. *)
+  let has_negative =
+    let rec scan i = i < t.edge_count && (t.cost.(i) < 0 && t.cap.(i) > 0 || scan (i + 1)) in
+    scan 0
+  in
+  let pot = if has_negative then initial_potentials t ~source else Array.make t.n 0 in
+  let dist = Array.make t.n infinity_cost in
+  let parent_edge = Array.make t.n (-1) in
+  let total_flow = ref 0 and total_cost = ref 0 in
+  let continue = ref true in
+  while !continue && !total_flow < flow_target do
+    (* Dijkstra on reduced costs. *)
+    Array.fill dist 0 t.n infinity_cost;
+    Array.fill parent_edge 0 t.n (-1);
+    dist.(source) <- 0;
+    let pq = Pacor_graphs.Pqueue.create () in
+    Pacor_graphs.Pqueue.push pq ~prio:0 source;
+    let rec drain () =
+      match Pacor_graphs.Pqueue.pop pq with
+      | None -> ()
+      | Some (d, u) ->
+        if d <= dist.(u) then begin
+          let e = ref t.head.(u) in
+          while !e >= 0 do
+            let i = !e in
+            let v = t.dst.(i) in
+            if t.cap.(i) > 0 then begin
+              let rc = t.cost.(i) + pot.(u) - pot.(v) in
+              (* Reduced costs are non-negative for feasible potentials. *)
+              if dist.(u) + rc < dist.(v) then begin
+                dist.(v) <- dist.(u) + rc;
+                parent_edge.(v) <- i;
+                Pacor_graphs.Pqueue.push pq ~prio:dist.(v) v
+              end
+            end;
+            e := t.next_edge.(i)
+          done;
+          drain ()
+        end
+        else drain ()
+    in
+    drain ();
+    if dist.(sink) >= infinity_cost then continue := false
+    else begin
+      let path_cost = dist.(sink) + pot.(sink) - pot.(source) in
+      let over_threshold =
+        match stop_when_cost_reaches with
+        | Some threshold -> path_cost >= threshold
+        | None -> false
+      in
+      if over_threshold then continue := false
+      else begin
+        (* Bottleneck along the augmenting path. *)
+        let rec bottleneck v acc =
+          if v = source then acc
+          else begin
+            let i = parent_edge.(v) in
+            let u = t.dst.(i lxor 1) in
+            bottleneck u (min acc t.cap.(i))
+          end
+        in
+        let push = min (bottleneck sink max_int) (flow_target - !total_flow) in
+        let rec apply v =
+          if v <> source then begin
+            let i = parent_edge.(v) in
+            t.cap.(i) <- t.cap.(i) - push;
+            t.cap.(i lxor 1) <- t.cap.(i lxor 1) + push;
+            apply (t.dst.(i lxor 1))
+          end
+        in
+        apply sink;
+        total_flow := !total_flow + push;
+        total_cost := !total_cost + (push * path_cost);
+        (* Update potentials for the next round. *)
+        for v = 0 to t.n - 1 do
+          if dist.(v) < infinity_cost then pot.(v) <- pot.(v) + dist.(v)
+        done
+      end
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost }
+
+(* Flow on a forward edge = capacity moved to its reverse twin. Forward
+   edges have even indices. *)
+let edge_flow t i = t.cap.(i lxor 1)
+
+let flow_on t ~src ~dst =
+  let total = ref 0 in
+  let e = ref t.head.(src) in
+  while !e >= 0 do
+    let i = !e in
+    if i land 1 = 0 && t.dst.(i) = dst then total := !total + edge_flow t i;
+    e := t.next_edge.(i)
+  done;
+  !total
+
+let outgoing_flow t v =
+  let acc = ref [] in
+  let e = ref t.head.(v) in
+  while !e >= 0 do
+    let i = !e in
+    if i land 1 = 0 && edge_flow t i > 0 then acc := (t.dst.(i), edge_flow t i) :: !acc;
+    e := t.next_edge.(i)
+  done;
+  !acc
+
+let decompose_paths t ~source ~sink =
+  let paths = ref [] in
+  let rec walk v acc =
+    if v = sink then List.rev (v :: acc)
+    else begin
+      (* Follow any forward edge with remaining flow, consuming one unit. *)
+      let rec find e =
+        if e < 0 then failwith "Mcmf.decompose_paths: flow dead-ends"
+        else if e land 1 = 0 && edge_flow t e > 0 then e
+        else find t.next_edge.(e)
+      in
+      let i = find t.head.(v) in
+      t.cap.(i lxor 1) <- t.cap.(i lxor 1) - 1;
+      t.cap.(i) <- t.cap.(i) + 1;
+      walk t.dst.(i) (v :: acc)
+    end
+  in
+  let rec next_unit () =
+    let remaining =
+      let any = ref false in
+      let e = ref t.head.(source) in
+      while !e >= 0 do
+        if !e land 1 = 0 && edge_flow t !e > 0 then any := true;
+        e := t.next_edge.(!e)
+      done;
+      !any
+    in
+    if remaining then begin
+      paths := walk source [] :: !paths;
+      next_unit ()
+    end
+  in
+  next_unit ();
+  List.rev !paths

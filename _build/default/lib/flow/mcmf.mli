@@ -1,0 +1,53 @@
+(** Minimum-cost maximum-flow (successive shortest paths with potentials).
+
+    Stands in for the LP solver of the paper's escape-routing formulation
+    (Sec. 5). The escape network has integral capacities and a totally
+    unimodular constraint matrix, so the integral optimum computed here
+    coincides with the LP optimum the paper obtains from Gurobi.
+
+    Costs may be negative on edges out of the super source (the [-beta]
+    reward for completing a path); an initial Bellman–Ford pass establishes
+    feasible potentials, after which Dijkstra drives the augmentations. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty network on nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> unit
+(** Directed edge. Capacities must be non-negative. *)
+
+type outcome = {
+  flow : int;   (** total units pushed from [source] *)
+  cost : int;   (** total cost of the pushed flow *)
+}
+
+val solve :
+  ?flow_target:int ->
+  ?stop_when_cost_reaches:int ->
+  t ->
+  source:int ->
+  sink:int ->
+  outcome
+(** Augments along successively shortest paths. Stops when the target is
+    met, no augmenting path exists, or the cheapest augmenting path costs at
+    least [stop_when_cost_reaches] (when given). Because augmenting-path
+    costs are non-decreasing under successive shortest paths, the threshold
+    variant computes the min-cost flow of the implicit objective
+    [sum cost - threshold * flow] — the paper's [-beta] reward for each
+    completed escape path, without negative edges in the network. Can be
+    called once per network. *)
+
+val flow_on : t -> src:int -> dst:int -> int
+(** Total flow currently assigned to edges [src -> dst]. *)
+
+val outgoing_flow : t -> int -> (int * int) list
+(** [(dst, flow)] for every positive-flow edge out of the node. *)
+
+val decompose_paths : t -> source:int -> sink:int -> int list list
+(** Destructively decompose the computed flow into unit paths from source to
+    sink (each returned as the node sequence including both endpoints).
+    Assumes all edge capacities are 1 on the paths (true for the escape
+    network); call after {!solve}. *)

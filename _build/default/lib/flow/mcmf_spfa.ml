@@ -1,0 +1,127 @@
+type t = {
+  n : int;
+  head : int array;
+  mutable next_edge : int array;
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable cost : int array;
+  mutable edge_count : int;
+  mutable solved : bool;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Mcmf_spfa.create: need at least one node";
+  {
+    n;
+    head = Array.make n (-1);
+    next_edge = [||];
+    dst = [||];
+    cap = [||];
+    cost = [||];
+    edge_count = 0;
+    solved = false;
+  }
+
+let grow t =
+  let cur = Array.length t.dst in
+  if t.edge_count + 2 > cur then begin
+    let ncap = max 64 (2 * cur) in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cur;
+      b
+    in
+    t.next_edge <- extend t.next_edge (-1);
+    t.dst <- extend t.dst 0;
+    t.cap <- extend t.cap 0;
+    t.cost <- extend t.cost 0
+  end
+
+let push_edge t ~src ~dst ~cap ~cost =
+  let i = t.edge_count in
+  t.next_edge.(i) <- t.head.(src);
+  t.head.(src) <- i;
+  t.dst.(i) <- dst;
+  t.cap.(i) <- cap;
+  t.cost.(i) <- cost;
+  t.edge_count <- i + 1
+
+let add_edge t ~src ~dst ~cap ~cost =
+  if cap < 0 then invalid_arg "Mcmf_spfa.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf_spfa.add_edge: bad node";
+  if t.solved then invalid_arg "Mcmf_spfa.add_edge: network already solved";
+  grow t;
+  push_edge t ~src ~dst ~cap ~cost;
+  push_edge t ~src:dst ~dst:src ~cap:0 ~cost:(-cost)
+
+type outcome = { flow : int; cost : int }
+
+let infinity_cost = max_int / 4
+
+let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
+  if t.solved then invalid_arg "Mcmf_spfa.solve: already solved";
+  t.solved <- true;
+  let dist = Array.make t.n infinity_cost in
+  let in_queue = Array.make t.n false in
+  let parent_edge = Array.make t.n (-1) in
+  let total_flow = ref 0 and total_cost = ref 0 in
+  let continue = ref true in
+  while !continue && !total_flow < flow_target do
+    Array.fill dist 0 t.n infinity_cost;
+    Array.fill parent_edge 0 t.n (-1);
+    Array.fill in_queue 0 t.n false;
+    dist.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.push source queue;
+    in_queue.(source) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      in_queue.(u) <- false;
+      let e = ref t.head.(u) in
+      while !e >= 0 do
+        let i = !e in
+        let v = t.dst.(i) in
+        if t.cap.(i) > 0 && dist.(u) + t.cost.(i) < dist.(v) then begin
+          dist.(v) <- dist.(u) + t.cost.(i);
+          parent_edge.(v) <- i;
+          if not in_queue.(v) then begin
+            Queue.push v queue;
+            in_queue.(v) <- true
+          end
+        end;
+        e := t.next_edge.(i)
+      done
+    done;
+    if dist.(sink) >= infinity_cost then continue := false
+    else begin
+      let over =
+        match stop_when_cost_reaches with
+        | Some threshold -> dist.(sink) >= threshold
+        | None -> false
+      in
+      if over then continue := false
+      else begin
+        let rec bottleneck v acc =
+          if v = source then acc
+          else begin
+            let i = parent_edge.(v) in
+            bottleneck (t.dst.(i lxor 1)) (min acc t.cap.(i))
+          end
+        in
+        let push = min (bottleneck sink max_int) (flow_target - !total_flow) in
+        let rec apply v =
+          if v <> source then begin
+            let i = parent_edge.(v) in
+            t.cap.(i) <- t.cap.(i) - push;
+            t.cap.(i lxor 1) <- t.cap.(i lxor 1) + push;
+            apply (t.dst.(i lxor 1))
+          end
+        in
+        apply sink;
+        total_flow := !total_flow + push;
+        total_cost := !total_cost + (push * dist.(sink))
+      end
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost }

@@ -1,0 +1,20 @@
+(** Reference min-cost max-flow via SPFA (Bellman–Ford queue) augmentation.
+
+    Slower than {!Mcmf}'s Dijkstra-with-potentials but simpler, and it
+    accepts negative edge costs without any preprocessing. It exists as an
+    independent implementation to cross-check {!Mcmf} in the property
+    tests — two solvers agreeing on random networks is the strongest
+    correctness evidence we can build offline. *)
+
+type t
+
+val create : int -> t
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> unit
+
+type outcome = {
+  flow : int;
+  cost : int;
+}
+
+val solve : ?flow_target:int -> ?stop_when_cost_reaches:int -> t -> source:int -> sink:int -> outcome
+(** Same contract as {!Mcmf.solve}. *)

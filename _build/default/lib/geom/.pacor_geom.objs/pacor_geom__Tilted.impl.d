@@ -1,0 +1,1 @@
+lib/geom/tilted.ml: Format List Point

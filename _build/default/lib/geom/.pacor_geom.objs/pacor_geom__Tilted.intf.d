@@ -1,0 +1,1 @@
+lib/geom/tilted.mli: Format Point

@@ -1,0 +1,1 @@
+lib/graphs/clique.ml: Array Fun Int List

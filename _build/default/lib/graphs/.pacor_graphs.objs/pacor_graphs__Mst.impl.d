@@ -1,0 +1,1 @@
+lib/graphs/mst.ml: Array Int List Union_find

@@ -1,0 +1,1 @@
+lib/graphs/pqueue.ml: Array

@@ -1,0 +1,1 @@
+lib/graphs/union_find.mli:

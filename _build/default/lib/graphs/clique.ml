@@ -1,0 +1,152 @@
+type graph = {
+  n : int;
+  adjacent : int -> int -> bool;
+}
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Clique.of_matrix: not square") m;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && m.(i).(j) <> m.(j).(i) then invalid_arg "Clique.of_matrix: not symmetric"
+    done
+  done;
+  { n; adjacent = (fun i j -> i <> j && m.(i).(j)) }
+
+let is_clique g vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (g.adjacent v) rest && go rest
+  in
+  go vs
+
+let degree g v =
+  let d = ref 0 in
+  for u = 0 to g.n - 1 do
+    if g.adjacent v u then incr d
+  done;
+  !d
+
+let greedy_clique g =
+  if g.n = 0 then []
+  else begin
+    let order =
+      List.init g.n Fun.id
+      |> List.sort (fun a b ->
+        let da = degree g a and db = degree g b in
+        if da <> db then Int.compare db da else Int.compare a b)
+    in
+    let clique = ref [] in
+    List.iter
+      (fun v -> if List.for_all (g.adjacent v) !clique then clique := v :: !clique)
+      order;
+    List.sort Int.compare !clique
+  end
+
+(* Greedy colouring of the candidate set: the number of colours bounds the
+   largest clique inside it (classic Tomita-style bound). *)
+let colour_bound g cand =
+  let colours = ref [] in
+  List.iter
+    (fun v ->
+       let rec place = function
+         | [] -> colours := !colours @ [ ref [ v ] ]
+         | cls :: rest ->
+           if List.exists (g.adjacent v) !cls then place rest else cls := v :: !cls
+       in
+       place !colours)
+    cand;
+  List.length !colours
+
+let max_clique g =
+  let best = ref [] in
+  let rec expand current cand =
+    if List.length current + List.length cand <= List.length !best then ()
+    else if cand = [] then begin
+      if List.length current > List.length !best then best := current
+    end
+    else if List.length current + colour_bound g cand <= List.length !best then ()
+    else begin
+      match cand with
+      | [] -> ()
+      | v :: rest ->
+        (* Branch 1: take v. *)
+        expand (v :: current) (List.filter (g.adjacent v) rest);
+        (* Branch 2: skip v. *)
+        expand current rest
+    end
+  in
+  (* Seed with the greedy clique so pruning bites immediately. *)
+  best := greedy_clique g;
+  let order =
+    List.init g.n Fun.id
+    |> List.sort (fun a b ->
+      let da = degree g a and db = degree g b in
+      if da <> db then Int.compare db da else Int.compare a b)
+  in
+  expand [] order;
+  List.sort Int.compare !best
+
+type weighted = {
+  graph : graph;
+  node_weight : int -> float;
+  edge_weight : int -> int -> float;
+}
+
+let clique_weight w vs =
+  let node = List.fold_left (fun acc v -> acc +. w.node_weight v) 0.0 vs in
+  let rec pairs acc = function
+    | [] -> acc
+    | v :: rest ->
+      pairs (List.fold_left (fun a u -> a +. w.edge_weight v u) acc rest) rest
+  in
+  node +. pairs 0.0 vs
+
+let max_weight_clique ?(forced = []) w =
+  let g = w.graph in
+  if not (is_clique g forced) then invalid_arg "Clique.max_weight_clique: forced set is not a clique";
+  (* Upper bound on what the remaining candidates can still add: each
+     candidate contributes its node weight, its edges to the current clique,
+     and half of each positive edge among candidates — admissible because
+     every such edge is counted at most once per endpoint. *)
+  let potential current cand =
+    List.fold_left
+      (fun acc v ->
+         let to_current =
+           List.fold_left (fun a u -> a +. w.edge_weight v u) 0.0 current
+         in
+         let among =
+           List.fold_left
+             (fun a u ->
+                if u <> v && g.adjacent v u then a +. (max 0.0 (w.edge_weight v u) /. 2.0)
+                else a)
+             0.0 cand
+         in
+         acc +. max 0.0 (w.node_weight v +. to_current +. among))
+      0.0 cand
+  in
+  let best = ref (List.sort Int.compare forced) in
+  let best_w = ref (clique_weight w forced) in
+  let rec expand current cur_w cand =
+    if cur_w > !best_w then begin
+      best := List.sort Int.compare current;
+      best_w := cur_w
+    end;
+    match cand with
+    | [] -> ()
+    | v :: rest ->
+      if cur_w +. potential current cand > !best_w +. 1e-12 then begin
+        let gain =
+          w.node_weight v
+          +. List.fold_left (fun a u -> a +. w.edge_weight v u) 0.0 current
+        in
+        expand (v :: current) (cur_w +. gain) (List.filter (g.adjacent v) rest);
+        expand current cur_w rest
+      end
+  in
+  let cand =
+    List.init g.n Fun.id
+    |> List.filter (fun v -> (not (List.mem v forced)) && List.for_all (g.adjacent v) forced)
+  in
+  expand forced (clique_weight w forced) cand;
+  (!best, !best_w)

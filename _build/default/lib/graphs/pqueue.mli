@@ -1,0 +1,19 @@
+(** Imperative binary min-heap keyed by integer priorities.
+
+    Shared by A* search, Prim's MST and the min-cost-flow Dijkstra. Supports
+    lazy decrease-key: push duplicates and let consumers skip stale pops. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Smallest priority first; ties popped in unspecified (but deterministic
+    for a fixed push sequence) order. *)
+
+val peek : 'a t -> (int * 'a) option
+val clear : 'a t -> unit

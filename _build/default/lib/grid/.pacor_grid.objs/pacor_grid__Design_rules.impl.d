@@ -1,0 +1,1 @@
+lib/grid/design_rules.ml: Format

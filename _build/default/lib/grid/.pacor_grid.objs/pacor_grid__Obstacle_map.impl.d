@@ -1,0 +1,1 @@
+lib/grid/obstacle_map.ml: Bytes Char Format List Pacor_geom Point Rect

@@ -1,0 +1,1 @@
+lib/grid/obstacle_map.mli: Format Pacor_geom Point Rect

@@ -1,0 +1,1 @@
+lib/grid/path.ml: Array Format List Pacor_geom Point Rect

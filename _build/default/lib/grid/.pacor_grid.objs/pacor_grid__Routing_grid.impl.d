@@ -1,0 +1,1 @@
+lib/grid/routing_grid.ml: List Obstacle_map Pacor_geom Point

@@ -1,0 +1,1 @@
+lib/grid/routing_grid.mli: Obstacle_map Pacor_geom Point Rect

@@ -1,0 +1,19 @@
+type t = {
+  channel_width_um : int;
+  channel_spacing_um : int;
+  valve_size_um : int;
+}
+
+let default = { channel_width_um = 10; channel_spacing_um = 10; valve_size_um = 8 }
+let grid_pitch_um t = t.channel_width_um + t.channel_spacing_um
+let um_of_grid_length t n = n * grid_pitch_um t
+
+let validate t =
+  if t.channel_width_um <= 0 then Error "channel width must be positive"
+  else if t.channel_spacing_um <= 0 then Error "channel spacing must be positive"
+  else if t.valve_size_um <= 0 then Error "valve size must be positive"
+  else Ok t
+
+let pp ppf t =
+  Format.fprintf ppf "width=%dum spacing=%dum valve=%dum (pitch %dum)"
+    t.channel_width_um t.channel_spacing_um t.valve_size_um (grid_pitch_um t)

@@ -1,0 +1,73 @@
+open Pacor_geom
+
+type t = { width : int; height : int; bits : Bytes.t; mutable count : int }
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Obstacle_map.create: empty grid";
+  let nbytes = ((width * height) + 7) / 8 in
+  { width; height; bits = Bytes.make nbytes '\000'; count = 0 }
+
+let width t = t.width
+let height t = t.height
+
+let in_bounds t (p : Point.t) = p.x >= 0 && p.x < t.width && p.y >= 0 && p.y < t.height
+
+let index t (p : Point.t) = (p.y * t.width) + p.x
+
+let get_bit t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit t i b =
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte' = if b then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set t.bits (i lsr 3) (Char.chr byte')
+
+let blocked t p = (not (in_bounds t p)) || get_bit t (index t p)
+let free t p = not (blocked t p)
+
+let block t p =
+  if in_bounds t p then begin
+    let i = index t p in
+    if not (get_bit t i) then begin
+      set_bit t i true;
+      t.count <- t.count + 1
+    end
+  end
+
+let unblock t p =
+  if in_bounds t p then begin
+    let i = index t p in
+    if get_bit t i then begin
+      set_bit t i false;
+      t.count <- t.count - 1
+    end
+  end
+
+let block_rect t (r : Rect.t) =
+  for y = max 0 r.y0 to min (t.height - 1) r.y1 do
+    for x = max 0 r.x0 to min (t.width - 1) r.x1 do
+      block t (Point.make x y)
+    done
+  done
+
+let block_points t ps = List.iter (block t) ps
+let unblock_points t ps = List.iter (unblock t) ps
+let blocked_count t = t.count
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let iter_blocked t f =
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      let p = Point.make x y in
+      if get_bit t (index t p) then f p
+    done
+  done
+
+let pp ppf t =
+  for y = t.height - 1 downto 0 do
+    for x = 0 to t.width - 1 do
+      Format.pp_print_char ppf (if blocked t (Point.make x y) then '#' else '.')
+    done;
+    if y > 0 then Format.pp_print_newline ppf ()
+  done

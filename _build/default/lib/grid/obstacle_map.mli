@@ -1,0 +1,42 @@
+(** Mutable bit-packed obstacle map over a [width] x [height] routing grid.
+
+    This is the [ObsMap] of Algorithm 1: the negotiation router marks routed
+    paths as obstacles and clears them again on rip-up, so the map must be
+    cheap to copy and to flip. Cells outside the grid count as blocked. *)
+
+open Pacor_geom
+
+type t
+
+val create : width:int -> height:int -> t
+(** All cells initially free. *)
+
+val width : t -> int
+val height : t -> int
+val in_bounds : t -> Point.t -> bool
+
+val blocked : t -> Point.t -> bool
+(** [true] for obstructed cells and for any out-of-bounds point. *)
+
+val free : t -> Point.t -> bool
+
+val block : t -> Point.t -> unit
+(** No-op out of bounds. *)
+
+val unblock : t -> Point.t -> unit
+
+val block_rect : t -> Rect.t -> unit
+(** Block every in-bounds cell of the rectangle. *)
+
+val block_points : t -> Point.t list -> unit
+val unblock_points : t -> Point.t list -> unit
+
+val blocked_count : t -> int
+(** Number of obstructed in-bounds cells. *)
+
+val copy : t -> t
+
+val iter_blocked : t -> (Point.t -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering, ['#'] blocked / ['.'] free, row [height-1] on top. *)

@@ -1,0 +1,57 @@
+(** Rectilinear routing paths on the grid.
+
+    A path is a non-empty sequence of grid points where consecutive points
+    are 4-neighbours. Its {e channel length} is its number of edges, the
+    quantity the length-matching constraint speaks about. *)
+
+open Pacor_geom
+
+type t
+
+val of_points : Point.t list -> t
+(** Raises [Invalid_argument] on an empty list, non-adjacent consecutive
+    points, or a repeated vertex (paths must be simple: a channel cannot
+    cross itself on a single layer). *)
+
+val of_points_opt : Point.t list -> t option
+
+val points : t -> Point.t list
+val source : t -> Point.t
+val target : t -> Point.t
+
+val length : t -> int
+(** Number of edges ([List.length (points p) - 1]). *)
+
+val is_trivial : t -> bool
+(** A single-point path. *)
+
+val mem : t -> Point.t -> bool
+
+val reverse : t -> t
+
+val append : t -> t -> t
+(** [append a b] concatenates when [target a = source b]; raises
+    [Invalid_argument] otherwise or when the result would repeat a vertex
+    other than the junction. *)
+
+val splice : t -> at:Point.t -> replacement:t -> t
+(** [splice p ~at ~replacement] replaces the single vertex [at] of [p] with
+    the sub-path [replacement], whose source and target must both equal
+    [at] — a loop inserted at one vertex. Raises [Invalid_argument] when
+    [at] is not on the path or endpoints mismatch. *)
+
+val replace_segment : t -> from_idx:int -> to_idx:int -> t -> t
+(** [replace_segment p ~from_idx ~to_idx seg] substitutes the sub-path of
+    [p] between vertex indices [from_idx] and [to_idx] (inclusive) with
+    [seg], whose endpoints must equal the vertices at those indices. Used by
+    the detour stage to lengthen one leg of a routed tree. *)
+
+val nth : t -> int -> Point.t
+
+val bounding_box : t -> Rect.t
+
+val shares_vertex : t -> t -> bool
+(** True when the two paths have any grid point in common. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+open Pacor_geom
+
+type t = { width : int; height : int; obstacles : Obstacle_map.t }
+
+let create ~width ~height ?(obstacles = []) () =
+  let map = Obstacle_map.create ~width ~height in
+  List.iter (Obstacle_map.block_rect map) obstacles;
+  { width; height; obstacles = map }
+
+let width t = t.width
+let height t = t.height
+let cells t = t.width * t.height
+let obstacles t = t.obstacles
+let fresh_work_map t = Obstacle_map.copy t.obstacles
+let in_bounds t p = Obstacle_map.in_bounds t.obstacles p
+let blocked t p = Obstacle_map.blocked t.obstacles p
+let free t p = Obstacle_map.free t.obstacles p
+
+let on_boundary t (p : Point.t) =
+  in_bounds t p && (p.x = 0 || p.y = 0 || p.x = t.width - 1 || p.y = t.height - 1)
+
+let boundary_points t =
+  let acc = ref [] in
+  (* Walk the ring deterministically: bottom row, right column, top row,
+     left column, without repeating corners. *)
+  for x = 0 to t.width - 1 do
+    acc := Point.make x 0 :: !acc
+  done;
+  for y = 1 to t.height - 1 do
+    acc := Point.make (t.width - 1) y :: !acc
+  done;
+  if t.height > 1 then
+    for x = t.width - 2 downto 0 do
+      acc := Point.make x (t.height - 1) :: !acc
+    done;
+  if t.width > 1 then
+    for y = t.height - 2 downto 1 do
+      acc := Point.make 0 y :: !acc
+    done;
+  List.rev !acc
+
+let free_neighbours t p = List.filter (free t) (Point.neighbours4 p)
+
+let nearest_free t p =
+  let max_radius = t.width + t.height in
+  let rec search r =
+    if r > max_radius then None
+    else begin
+      let candidates = List.filter (fun q -> in_bounds t q && free t q) (Point.ring p r) in
+      match candidates with
+      | [] -> search (r + 1)
+      | _ :: _ ->
+        (* Deterministic tie-break: minimal Manhattan distance, then point order. *)
+        let better a b =
+          let da = Point.manhattan p a and db = Point.manhattan p b in
+          if da <> db then da < db else Point.compare a b < 0
+        in
+        let best = List.fold_left (fun acc q ->
+          match acc with Some b when better b q -> acc | _ -> Some q) None candidates
+        in
+        best
+    end
+  in
+  search 0
+
+let index t (p : Point.t) = (p.y * t.width) + p.x
+let point_of_index t i = Point.make (i mod t.width) (i / t.width)

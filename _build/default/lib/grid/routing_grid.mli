@@ -1,0 +1,44 @@
+(** The uniform routing grid of the control layer.
+
+    Couples the grid dimensions with the static obstacle map (fabrication
+    blockages) and identifies the boundary cells where control pins may sit.
+    Dynamic blockages (already-routed channels) are layered on top by the
+    routers, so the static map here never changes after construction. *)
+
+open Pacor_geom
+
+type t
+
+val create : width:int -> height:int -> ?obstacles:Rect.t list -> unit -> t
+
+val width : t -> int
+val height : t -> int
+val cells : t -> int
+val obstacles : t -> Obstacle_map.t
+(** The static map itself (shared, do not mutate; use {!fresh_work_map}). *)
+
+val fresh_work_map : t -> Obstacle_map.t
+(** A private copy of the static obstacle map for a router to scribble on. *)
+
+val in_bounds : t -> Point.t -> bool
+val blocked : t -> Point.t -> bool
+val free : t -> Point.t -> bool
+
+val on_boundary : t -> Point.t -> bool
+(** True for in-bounds cells on the outermost ring of the grid. *)
+
+val boundary_points : t -> Point.t list
+(** All boundary cells, blocked or not, in deterministic order. *)
+
+val free_neighbours : t -> Point.t -> Point.t list
+(** In-bounds, statically free 4-neighbours. *)
+
+val nearest_free : t -> Point.t -> Point.t option
+(** Closest statically free cell to the given point, searching outward ring
+    by ring (the embedding search of Sec. 4.1); [None] if the whole grid is
+    blocked. *)
+
+val index : t -> Point.t -> int
+(** Dense index in [0, cells)] for array-backed router state. *)
+
+val point_of_index : t -> int -> Point.t

@@ -1,0 +1,1 @@
+lib/route/astar.ml: Array List Obstacle_map Pacor_geom Pacor_graphs Pacor_grid Path Point Rect Routing_grid

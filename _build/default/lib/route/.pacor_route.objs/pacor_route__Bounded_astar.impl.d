@@ -1,0 +1,1 @@
+lib/route/bounded_astar.ml: Array List Pacor_geom Pacor_graphs Pacor_grid Path Point Routing_grid

@@ -1,0 +1,1 @@
+lib/route/bounded_astar.mli: Pacor_geom Pacor_grid Path Point Routing_grid

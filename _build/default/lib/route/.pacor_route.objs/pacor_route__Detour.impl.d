@@ -1,0 +1,1 @@
+lib/route/detour.ml: Array List Pacor_geom Pacor_grid Path Point

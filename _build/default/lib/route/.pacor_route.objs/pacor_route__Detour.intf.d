@@ -1,0 +1,1 @@
+lib/route/detour.mli: Pacor_geom Pacor_grid Path Point

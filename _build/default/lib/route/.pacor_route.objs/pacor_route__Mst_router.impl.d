@@ -1,0 +1,1 @@
+lib/route/mst_router.ml: Array Astar List Obstacle_map Pacor_geom Pacor_graphs Pacor_grid Path Point

@@ -1,0 +1,1 @@
+lib/route/mst_router.mli: Obstacle_map Pacor_geom Pacor_grid Path Point Routing_grid

@@ -1,0 +1,1 @@
+lib/route/negotiation.ml: Array Astar List Obstacle_map Pacor_geom Pacor_grid Path Point Routing_grid

@@ -1,0 +1,1 @@
+lib/route/negotiation.mli: Obstacle_map Pacor_geom Pacor_grid Path Point Routing_grid

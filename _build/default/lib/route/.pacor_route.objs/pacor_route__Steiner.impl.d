@@ -1,0 +1,1 @@
+lib/route/steiner.ml: Array Int List Pacor_geom Pacor_graphs Point Rect

@@ -1,0 +1,1 @@
+lib/route/steiner.mli: Pacor_geom Point

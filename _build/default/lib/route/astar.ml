@@ -1,0 +1,83 @@
+open Pacor_geom
+open Pacor_grid
+
+let cost_scale = 1000
+
+type spec = {
+  usable : Point.t -> bool;
+  extra_cost : Point.t -> int;
+}
+
+(* Admissible heuristic: Manhattan distance to the bounding box of the
+   target set (0 inside the box), in cost_scale units. *)
+let bbox_heuristic targets =
+  let box = Rect.of_point_list targets in
+  fun (p : Point.t) ->
+    let dx = max 0 (max (box.x0 - p.x) (p.x - box.x1)) in
+    let dy = max 0 (max (box.y0 - p.y) (p.y - box.y1)) in
+    (dx + dy) * cost_scale
+
+let search ~grid ~spec ~sources ~targets () =
+  match sources, targets with
+  | [], _ | _, [] -> None
+  | _ :: _, _ :: _ ->
+    let target_set = Point.Set.of_list targets in
+    let source_set = Point.Set.of_list sources in
+    let h = bbox_heuristic targets in
+    let n = Routing_grid.cells grid in
+    let dist = Array.make n max_int in
+    let parent = Array.make n (-1) in
+    let closed = Array.make n false in
+    let pq = Pacor_graphs.Pqueue.create () in
+    let idx p = Routing_grid.index grid p in
+    List.iter
+      (fun p ->
+         if Routing_grid.in_bounds grid p then begin
+           dist.(idx p) <- 0;
+           Pacor_graphs.Pqueue.push pq ~prio:(h p) (idx p)
+         end)
+      sources;
+    let enterable p =
+      Routing_grid.in_bounds grid p
+      && (spec.usable p || Point.Set.mem p target_set || Point.Set.mem p source_set)
+    in
+    let rec reconstruct i acc =
+      let p = Routing_grid.point_of_index grid i in
+      if parent.(i) = -1 then p :: acc else reconstruct parent.(i) (p :: acc)
+    in
+    let rec loop () =
+      match Pacor_graphs.Pqueue.pop pq with
+      | None -> None
+      | Some (_, i) ->
+        if closed.(i) then loop ()
+        else begin
+          closed.(i) <- true;
+          let p = Routing_grid.point_of_index grid i in
+          if Point.Set.mem p target_set then Some (Path.of_points (reconstruct i []))
+          else begin
+            let relax q =
+              if enterable q then begin
+                let j = idx q in
+                if not closed.(j) then begin
+                  let step = cost_scale + spec.extra_cost q in
+                  let nd = dist.(i) + step in
+                  if nd < dist.(j) then begin
+                    dist.(j) <- nd;
+                    parent.(j) <- i;
+                    Pacor_graphs.Pqueue.push pq ~prio:(nd + h q) j
+                  end
+                end
+              end
+            in
+            List.iter relax (Point.neighbours4 p);
+            loop ()
+          end
+        end
+    in
+    loop ()
+
+let shortest ~grid ~obstacles a b =
+  let spec =
+    { usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
+  in
+  search ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()

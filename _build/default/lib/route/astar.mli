@@ -1,0 +1,45 @@
+(** A* search on the routing grid (Sec. 3, "MST-based cluster routing").
+
+    One engine covers the paper's point-to-point, point-to-path and
+    path-to-path searches: sources and targets are both point {e sets}
+    (multi-source search from a routed component, multi-target search onto
+    a routed path). Costs are integers in {!cost_scale} units so that the
+    negotiation router can add fractional history costs exactly. *)
+
+open Pacor_geom
+open Pacor_grid
+
+val cost_scale : int
+(** One grid step costs [cost_scale] (= 1000); history costs are expressed
+    in the same fixed-point unit. *)
+
+type spec = {
+  usable : Point.t -> bool;
+    (** May the search enter this cell? Must already combine static
+        obstacles, routed channels and any per-call exceptions. Sources and
+        targets are exempted automatically. *)
+  extra_cost : Point.t -> int;
+    (** Additional non-negative cost (fixed-point, {!cost_scale} units) for
+        entering a cell — the negotiation history cost; [Fun.const 0] for
+        plain shortest paths. *)
+}
+
+val search :
+  grid:Routing_grid.t ->
+  spec:spec ->
+  sources:Point.t list ->
+  targets:Point.t list ->
+  unit ->
+  Path.t option
+(** Cheapest path from any source to any target ([None] when disconnected).
+    The result starts at a source and ends at a target; a source that is
+    itself a target yields a trivial path. Deterministic. *)
+
+val shortest :
+  grid:Routing_grid.t ->
+  obstacles:Obstacle_map.t ->
+  Point.t ->
+  Point.t ->
+  Path.t option
+(** Convenience point-to-point shortest path treating [obstacles] as the
+    only blockage (endpoints exempt). *)

@@ -1,0 +1,93 @@
+open Pacor_geom
+open Pacor_grid
+
+(* Per-cell visit entries: G value and parent (cell index, entry index).
+   Every stored entry's parent chain is a simple path (checked at
+   insertion), so reconstruction never fails. G strictly decreases along
+   parents, so chains terminate. *)
+type entry = { g : int; parent : (int * int) option }
+
+let search ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source ~target
+    ~min_length () =
+  if min_length < 0 then invalid_arg "Bounded_astar.search: negative bound";
+  if not (Routing_grid.in_bounds grid source && Routing_grid.in_bounds grid target) then None
+  else begin
+    let cells = Routing_grid.cells grid in
+    let budget = if pop_budget > 0 then pop_budget else 50 * cells in
+    let entries : entry array array = Array.make cells [||] in
+    let idx p = Routing_grid.index grid p in
+    let pq = Pacor_graphs.Pqueue.create () in
+    (* Priority: estimated total when feasible, otherwise mirrored around
+       the bound so that longer prefixes come first (the paper's penalty
+       for estimates below the bound). *)
+    let prio g p =
+      let est = g + Point.manhattan p target in
+      if est >= min_length then est else (2 * min_length) - est
+    in
+    let enterable p =
+      Routing_grid.in_bounds grid p
+      && (usable p || Point.equal p source || Point.equal p target)
+    in
+    (* Does cell index [i] already appear in the chain of (j, e)? *)
+    let rec on_chain i (j, e) =
+      i = j
+      ||
+      match entries.(j).(e).parent with
+      | None -> false
+      | Some parent -> on_chain i parent
+    in
+    let add_entry p g parent =
+      let i = idx p in
+      let existing = entries.(i) in
+      if Array.length existing >= max_visits_per_cell then None
+      else if Array.exists (fun e -> e.g = g) existing then None
+      else if (match parent with Some pe -> on_chain i pe | None -> false) then None
+      else begin
+        entries.(i) <- Array.append existing [| { g; parent } |];
+        Some (i, Array.length existing)
+      end
+    in
+    let reconstruct (i, e) =
+      let rec go (i, e) acc =
+        let entry = entries.(i).(e) in
+        let p = Routing_grid.point_of_index grid i in
+        match entry.parent with
+        | None -> p :: acc
+        | Some parent -> go parent (p :: acc)
+      in
+      go (i, e) []
+    in
+    (match add_entry source 0 None with
+     | Some key -> Pacor_graphs.Pqueue.push pq ~prio:(prio 0 source) key
+     | None -> ());
+    let pops = ref 0 in
+    let rec loop () =
+      if !pops >= budget then None
+      else
+        match Pacor_graphs.Pqueue.pop pq with
+        | None -> None
+        | Some (_, (i, e)) ->
+          incr pops;
+          let entry = entries.(i).(e) in
+          let p = Routing_grid.point_of_index grid i in
+          if Point.equal p target && entry.g >= min_length then
+            Some (Path.of_points (reconstruct (i, e)))
+          else if Point.equal p target then
+            (* A too-short prefix ending at the target cannot be extended
+               into a simple path that returns to the target. *)
+            loop ()
+          else begin
+            List.iter
+              (fun q ->
+                 if enterable q then begin
+                   let g = entry.g + 1 in
+                   match add_entry q g (Some (i, e)) with
+                   | Some key -> Pacor_graphs.Pqueue.push pq ~prio:(prio g q) key
+                   | None -> ()
+                 end)
+              (Point.neighbours4 p);
+            loop ()
+          end
+    in
+    loop ()
+  end

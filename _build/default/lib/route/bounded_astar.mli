@@ -1,0 +1,35 @@
+(** Minimum-length {e bounded} routing (Sec. 6): the modified A* that
+    computes a path whose length is {b at least} a target bound, and as
+    short as possible beyond it.
+
+    Differences from classic A*, following the paper: the G value of a cell
+    records the path length from the source and a cell may hold several
+    visits with different G values, and the F value adds a penalty whenever
+    the estimated total length falls short of the bound, steering the
+    search toward longer prefixes. (The paper only keeps {e increasing} G
+    values per cell; that is incomplete — an early long visit can shadow
+    the exact-length one — so we keep any distinct G, and check prefix
+    simplicity at insertion so every returned path is simple.)
+
+    This is a heuristic (exact minimum-length-bounded simple paths are
+    NP-hard); {!Detour.lengthen} is the guaranteed-progress companion used
+    by the production detour stage. *)
+
+open Pacor_geom
+open Pacor_grid
+
+val search :
+  grid:Routing_grid.t ->
+  usable:(Point.t -> bool) ->
+  ?max_visits_per_cell:int ->
+  ?pop_budget:int ->
+  source:Point.t ->
+  target:Point.t ->
+  min_length:int ->
+  unit ->
+  Path.t option
+(** A simple path from [source] to [target] of length (edge count)
+    [>= min_length], or [None]. [usable] is consulted for interior cells
+    (endpoints exempt). [max_visits_per_cell] (default 8) bounds how many
+    distinct G values a cell may hold; [pop_budget] (default
+    [50 * cells]) bounds total work. Deterministic. *)

@@ -1,0 +1,53 @@
+open Pacor_geom
+open Pacor_grid
+
+type outcome = {
+  paths : Path.t list;
+  claimed : Point.Set.t;
+  total_length : int;
+}
+
+let route ~grid ~obstacles terminals =
+  match terminals with
+  | [] -> None
+  | [ t ] -> Some { paths = []; claimed = Point.Set.singleton t; total_length = 0 }
+  | _ :: _ :: _ ->
+    let terms = Array.of_list terminals in
+    let n = Array.length terms in
+    (* Prim emits edges in growth order: [e.a] is always already in the
+       tree, [e.b] is the newly attached vertex — so the routed component
+       stays connected and every search attaches exactly one new terminal
+       (point-to-path routing onto the whole component). *)
+    let mst =
+      Pacor_graphs.Mst.prim ~n ~weight:(fun i j -> Point.manhattan terms.(i) terms.(j))
+    in
+    let component = ref Point.Set.empty in
+    let add_points pts = List.iter (fun p -> component := Point.Set.add p !component) pts in
+    let spec =
+      { Astar.usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
+    in
+    let route_edge (e : Pacor_graphs.Mst.edge) =
+      let sources = [ terms.(e.b) ] in
+      let targets =
+        if Point.Set.is_empty !component then [ terms.(e.a) ]
+        else Point.Set.elements !component
+      in
+      match Astar.search ~grid ~spec ~sources ~targets () with
+      | None -> None
+      | Some path ->
+        add_points (Path.points path);
+        Some path
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | e :: rest ->
+        (match route_edge e with
+         | None -> None
+         | Some path -> go (path :: acc) rest)
+    in
+    (match go [] mst with
+     | None -> None
+     | Some paths ->
+       let total_length = List.fold_left (fun acc p -> acc + Path.length p) 0 paths in
+       add_points (Array.to_list terms);
+       Some { paths; claimed = !component; total_length })

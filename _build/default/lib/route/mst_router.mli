@@ -1,0 +1,28 @@
+(** MST-based cluster routing (Sec. 3) for clusters without the
+    length-matching constraint.
+
+    A minimum spanning tree over the cluster's valves (Manhattan metric)
+    fixes the connection topology; its edges are then routed one by one with
+    A*, each new valve connecting to the {e whole already-routed component}
+    (the paper's point-to-path / path-to-path searches), which both helps
+    routability and shortens channels by sharing. *)
+
+open Pacor_geom
+open Pacor_grid
+
+type outcome = {
+  paths : Path.t list;         (** one routed path per MST edge *)
+  claimed : Point.Set.t;       (** all cells used, valve positions included *)
+  total_length : int;
+}
+
+val route :
+  grid:Routing_grid.t ->
+  obstacles:Obstacle_map.t ->
+  Point.t list ->
+  outcome option
+(** [route ~grid ~obstacles terminals] connects all terminal points into one
+    routed component avoiding [obstacles] (terminals themselves exempt).
+    [None] when some terminal cannot reach the component — the caller then
+    declusters. Singleton input yields an empty path list claiming just the
+    terminal. *)

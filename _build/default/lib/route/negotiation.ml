@@ -1,0 +1,76 @@
+open Pacor_geom
+open Pacor_grid
+
+type edge = {
+  edge_id : int;
+  ends : Point.t * Point.t;
+}
+
+type config = {
+  base_history : float;
+  alpha : float;
+  gamma : int;
+}
+
+let default_config = { base_history = 1.0; alpha = 0.1; gamma = 10 }
+
+type outcome = {
+  paths : (int * Path.t) list;
+  success : bool;
+  iterations : int;
+}
+
+let route ?(config = default_config) ~grid ~obstacles edges =
+  let n = Routing_grid.cells grid in
+  let history = Array.make n 0.0 in
+  let history_cost p =
+    int_of_float (history.(Routing_grid.index grid p) *. float_of_int Astar.cost_scale)
+  in
+  let route_one work e =
+    let a, b = e.ends in
+    (* A* exempts this edge's own endpoints from [usable], so sibling edges
+       that already claimed a shared branch point stay reachable. *)
+    let spec =
+      { Astar.usable = (fun p -> Obstacle_map.free work p); extra_cost = history_cost }
+    in
+    Astar.search ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()
+  in
+  let bump_history path =
+    List.iter
+      (fun p ->
+         let i = Routing_grid.index grid p in
+         history.(i) <- config.base_history +. (config.alpha *. history.(i)))
+      (Path.points path)
+  in
+  let rec iterate r order best =
+    if r >= config.gamma then { best with iterations = r }
+    else begin
+      let work = Obstacle_map.copy obstacles in
+      let routed = ref [] and failed = ref [] in
+      List.iter
+        (fun e ->
+           match route_one work e with
+           | Some path ->
+             routed := (e, path) :: !routed;
+             Obstacle_map.block_points work (Path.points path)
+           | None -> failed := e :: !failed)
+        order;
+      let routed = List.rev !routed and failed = List.rev !failed in
+      let result =
+        {
+          paths = List.map (fun (e, p) -> (e.edge_id, p)) routed;
+          success = failed = [];
+          iterations = r + 1;
+        }
+      in
+      if failed = [] then result
+      else begin
+        List.iter (fun (_, p) -> bump_history p) routed;
+        let best =
+          if List.length result.paths > List.length best.paths then result else best
+        in
+        iterate (r + 1) (failed @ List.map fst routed) best
+      end
+    end
+  in
+  iterate 0 edges { paths = []; success = edges = []; iterations = 0 }

@@ -1,0 +1,49 @@
+(** Negotiation-based detailed routing (Algorithm 1 of the paper).
+
+    Routes a batch of two-pin tree edges on a shared grid so that their
+    paths are vertex-disjoint except where edges of the same tree meet at a
+    common endpoint (Steiner branch points — an edge may always reach its
+    own two endpoints, even when a sibling edge already claimed them).
+    Edges are routed sequentially with A*; after a failed round the history
+    cost of every used cell rises — [Ch_{r+1}(g) = b_g + alpha * Ch_r(g)],
+    Eq. (5) — all paths are ripped up, and routing retries, at most [gamma]
+    times.
+
+    One deviation from the paper's pseudocode, noted here because it is
+    load-bearing: on a retry, the previously failed edges are routed
+    {e first}. The paper reroutes in fixed order and relies on history costs
+    alone to break livelocks; fronting failed edges converges noticeably
+    faster and never hurts, since all paths were ripped anyway. *)
+
+open Pacor_geom
+open Pacor_grid
+
+type edge = {
+  edge_id : int;             (** caller's identifier, echoed back *)
+  ends : Point.t * Point.t;
+}
+
+type config = {
+  base_history : float;      (** [b_g], paper default 1.0 *)
+  alpha : float;             (** history gain, paper default 0.1 *)
+  gamma : int;               (** max iterations, paper default 10 *)
+}
+
+val default_config : config
+
+type outcome = {
+  paths : (int * Path.t) list;  (** edge_id, routed path — all edges on success *)
+  success : bool;               (** every edge routed vertex-disjointly *)
+  iterations : int;             (** negotiation rounds used *)
+}
+
+val route :
+  ?config:config ->
+  grid:Routing_grid.t ->
+  obstacles:Obstacle_map.t ->
+  edge list ->
+  outcome
+(** [route ~grid ~obstacles edges] routes all edges. [obstacles] are static
+    blockages (not mutated; include every cell the batch must avoid, e.g.
+    other clusters' valves). On [success = false], [paths] holds the best
+    subset found across rounds. *)

@@ -1,0 +1,84 @@
+open Pacor_geom
+
+type tree = {
+  nodes : Point.t list;
+  edges : (int * int) list;
+  length : int;
+}
+
+let hanan_points terminals =
+  let xs = List.sort_uniq Int.compare (List.map (fun (p : Point.t) -> p.x) terminals) in
+  let ys = List.sort_uniq Int.compare (List.map (fun (p : Point.t) -> p.y) terminals) in
+  List.concat_map
+    (fun x ->
+       List.filter_map
+         (fun y ->
+            let p = Point.make x y in
+            if List.exists (Point.equal p) terminals then None else Some p)
+         ys)
+    xs
+
+let mst_of points =
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  Pacor_graphs.Mst.prim ~n ~weight:(fun i j -> Point.manhattan arr.(i) arr.(j))
+
+let mst_length points = Pacor_graphs.Mst.total_weight (mst_of points)
+
+let half_perimeter = function
+  | [] -> 0
+  | points ->
+    let box = Rect.of_point_list points in
+    Rect.width box + Rect.height box
+
+(* Remove added Steiner points of degree <= 1 (they never shorten a tree)
+   and recompute; returns the final node list and MST over it. *)
+let prune terminals steiners =
+  let rec go steiners =
+    let nodes = terminals @ steiners in
+    let edges = mst_of nodes in
+    let deg = Array.make (List.length nodes) 0 in
+    List.iter
+      (fun (e : Pacor_graphs.Mst.edge) ->
+         deg.(e.a) <- deg.(e.a) + 1;
+         deg.(e.b) <- deg.(e.b) + 1)
+      edges;
+    let nt = List.length terminals in
+    let keep =
+      List.filteri (fun i _ -> deg.(nt + i) >= 2) steiners
+    in
+    if List.length keep = List.length steiners then (nodes, edges)
+    else go keep
+  in
+  go steiners
+
+let rsmt terminals =
+  match terminals with
+  | [] -> invalid_arg "Steiner.rsmt: no terminals"
+  | [ p ] -> { nodes = [ p ]; edges = []; length = 0 }
+  | _ :: _ ->
+    let sorted = List.sort_uniq Point.compare terminals in
+    if List.length sorted <> List.length terminals then
+      invalid_arg "Steiner.rsmt: duplicate terminals";
+    (* Iterated 1-Steiner: greedily add the best Hanan point. *)
+    let rec improve steiners current_len =
+      let base = terminals @ steiners in
+      let candidates = hanan_points base in
+      let try_candidate best c =
+        let len = mst_length (base @ [ c ]) in
+        match best with
+        | Some (_, blen) when blen <= len -> best
+        | _ when len < current_len -> Some (c, len)
+        | _ -> best
+      in
+      match List.fold_left try_candidate None candidates with
+      | Some (c, len) -> improve (steiners @ [ c ]) len
+      | None -> steiners
+    in
+    let steiners = improve [] (mst_length terminals) in
+    let nodes, edges = prune terminals steiners in
+    {
+      nodes;
+      edges = List.map (fun (e : Pacor_graphs.Mst.edge) -> (e.a, e.b)) edges;
+      length = Pacor_graphs.Mst.total_weight edges;
+    }

@@ -1,0 +1,33 @@
+(** Rectilinear Steiner minimal tree (RSMT) heuristic: iterated 1-Steiner
+    over the Hanan grid.
+
+    PACOR's DME trees deliberately spend extra wirelength to equalise
+    source–sink path lengths. This module computes the unconstrained
+    minimum-wirelength alternative, so the {e cost of length matching} —
+    DME wirelength over RSMT wirelength — can be quantified (see the
+    [dme-vs-rsmt] ablation bench and EXPERIMENTS.md). *)
+
+open Pacor_geom
+
+type tree = {
+  nodes : Point.t list;        (** terminals followed by added Steiner points *)
+  edges : (int * int) list;    (** index pairs into [nodes] *)
+  length : int;                (** total Manhattan length over [edges] *)
+}
+
+val hanan_points : Point.t list -> Point.t list
+(** Candidate Steiner points: the Hanan grid (pairwise x/y crossings) minus
+    the terminals themselves. *)
+
+val rsmt : Point.t list -> tree
+(** Iterated 1-Steiner: repeatedly add the Hanan point that most reduces
+    the MST length, until no point helps. Terminals must be non-empty and
+    distinct. The result spans all terminals. *)
+
+val mst_length : Point.t list -> int
+(** Plain Manhattan MST length over the terminals (the starting point the
+    heuristic improves on). *)
+
+val half_perimeter : Point.t list -> int
+(** Bounding-box half-perimeter — the classic lower-bound estimate; the
+    true RSMT is never shorter. *)

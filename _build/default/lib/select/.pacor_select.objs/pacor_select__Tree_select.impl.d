@@ -1,0 +1,1 @@
+lib/select/tree_select.ml: Array Candidate List Pacor_dme Pacor_geom Pacor_graphs Rect

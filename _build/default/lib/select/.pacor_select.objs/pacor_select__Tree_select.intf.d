@@ -1,0 +1,1 @@
+lib/select/tree_select.mli: Candidate Pacor_dme

@@ -1,0 +1,1 @@
+lib/timing/rc_model.ml: List Pacor_grid

@@ -1,0 +1,1 @@
+lib/timing/rc_model.mli: Pacor_grid

@@ -1,0 +1,1 @@
+lib/timing/skew.ml: Format List Option Pacor Pacor_valve Rc_model

@@ -1,0 +1,1 @@
+lib/timing/skew.mli: Format Pacor Pacor_valve Rc_model

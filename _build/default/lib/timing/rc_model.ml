@@ -1,0 +1,32 @@
+type params = {
+  resistance_per_um : float;
+  compliance_per_um : float;
+  valve_compliance : float;
+}
+
+(* Order-of-magnitude constants for a 10x10 um oil-filled PDMS channel
+   with a 100x100 um^2 valve membrane, tuned so a 20 mm channel settles in
+   tau = (4e10 * 2e4) * (1e-21 * 2e4 / 2 + 5e-18) = 8e14 * 1.5e-17 = 12 ms
+   — the regime the mVLSI literature reports. *)
+let default =
+  {
+    resistance_per_um = 4.0e10;
+    compliance_per_um = 1.0e-21;
+    valve_compliance = 5.0e-18;
+  }
+
+let delay_of_um p length_um =
+  if length_um < 0.0 then invalid_arg "Rc_model.delay_of_um: negative length";
+  let r = p.resistance_per_um *. length_um in
+  let c_line = p.compliance_per_um *. length_um in
+  r *. ((c_line /. 2.0) +. p.valve_compliance)
+
+let delay_of_grid p ~rules n =
+  delay_of_um p (float_of_int (Pacor_grid.Design_rules.um_of_grid_length rules n))
+
+let skew_of_lengths p ~rules lengths =
+  match lengths with
+  | [] | [ _ ] -> 0.0
+  | _ :: _ ->
+    let delays = List.map (delay_of_grid p ~rules) lengths in
+    List.fold_left max neg_infinity delays -. List.fold_left min infinity delays

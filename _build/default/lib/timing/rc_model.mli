@@ -1,0 +1,42 @@
+(** First-order pressure-propagation model for PDMS control channels.
+
+    The paper's motivation: pressure travels slowly from the control pin
+    through the flexible channel to the valve membrane, and the propagation
+    time grows with channel length — so synchronised valves need
+    length-matched channels. This module quantifies that with the standard
+    distributed-RC (Elmore) model, which the control-layer literature (e.g.
+    the paper's refs. [12], [23]) uses for pneumatic channels:
+
+    - the channel has a pneumatic resistance per unit length [r] (viscous
+      loss of the working fluid) and a compliance per unit length [c]
+      (channel walls bulge under pressure);
+    - the valve adds a lumped membrane compliance [c_valve] at the far end;
+    - a uniform line of length [l] driven from one end then settles in
+      approximately [tau = (r l) (c l / 2 + c_valve)] — quadratic in length,
+      which is why even modest length mismatches produce visible actuation
+      skew.
+
+    Default constants are order-of-magnitude values for 10 um-wide,
+    10 um-high oil-filled PDMS channels and 100x100 um^2 valve membranes,
+    scaled so that a 2 cm channel (1000 grid units at the default pitch)
+    settles in roughly 10 ms — the regime reported for mVLSI chips. *)
+
+type params = {
+  resistance_per_um : float;   (** Pa s / m^3 per micrometre of channel *)
+  compliance_per_um : float;   (** m^3 / Pa per micrometre of channel *)
+  valve_compliance : float;    (** lumped membrane compliance, m^3 / Pa *)
+}
+
+val default : params
+
+val delay_of_um : params -> float -> float
+(** [delay_of_um p length_um] is the Elmore settling time in seconds of a
+    channel of the given length. Monotonically increasing and convex. *)
+
+val delay_of_grid : params -> rules:Pacor_grid.Design_rules.t -> int -> float
+(** Delay of a channel measured in routing-grid edges, converted through
+    the design rules' pitch. *)
+
+val skew_of_lengths : params -> rules:Pacor_grid.Design_rules.t -> int list -> float
+(** [max - min] of the delays of the given channel lengths (seconds);
+    0 for fewer than two channels. *)

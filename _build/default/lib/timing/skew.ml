@@ -1,0 +1,69 @@
+type cluster_report = {
+  cluster_id : int;
+  valve_delays : (Pacor_valve.Valve.id * float) list;
+  skew_s : float;
+  matched : bool;
+}
+
+type report = {
+  clusters : cluster_report list;
+  worst_skew_s : float;
+  worst_cluster : int option;
+}
+
+let analyze ?(params = Rc_model.default) (sol : Pacor.Solution.t) =
+  let rules = sol.problem.Pacor.Problem.rules in
+  let clusters =
+    List.filter_map
+      (fun (rc : Pacor.Solution.routed_cluster) ->
+         match rc.lengths with
+         | [] -> None
+         | lengths ->
+           let valve_delays =
+             List.map
+               (fun (vid, len) -> (vid, Rc_model.delay_of_grid params ~rules len))
+               lengths
+           in
+           let delays = List.map snd valve_delays in
+           let skew_s =
+             List.fold_left max neg_infinity delays
+             -. List.fold_left min infinity delays
+           in
+           Some
+             {
+               cluster_id = rc.routed.Pacor.Routed.cluster.Pacor_valve.Cluster.id;
+               valve_delays;
+               skew_s;
+               matched = rc.matched;
+             })
+      sol.clusters
+  in
+  let worst =
+    List.fold_left
+      (fun acc c ->
+         match acc with
+         | Some (_, s) when s >= c.skew_s -> acc
+         | _ -> Some (c.cluster_id, c.skew_s))
+      None clusters
+  in
+  {
+    clusters;
+    worst_skew_s = (match worst with Some (_, s) -> s | None -> 0.0);
+    worst_cluster = Option.map fst worst;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "actuation skew per length-matched cluster:@.";
+  List.iter
+    (fun c ->
+       Format.fprintf ppf "  cluster %d (%s): skew %.3f ms  delays:" c.cluster_id
+         (if c.matched then "matched" else "unmatched")
+         (1000.0 *. c.skew_s);
+       List.iter
+         (fun (vid, d) -> Format.fprintf ppf " v%d=%.3fms" vid (1000.0 *. d))
+         c.valve_delays;
+       Format.fprintf ppf "@.")
+    t.clusters;
+  match t.worst_cluster with
+  | Some id -> Format.fprintf ppf "worst skew: %.3f ms (cluster %d)@." (1000.0 *. t.worst_skew_s) id
+  | None -> Format.fprintf ppf "no length-matched clusters@."

@@ -1,0 +1,27 @@
+(** Actuation-skew analysis of a routed solution.
+
+    Converts the routed channel lengths of every length-matched cluster
+    into pressure-propagation delays ({!Rc_model}) and reports the
+    actuation skew — the quantity whose control is the entire point of the
+    length-matching constraint. *)
+
+type cluster_report = {
+  cluster_id : int;
+  valve_delays : (Pacor_valve.Valve.id * float) list;  (** seconds *)
+  skew_s : float;          (** max - min delay within the cluster *)
+  matched : bool;          (** the router's matched flag *)
+}
+
+type report = {
+  clusters : cluster_report list;   (** length-matched clusters only *)
+  worst_skew_s : float;
+  worst_cluster : int option;
+}
+
+val analyze : ?params:Rc_model.params -> Pacor.Solution.t -> report
+(** Delays are computed from each valve's full channel length (internal
+    tree legs plus the shared escape channel) under the solution's design
+    rules. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary, delays in milliseconds. *)

@@ -1,0 +1,1 @@
+lib/valve/activation.ml: Array Format Printf String

@@ -1,0 +1,1 @@
+lib/valve/activation.mli: Format

@@ -1,0 +1,1 @@
+lib/valve/cluster.ml: Format List Pacor_geom Valve

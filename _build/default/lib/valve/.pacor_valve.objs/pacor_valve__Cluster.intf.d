@@ -1,0 +1,1 @@
+lib/valve/cluster.mli: Format Pacor_geom Valve

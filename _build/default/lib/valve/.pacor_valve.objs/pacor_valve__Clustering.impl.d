@@ -1,0 +1,1 @@
+lib/valve/clustering.ml: Cluster Int List Printf Set Valve

@@ -1,0 +1,1 @@
+lib/valve/clustering.mli: Cluster Valve

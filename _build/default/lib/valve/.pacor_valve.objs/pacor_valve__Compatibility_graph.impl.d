@@ -1,0 +1,1 @@
+lib/valve/compatibility_graph.ml: Array Clustering Format Hashtbl Valve

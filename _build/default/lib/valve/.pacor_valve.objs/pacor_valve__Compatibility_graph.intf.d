@@ -1,0 +1,1 @@
+lib/valve/compatibility_graph.mli: Format Valve

@@ -1,0 +1,1 @@
+lib/valve/valve.ml: Activation Format Int List Pacor_geom Point

@@ -1,0 +1,1 @@
+lib/valve/valve.mli: Activation Format Pacor_geom Point

@@ -1,0 +1,101 @@
+type partition = {
+  clusters : Cluster.t list;
+  pin_count : int;
+}
+
+module IntSet = Set.Make (Int)
+
+let duplicate_ids valves =
+  let ids = List.map (fun (v : Valve.t) -> v.id) valves in
+  let sorted = List.sort Int.compare ids in
+  let rec find = function
+    | a :: b :: _ when a = b -> Some a
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find sorted
+
+(* Greedy clique cover. Seeds come first (unchanged); the remaining valves
+   are processed in decreasing order of compatibility degree and each one
+   joins the first existing growable cluster it is compatible with, else
+   opens a new cluster. Processing dense valves first lets the rare,
+   hard-to-place sequences still find room. *)
+let cluster ?(seeds = []) ?(max_cluster_size = max_int) valves =
+  match duplicate_ids valves with
+  | Some id -> Error (Printf.sprintf "duplicate valve id %d" id)
+  | None ->
+    let known = IntSet.of_list (List.map (fun (v : Valve.t) -> v.id) valves) in
+    let missing_seed =
+      List.concat_map Cluster.valve_ids seeds
+      |> List.find_opt (fun id -> not (IntSet.mem id known))
+    in
+    (match missing_seed with
+     | Some id -> Error (Printf.sprintf "seed cluster references unknown valve %d" id)
+     | None ->
+       let seed_dup =
+         let ids = List.concat_map Cluster.valve_ids seeds in
+         let sorted = List.sort Int.compare ids in
+         let rec find = function
+           | a :: b :: _ when a = b -> Some a
+           | _ :: rest -> find rest
+           | [] -> None
+         in
+         find sorted
+       in
+       (match seed_dup with
+        | Some id -> Error (Printf.sprintf "valve %d appears in two seed clusters" id)
+        | None ->
+          let seeded = IntSet.of_list (List.concat_map Cluster.valve_ids seeds) in
+          let free = List.filter (fun (v : Valve.t) -> not (IntSet.mem v.id seeded)) valves in
+          let degree v =
+            List.fold_left
+              (fun acc w ->
+                 if (not (Valve.equal v w)) && Valve.compatible v w then acc + 1 else acc)
+              0 free
+          in
+          let order =
+            List.sort
+              (fun a b ->
+                 let da = degree a and db = degree b in
+                 if da <> db then Int.compare db da else Valve.compare a b)
+              free
+          in
+          (* Growable groups: plain lists of valves; seeds are frozen. *)
+          let groups = ref [] in
+          let place v =
+            let rec try_groups = function
+              | [] -> groups := !groups @ [ ref [ v ] ]
+              | g :: rest ->
+                if List.length !g < max_cluster_size && List.for_all (Valve.compatible v) !g
+                then g := v :: !g
+                else try_groups rest
+            in
+            try_groups !groups
+          in
+          List.iter place order;
+          let next_id = ref (List.fold_left (fun m (c : Cluster.t) -> max m (c.id + 1)) 0 seeds) in
+          let fresh () =
+            let id = !next_id in
+            incr next_id;
+            id
+          in
+          let grown =
+            List.map
+              (fun g -> Cluster.make_exn ~id:(fresh ()) ~length_matched:false !g)
+              !groups
+          in
+          let clusters = seeds @ grown in
+          Ok ({ clusters; pin_count = List.length clusters } : partition)))
+
+let validate valves clusters =
+  let valve_ids = List.map (fun (v : Valve.t) -> v.id) valves |> List.sort Int.compare in
+  let covered = List.concat_map Cluster.valve_ids clusters |> List.sort Int.compare in
+  if valve_ids <> covered then Error "clusters do not partition the valve set"
+  else begin
+    let bad =
+      List.find_opt (fun (c : Cluster.t) -> not (Valve.pairwise_compatible c.valves)) clusters
+    in
+    match bad with
+    | Some c -> Error (Printf.sprintf "cluster %d is not pairwise compatible" c.id)
+    | None -> Ok ()
+  end

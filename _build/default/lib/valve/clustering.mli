@@ -1,0 +1,30 @@
+(** Valve clustering under the broadcast addressing scheme (Sec. 3).
+
+    Partitions the valves into the fewest possible clusters of pairwise
+    compatible valves so that each cluster can share one control pin.
+    Minimum clique cover is NP-complete, so — like the paper — we use a fast
+    greedy heuristic.
+
+    Clusters that arrive with the length-matching constraint are kept intact
+    and act as seeds; remaining valves are only merged into a cluster when
+    compatible with {e all} of its members. *)
+
+type partition = {
+  clusters : Cluster.t list;
+  pin_count : int;  (** = number of clusters: one control pin per cluster *)
+}
+
+val cluster :
+  ?seeds:Cluster.t list ->
+  ?max_cluster_size:int ->
+  Valve.t list ->
+  (partition, string) result
+(** [cluster ~seeds valves] partitions [valves]. Every valve of a seed
+    cluster must appear in [valves]; seed clusters keep their identity and
+    flag. [max_cluster_size] (default unbounded) caps cluster growth, which
+    models limited pressure-source fan-out. Errors on duplicate valve ids or
+    on a seed referencing an unknown valve. *)
+
+val validate : Valve.t list -> Cluster.t list -> (unit, string) result
+(** Check that the clusters exactly partition the valves and that every
+    cluster is internally compatible. *)

@@ -1,0 +1,105 @@
+type t = {
+  valves : Valve.t array;
+  index_of : (Valve.id, int) Hashtbl.t;
+  adjacent : bool array array;
+}
+
+let build valves =
+  let arr = Array.of_list valves in
+  let n = Array.length arr in
+  let index_of = Hashtbl.create n in
+  Array.iteri
+    (fun i (v : Valve.t) ->
+       if Hashtbl.mem index_of v.id then
+         invalid_arg "Compatibility_graph.build: duplicate valve id";
+       Hashtbl.replace index_of v.id i)
+    arr;
+  let adjacent = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Valve.compatible arr.(i) arr.(j) then begin
+        adjacent.(i).(j) <- true;
+        adjacent.(j).(i) <- true
+      end
+    done
+  done;
+  { valves = arr; index_of; adjacent }
+
+let valve_count t = Array.length t.valves
+
+let edge_count t =
+  let n = valve_count t in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if t.adjacent.(i).(j) then incr c
+    done
+  done;
+  !c
+
+let density t =
+  let n = valve_count t in
+  if n < 2 then 1.0
+  else float_of_int (edge_count t) /. float_of_int (n * (n - 1) / 2)
+
+let idx t id =
+  match Hashtbl.find_opt t.index_of id with
+  | Some i -> i
+  | None -> invalid_arg "Compatibility_graph: unknown valve id"
+
+let compatible t a b =
+  let i = idx t a and j = idx t b in
+  i = j || t.adjacent.(i).(j)
+
+let degree t id =
+  let i = idx t id in
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.adjacent.(i)
+
+(* Greedy independent set: repeatedly take the vertex of minimum degree in
+   the remaining graph and delete its neighbourhood. *)
+let independent_set_size t =
+  let n = valve_count t in
+  let alive = Array.make n true in
+  let count = ref 0 in
+  let remaining_degree i =
+    let d = ref 0 in
+    for j = 0 to n - 1 do
+      if alive.(j) && j <> i && t.adjacent.(i).(j) then incr d
+    done;
+    !d
+  in
+  let rec go () =
+    let pick = ref (-1) and best = ref max_int in
+    for i = 0 to n - 1 do
+      if alive.(i) then begin
+        let d = remaining_degree i in
+        if d < !best then begin
+          best := d;
+          pick := i
+        end
+      end
+    done;
+    if !pick >= 0 then begin
+      incr count;
+      let p = !pick in
+      alive.(p) <- false;
+      for j = 0 to n - 1 do
+        if t.adjacent.(p).(j) then alive.(j) <- false
+      done;
+      go ()
+    end
+  in
+  go ();
+  !count
+
+let clique_cover_size t =
+  match Clustering.cluster (Array.to_list t.valves) with
+  | Ok partition -> partition.Clustering.pin_count
+  | Error msg -> invalid_arg ("Compatibility_graph.clique_cover_size: " ^ msg)
+
+let pin_bounds t = (independent_set_size t, clique_cover_size t)
+
+let pp_summary ppf t =
+  let lower, upper = pin_bounds t in
+  Format.fprintf ppf "%d valves, %d compatible pairs (density %.2f), pins in [%d, %d]"
+    (valve_count t) (edge_count t) (density t) lower upper

@@ -1,0 +1,33 @@
+open Pacor_geom
+
+type id = int
+
+type t = {
+  id : id;
+  position : Point.t;
+  sequence : Activation.sequence;
+}
+
+let make ~id ~position ~sequence = { id; position; sequence }
+let compatible a b = Activation.compatible a.sequence b.sequence
+
+let pairwise_compatible valves =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (compatible v) rest && go rest
+  in
+  go valves
+
+let shared_sequence = function
+  | [] -> None
+  | v :: rest ->
+    let f acc w =
+      match acc with None -> None | Some s -> Activation.meet s w.sequence
+    in
+    List.fold_left f (Some v.sequence) rest
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf v =
+  Format.fprintf ppf "v%d@%a[%a]" v.id Point.pp v.position Activation.pp_sequence v.sequence

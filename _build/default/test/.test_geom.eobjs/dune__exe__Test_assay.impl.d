@@ -1,0 +1,1 @@
+test/test_assay.ml: Activation Alcotest Array Cluster List Pacor Pacor_assay Pacor_geom Pacor_grid Pacor_valve Phase Printf QCheck QCheck_alcotest Result Schedule

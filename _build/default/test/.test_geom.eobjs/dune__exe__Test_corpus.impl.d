@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Filename List Pacor String Sys

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Cluster Clustering Harness Int List Pacor Pacor_designs Pacor_valve Result Rng Scaling String Synthetic Table1

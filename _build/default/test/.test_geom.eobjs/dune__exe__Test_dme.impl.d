@@ -1,0 +1,1 @@
+test/test_dme.ml: Alcotest Array Candidate Fun Int List Merge Pacor_dme Pacor_geom Pacor_grid Point QCheck QCheck_alcotest Rect Routing_grid Topology

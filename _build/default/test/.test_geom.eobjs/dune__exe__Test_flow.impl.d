@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Escape List Maxflow Mcmf Mcmf_spfa Pacor_flow Pacor_geom Pacor_grid Path Point Printf QCheck QCheck_alcotest Routing_grid

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest List Pacor_geom Point QCheck QCheck_alcotest Rect Tilted

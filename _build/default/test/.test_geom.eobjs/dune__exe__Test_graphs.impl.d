@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Clique Fun Int List Mst Pacor_graphs Pqueue QCheck QCheck_alcotest Union_find

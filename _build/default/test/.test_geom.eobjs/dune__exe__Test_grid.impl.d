@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Design_rules List Obstacle_map Pacor_geom Pacor_grid Path Point QCheck QCheck_alcotest Rect Result Routing_grid

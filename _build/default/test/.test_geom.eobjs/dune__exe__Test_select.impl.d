@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Candidate Float List Pacor_dme Pacor_geom Pacor_grid Pacor_select Point Printf QCheck QCheck_alcotest Result Routing_grid Tree_select

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Buffer Format List Pacor Pacor_designs Pacor_grid Pacor_timing Printf QCheck QCheck_alcotest Rc_model Skew String

@@ -1,0 +1,1 @@
+test/test_valve.ml: Activation Alcotest Array Cluster Clustering Compatibility_graph List Pacor_geom Pacor_valve Point QCheck QCheck_alcotest Result Valve

@@ -1,0 +1,207 @@
+open Pacor_valve
+open Pacor_assay
+
+let req_open = Phase.open_
+let req_closed = Phase.closed
+
+(* ---------- Phase ---------- *)
+
+let test_phase_make () =
+  match Phase.make ~name:"p" ~duration:2 [ req_open 0; req_closed 1 ] with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok p ->
+    Alcotest.(check bool) "state of constrained" true
+      (Phase.state_of p 0 = Activation.Open);
+    Alcotest.(check bool) "state of unconstrained" true
+      (Phase.state_of p 7 = Activation.Dont_care)
+
+let test_phase_rejects_conflict () =
+  Alcotest.(check bool) "conflicting states" true
+    (Result.is_error (Phase.make ~name:"p" ~duration:1 [ req_open 0; req_closed 0 ]));
+  Alcotest.(check bool) "duplicate same state ok" true
+    (Result.is_ok (Phase.make ~name:"p" ~duration:1 [ req_open 0; req_open 0 ]))
+
+let test_phase_rejects_bad_duration () =
+  Alcotest.(check bool) "zero duration" true
+    (Result.is_error (Phase.make ~name:"p" ~duration:0 [ req_open 0 ]))
+
+let test_phase_rejects_unconstrained_sync () =
+  Alcotest.(check bool) "sync valve must be constrained" true
+    (Result.is_error
+       (Phase.make ~name:"p" ~duration:1 ~sync_groups:[ [ 0; 1 ] ] [ req_open 0 ]))
+
+(* ---------- Schedule ---------- *)
+
+let sched phases = Schedule.make_exn phases
+
+let two_phase () =
+  sched
+    [ Phase.make_exn ~name:"a" ~duration:2 [ req_open 0; req_closed 1 ];
+      Phase.make_exn ~name:"b" ~duration:3 [ req_closed 0 ] ]
+
+let test_schedule_steps_and_valves () =
+  let s = two_phase () in
+  Alcotest.(check int) "steps" 5 (Schedule.total_steps s);
+  Alcotest.(check (list int)) "valves" [ 0; 1 ] s.Schedule.valves
+
+let test_schedule_sequences () =
+  let s = two_phase () in
+  Alcotest.(check string) "valve 0" "00111"
+    (Activation.string_of_sequence (Schedule.sequence_of s 0));
+  Alcotest.(check string) "valve 1 gets X in phase b" "11XXX"
+    (Activation.string_of_sequence (Schedule.sequence_of s 1))
+
+let test_schedule_rejects_duplicates () =
+  Alcotest.(check bool) "duplicate names" true
+    (Result.is_error
+       (Schedule.make
+          [ Phase.make_exn ~name:"a" ~duration:1 [ req_open 0 ];
+            Phase.make_exn ~name:"a" ~duration:1 [ req_open 1 ] ]));
+  Alcotest.(check bool) "empty" true (Result.is_error (Schedule.make []))
+
+let test_sync_clusters_merge_transitively () =
+  (* {0,1} in one phase and {1,2} in another must merge into {0,1,2}. *)
+  let s =
+    sched
+      [ Phase.make_exn ~name:"a" ~duration:1 ~sync_groups:[ [ 0; 1 ] ]
+          [ req_open 0; req_open 1; req_open 2 ];
+        Phase.make_exn ~name:"b" ~duration:1 ~sync_groups:[ [ 1; 2 ] ]
+          [ req_closed 0; req_closed 1; req_closed 2 ] ]
+  in
+  match Schedule.sync_clusters s with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok clusters -> Alcotest.(check (list (list int))) "merged" [ [ 0; 1; 2 ] ] clusters
+
+let test_sync_clusters_incompatible_detected () =
+  (* 0 and 1 are synchronised but demanded in opposite states later. *)
+  let s =
+    sched
+      [ Phase.make_exn ~name:"a" ~duration:1 ~sync_groups:[ [ 0; 1 ] ]
+          [ req_open 0; req_open 1 ];
+        Phase.make_exn ~name:"b" ~duration:1 [ req_open 0; req_closed 1 ] ]
+  in
+  Alcotest.(check bool) "incompatible sync cluster rejected" true
+    (Result.is_error (Schedule.sync_clusters s))
+
+let test_sync_singletons_dropped () =
+  let s =
+    sched [ Phase.make_exn ~name:"a" ~duration:1 ~sync_groups:[ [ 0 ] ] [ req_open 0 ] ]
+  in
+  match Schedule.sync_clusters s with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "singleton group should be dropped"
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+let test_to_valves_and_lm_clusters () =
+  let s =
+    sched
+      [ Phase.make_exn ~name:"a" ~duration:2 ~sync_groups:[ [ 0; 1 ] ]
+          [ req_open 0; req_open 1; req_closed 2 ] ]
+  in
+  let positions id = Pacor_geom.Point.make (2 + (3 * id)) 5 in
+  let valves = Schedule.to_valves s ~positions in
+  Alcotest.(check int) "three valves" 3 (List.length valves);
+  match Schedule.lm_clusters s ~valves with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok [ c ] ->
+    Alcotest.(check (list int)) "cluster members" [ 0; 1 ] (Cluster.valve_ids c);
+    Alcotest.(check bool) "length matched" true c.Cluster.length_matched
+  | Ok _ -> Alcotest.fail "expected exactly one cluster"
+
+let test_compiled_sequences_route () =
+  (* End-to-end: schedule -> problem -> routed solution. *)
+  let s =
+    sched
+      [ Phase.make_exn ~name:"load" ~duration:2 ~sync_groups:[ [ 0; 1 ] ]
+          [ req_open 0; req_open 1; req_closed 2 ];
+        Phase.make_exn ~name:"run" ~duration:2 [ req_closed 0; req_closed 1; req_open 2 ] ]
+  in
+  let positions = function
+    | 0 -> Pacor_geom.Point.make 4 4
+    | 1 -> Pacor_geom.Point.make 10 8
+    | 2 -> Pacor_geom.Point.make 7 11
+    | _ -> invalid_arg "valve"
+  in
+  let valves = Schedule.to_valves s ~positions in
+  let lm = Result.get_ok (Schedule.lm_clusters s ~valves) in
+  let grid = Pacor_grid.Routing_grid.create ~width:15 ~height:15 () in
+  let pins = [ Pacor_geom.Point.make 0 4; Pacor_geom.Point.make 14 8; Pacor_geom.Point.make 7 0 ] in
+  let problem = Pacor.Problem.create_exn ~grid ~valves ~lm_clusters:lm ~pins () in
+  match Pacor.Engine.run problem with
+  | Error e -> Alcotest.failf "engine: %s" e.message
+  | Ok sol ->
+    let stats = Pacor.Solution.stats sol in
+    Alcotest.(check (float 1e-9)) "routed" 1.0 stats.completion;
+    Alcotest.(check int) "sync pair matched" 1 stats.matched_clusters
+
+(* ---------- QCheck ---------- *)
+
+let arb_phases =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let gen_phase i =
+        let* duration = int_range 1 4 in
+        let* states = list_size (return 4) (oneofl Pacor_valve.Activation.[ Open; Closed ]) in
+        let requirements =
+          List.mapi (fun v st -> { Phase.valve = v; state = st }) states
+        in
+        return (Phase.make_exn ~name:(Printf.sprintf "p%d" i) ~duration requirements)
+      in
+      let rec go acc i = if i = n then return (List.rev acc) else
+        let* p = gen_phase i in
+        go (p :: acc) (i + 1)
+      in
+      go [] 0)
+
+let prop_sequence_lengths =
+  QCheck.Test.make ~name:"all sequences have total_steps length" ~count:100 arb_phases
+    (fun phases ->
+       let s = Schedule.make_exn phases in
+       List.for_all
+         (fun (_, seq) -> Array.length seq = Schedule.total_steps s)
+         (Schedule.sequences s))
+
+let prop_sequence_states_match_phase =
+  QCheck.Test.make ~name:"compiled step equals the phase demand" ~count:100 arb_phases
+    (fun phases ->
+       let s = Schedule.make_exn phases in
+       let ok = ref true in
+       List.iter
+         (fun v ->
+            let seq = Schedule.sequence_of s v in
+            let pos = ref 0 in
+            List.iter
+              (fun (p : Phase.t) ->
+                 for i = !pos to !pos + p.duration - 1 do
+                   if seq.(i) <> Phase.state_of p v then ok := false
+                 done;
+                 pos := !pos + p.duration)
+              s.Schedule.phases)
+         s.Schedule.valves;
+       !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_sequence_lengths; prop_sequence_states_match_phase ]
+
+let () =
+  Alcotest.run "assay"
+    [ ( "phase",
+        [ Alcotest.test_case "make" `Quick test_phase_make;
+          Alcotest.test_case "conflicts" `Quick test_phase_rejects_conflict;
+          Alcotest.test_case "duration" `Quick test_phase_rejects_bad_duration;
+          Alcotest.test_case "unconstrained sync" `Quick
+            test_phase_rejects_unconstrained_sync ] );
+      ( "schedule",
+        [ Alcotest.test_case "steps and valves" `Quick test_schedule_steps_and_valves;
+          Alcotest.test_case "sequences" `Quick test_schedule_sequences;
+          Alcotest.test_case "duplicates" `Quick test_schedule_rejects_duplicates ] );
+      ( "sync",
+        [ Alcotest.test_case "transitive merge" `Quick test_sync_clusters_merge_transitively;
+          Alcotest.test_case "incompatible detected" `Quick
+            test_sync_clusters_incompatible_detected;
+          Alcotest.test_case "singletons dropped" `Quick test_sync_singletons_dropped;
+          Alcotest.test_case "lm clusters" `Quick test_to_valves_and_lm_clusters ] );
+      ( "end_to_end",
+        [ Alcotest.test_case "schedule to routed chip" `Quick test_compiled_sequences_route ] );
+      ("properties", qcheck_cases) ]

@@ -1,0 +1,433 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_flow
+
+(* ---------- MCMF ---------- *)
+
+let test_simple_path_flow () =
+  (* 0 -> 1 -> 2, capacities 1. *)
+  let net = Mcmf.create 3 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:2;
+  Mcmf.add_edge net ~src:1 ~dst:2 ~cap:1 ~cost:3;
+  let out = Mcmf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 1 out.flow;
+  Alcotest.(check int) "cost" 5 out.cost
+
+let test_parallel_paths_pick_cheaper_first () =
+  (* Two disjoint paths with different costs; flow target 1 must take the
+     cheap one. *)
+  let net = Mcmf.create 4 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:10;
+  Mcmf.add_edge net ~src:1 ~dst:3 ~cap:1 ~cost:0;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:1;
+  let out = Mcmf.solve ~flow_target:1 net ~source:0 ~sink:3 in
+  Alcotest.(check int) "flow" 1 out.flow;
+  Alcotest.(check int) "cheap path cost" 2 out.cost;
+  Alcotest.(check int) "flow on cheap edge" 1 (Mcmf.flow_on net ~src:0 ~dst:2)
+
+let test_rerouting_via_residual () =
+  (* Classic case where the second augmentation must push back along the
+     first path's residual edge to be optimal. *)
+  let net = Mcmf.create 4 in
+  (* s=0, t=3; middle edge 1->2 shared. *)
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:10;
+  Mcmf.add_edge net ~src:1 ~dst:2 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:1 ~dst:3 ~cap:1 ~cost:10;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:1;
+  let out = Mcmf.solve net ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow 2" 2 out.flow;
+  (* Optimal: 0-1-2-3 (3) + 0-2? cap used... best total = 3 + 0-2(10)+2-3 full
+     -> min cost max flow = 0-1-3 (11) + 0-2-3 (11) = 22 vs 0-1-2-3 (3) +
+     0-2(10) 2-3 blocked... check against brute value 22. *)
+  Alcotest.(check int) "min cost" 22 out.cost
+
+let test_negative_cost_edge () =
+  let net = Mcmf.create 3 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:2 ~cost:(-5);
+  Mcmf.add_edge net ~src:1 ~dst:2 ~cap:2 ~cost:1;
+  let out = Mcmf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 2 out.flow;
+  Alcotest.(check int) "cost" (-8) out.cost
+
+let test_stop_threshold () =
+  (* Two paths, costs 3 and 8; threshold 5 keeps only the cheap one. *)
+  let net = Mcmf.create 4 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:3;
+  Mcmf.add_edge net ~src:1 ~dst:3 ~cap:1 ~cost:0;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:8;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:0;
+  let out = Mcmf.solve ~stop_when_cost_reaches:5 net ~source:0 ~sink:3 in
+  Alcotest.(check int) "only cheap unit" 1 out.flow;
+  Alcotest.(check int) "cost" 3 out.cost
+
+let test_disconnected () =
+  let net = Mcmf.create 4 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:1;
+  let out = Mcmf.solve net ~source:0 ~sink:3 in
+  Alcotest.(check int) "no flow" 0 out.flow
+
+let test_decompose_paths () =
+  let net = Mcmf.create 5 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:1 ~dst:4 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:1;
+  Mcmf.add_edge net ~src:3 ~dst:4 ~cap:1 ~cost:1;
+  let out = Mcmf.solve net ~source:0 ~sink:4 in
+  Alcotest.(check int) "two units" 2 out.flow;
+  let paths = Mcmf.decompose_paths net ~source:0 ~sink:4 in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  List.iter
+    (fun p ->
+       Alcotest.(check int) "starts at source" 0 (List.hd p);
+       Alcotest.(check int) "ends at sink" 4 (List.nth p (List.length p - 1)))
+    paths
+
+let test_solve_twice_rejected () =
+  let net = Mcmf.create 2 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1;
+  ignore (Mcmf.solve net ~source:0 ~sink:1);
+  Alcotest.check_raises "second solve" (Invalid_argument "Mcmf.solve: already solved")
+    (fun () -> ignore (Mcmf.solve net ~source:0 ~sink:1))
+
+let test_add_edge_validation () =
+  let net = Mcmf.create 2 in
+  Alcotest.check_raises "negative cap" (Invalid_argument "Mcmf.add_edge: negative capacity")
+    (fun () -> Mcmf.add_edge net ~src:0 ~dst:1 ~cap:(-1) ~cost:0);
+  Alcotest.check_raises "bad node" (Invalid_argument "Mcmf.add_edge: bad node") (fun () ->
+    Mcmf.add_edge net ~src:0 ~dst:5 ~cap:1 ~cost:0)
+
+(* ---------- Escape routing ---------- *)
+
+let grid10 () = Routing_grid.create ~width:10 ~height:10 ()
+
+let test_escape_single_cluster () =
+  let grid = grid10 () in
+  let start = Point.make 5 5 in
+  let pins = [ Point.make 0 5; Point.make 9 5 ] in
+  match
+    Escape.route ~grid ~claimed:(Point.Set.singleton start) ~pins
+      [ { Escape.cluster_idx = 0; start_cells = [ start ] } ]
+  with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out ->
+    Alcotest.(check int) "routed" 1 (List.length out.routed);
+    Alcotest.(check (list int)) "no failures" [] out.failed;
+    let r = List.hd out.routed in
+    Alcotest.(check bool) "ends on a pin" true
+      (List.exists (Point.equal r.Escape.pin) pins);
+    Alcotest.(check int) "shortest possible" 4 (Path.length r.Escape.path)
+
+let test_escape_two_clusters_disjoint () =
+  let grid = grid10 () in
+  let s1 = Point.make 3 5 and s2 = Point.make 6 5 in
+  let claimed = Point.Set.of_list [ s1; s2 ] in
+  let pins = [ Point.make 0 5; Point.make 9 5; Point.make 5 0 ] in
+  match
+    Escape.route ~grid ~claimed ~pins
+      [ { Escape.cluster_idx = 10; start_cells = [ s1 ] };
+        { Escape.cluster_idx = 20; start_cells = [ s2 ] } ]
+  with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out ->
+    Alcotest.(check int) "both routed" 2 (List.length out.routed);
+    (* Vertex-disjointness. *)
+    (match out.routed with
+     | [ a; b ] ->
+       Alcotest.(check bool) "disjoint" false
+         (Path.shares_vertex a.Escape.path b.Escape.path);
+       Alcotest.(check bool) "different pins" false (Point.equal a.Escape.pin b.Escape.pin)
+     | _ -> Alcotest.fail "expected two routes")
+
+let test_escape_avoids_claimed () =
+  (* A wall of claimed cells forces a detour. *)
+  let grid = grid10 () in
+  let start = Point.make 5 5 in
+  (* The wall leaves a gap at rows 7-8 (the boundary itself is never
+     transit space, so a full-height wall would seal the grid). *)
+  let wall = List.init 6 (fun i -> Point.make 3 (i + 1)) in
+  let claimed = Point.Set.of_list (start :: wall) in
+  let pins = [ Point.make 0 5 ] in
+  match
+    Escape.route ~grid ~claimed ~pins
+      [ { Escape.cluster_idx = 0; start_cells = [ start ] } ]
+  with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out ->
+    (match out.routed with
+     | [ r ] ->
+       Alcotest.(check bool) "longer than manhattan" true (Path.length r.Escape.path > 4);
+       List.iter
+         (fun w ->
+            Alcotest.(check bool) "avoids wall" false (Path.mem r.Escape.path w))
+         wall
+     | _ -> Alcotest.fail "expected one route")
+
+let test_escape_more_clusters_than_pins () =
+  let grid = grid10 () in
+  let starts = [ Point.make 3 3; Point.make 6 6; Point.make 3 6 ] in
+  let claimed = Point.Set.of_list starts in
+  let pins = [ Point.make 0 3; Point.make 0 6 ] in
+  let reqs =
+    List.mapi (fun i s -> { Escape.cluster_idx = i; start_cells = [ s ] }) starts
+  in
+  match Escape.route ~grid ~claimed ~pins reqs with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out ->
+    Alcotest.(check int) "two routed" 2 (List.length out.routed);
+    Alcotest.(check int) "one failed" 1 (List.length out.failed)
+
+let test_escape_prefers_max_routed_over_length () =
+  (* One cluster could grab the only pin cheaply in a way that blocks the
+     other; the flow must route both even at higher total cost. Corridor
+     grid: two pins far apart. *)
+  let grid = Routing_grid.create ~width:12 ~height:5 () in
+  let s1 = Point.make 5 2 and s2 = Point.make 6 2 in
+  let pins = [ Point.make 0 2; Point.make 11 2 ] in
+  match
+    Escape.route ~grid ~claimed:(Point.Set.of_list [ s1; s2 ]) ~pins
+      [ { Escape.cluster_idx = 0; start_cells = [ s1 ] };
+        { Escape.cluster_idx = 1; start_cells = [ s2 ] } ]
+  with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out -> Alcotest.(check int) "both routed" 2 (List.length out.routed)
+
+let test_escape_validation () =
+  let grid = grid10 () in
+  let bad_pin = Point.make 5 5 (* not boundary *) in
+  (match
+     Escape.route ~grid ~claimed:Point.Set.empty ~pins:[ bad_pin ]
+       [ { Escape.cluster_idx = 0; start_cells = [ Point.make 2 2 ] } ]
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "interior pin accepted");
+  (match
+     Escape.route ~grid ~claimed:Point.Set.empty ~pins:[ Point.make 0 5 ]
+       [ { Escape.cluster_idx = 0; start_cells = [] } ]
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty start cells accepted")
+
+let test_escape_total_length () =
+  let grid = grid10 () in
+  let start = Point.make 5 5 in
+  match
+    Escape.route ~grid ~claimed:(Point.Set.singleton start) ~pins:[ Point.make 0 5 ]
+      [ { Escape.cluster_idx = 0; start_cells = [ start ] } ]
+  with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out -> Alcotest.(check int) "total = path length" 5 out.total_length
+
+
+(* ---------- Maxflow (Dinic) ---------- *)
+
+let test_dinic_simple () =
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3;
+  Maxflow.add_edge net ~src:0 ~dst:2 ~cap:2;
+  Maxflow.add_edge net ~src:1 ~dst:3 ~cap:2;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:3;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1;
+  Alcotest.(check int) "max flow" 5 (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_dinic_disconnected () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5;
+  Alcotest.(check int) "no route to sink" 0 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_dinic_min_cut () =
+  (* Classic bottleneck: cut isolates the source side. *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:10;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:10;
+  let f = Maxflow.max_flow net ~source:0 ~sink:3 in
+  Alcotest.(check int) "bottleneck" 1 f;
+  let reach = Maxflow.min_cut_reachable net ~source:0 in
+  Alcotest.(check bool) "source side" true reach.(0);
+  Alcotest.(check bool) "source side includes 1" true reach.(1);
+  Alcotest.(check bool) "sink side" false reach.(3)
+
+(* ---------- Cross-checks: Mcmf vs Mcmf_spfa vs Dinic ---------- *)
+
+let random_network seed =
+  let rng = ref seed in
+  let next () =
+    rng := (!rng * 1103515245) + 12345;
+    abs !rng
+  in
+  let n = 4 + (next () mod 5) in
+  let edges = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && next () mod 100 < 40 then
+        edges := (src, dst, 1 + (next () mod 4), next () mod 10) :: !edges
+    done
+  done;
+  (n, !edges)
+
+let test_mcmf_agrees_with_spfa () =
+  List.iter
+    (fun seed ->
+       let n, edges = random_network seed in
+       let a = Mcmf.create n and b = Mcmf_spfa.create n in
+       List.iter
+         (fun (src, dst, cap, cost) ->
+            Mcmf.add_edge a ~src ~dst ~cap ~cost;
+            Mcmf_spfa.add_edge b ~src ~dst ~cap ~cost)
+         edges;
+       let oa = Mcmf.solve a ~source:0 ~sink:(n - 1) in
+       let ob = Mcmf_spfa.solve b ~source:0 ~sink:(n - 1) in
+       Alcotest.(check int) (Printf.sprintf "flow seed %d" seed) ob.flow oa.flow;
+       Alcotest.(check int) (Printf.sprintf "cost seed %d" seed) ob.cost oa.cost)
+    [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233 ]
+
+let test_mcmf_flow_equals_dinic () =
+  List.iter
+    (fun seed ->
+       let n, edges = random_network seed in
+       let a = Mcmf.create n and d = Maxflow.create n in
+       List.iter
+         (fun (src, dst, cap, cost) ->
+            Mcmf.add_edge a ~src ~dst ~cap ~cost;
+            Maxflow.add_edge d ~src ~dst ~cap)
+         edges;
+       let oa = Mcmf.solve a ~source:0 ~sink:(n - 1) in
+       let df = Maxflow.max_flow d ~source:0 ~sink:(n - 1) in
+       Alcotest.(check int) (Printf.sprintf "max flow seed %d" seed) df oa.flow)
+    [ 7; 11; 19; 42; 101; 999 ]
+
+let prop_solvers_agree =
+  QCheck.Test.make ~name:"Mcmf and SPFA agree on random networks" ~count:120
+    QCheck.small_int (fun seed ->
+      let n, edges = random_network (seed + 1) in
+      let a = Mcmf.create n and b = Mcmf_spfa.create n in
+      List.iter
+        (fun (src, dst, cap, cost) ->
+           Mcmf.add_edge a ~src ~dst ~cap ~cost;
+           Mcmf_spfa.add_edge b ~src ~dst ~cap ~cost)
+        edges;
+      let oa = Mcmf.solve a ~source:0 ~sink:(n - 1) in
+      let ob = Mcmf_spfa.solve b ~source:0 ~sink:(n - 1) in
+      oa.flow = ob.flow && oa.cost = ob.cost)
+
+let test_escape_matches_feasibility_bound () =
+  (* The min-cost router must route exactly as many clusters as the
+     max-flow oracle says are routable. *)
+  List.iter
+    (fun (pins, starts) ->
+       let grid = grid10 () in
+       let claimed = Point.Set.of_list starts in
+       let reqs =
+         List.mapi (fun i s -> { Escape.cluster_idx = i; start_cells = [ s ] }) starts
+       in
+       let bound = Escape.feasibility_bound ~grid ~claimed ~pins reqs in
+       match Escape.route ~grid ~claimed ~pins reqs with
+       | Error e -> Alcotest.failf "escape failed: %s" e
+       | Ok out -> Alcotest.(check int) "routed = bound" bound (List.length out.routed))
+    [ ([ Point.make 0 5; Point.make 9 5 ], [ Point.make 3 3; Point.make 6 6 ]);
+      ([ Point.make 0 3 ], [ Point.make 3 3; Point.make 6 6; Point.make 5 2 ]);
+      ([ Point.make 0 2; Point.make 0 4; Point.make 0 6 ],
+       [ Point.make 2 2; Point.make 2 4; Point.make 2 6 ]) ]
+
+(* ---------- QCheck ---------- *)
+
+let prop_mcmf_flow_conservation =
+  (* Random small layered networks: total out-of-source equals into-sink. *)
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* mid = int_range 1 4 in
+        let* caps = list_size (return (2 * mid)) (int_range 1 3) in
+        let* costs = list_size (return (2 * mid)) (int_range 0 9) in
+        return (mid, caps, costs))
+  in
+  QCheck.Test.make ~name:"random layered network flow sanity" ~count:100 arb
+    (fun (mid, caps, costs) ->
+       (* nodes: 0 source, 1..mid middles, mid+1 sink. *)
+       let n = mid + 2 in
+       let net = Mcmf.create n in
+       let caps = Array.of_list caps and costs = Array.of_list costs in
+       for i = 0 to mid - 1 do
+         Mcmf.add_edge net ~src:0 ~dst:(i + 1) ~cap:caps.(i) ~cost:costs.(i);
+         Mcmf.add_edge net ~src:(i + 1) ~dst:(mid + 1) ~cap:caps.(mid + i)
+           ~cost:costs.(mid + i)
+       done;
+       let out = Mcmf.solve net ~source:0 ~sink:(mid + 1) in
+       let expected =
+         let s = ref 0 in
+         for i = 0 to mid - 1 do
+           s := !s + min caps.(i) caps.(mid + i)
+         done;
+         !s
+       in
+       out.flow = expected && out.cost >= 0)
+
+
+let prop_escape_routed_equals_bound =
+  (* On random small grids with random pins/starts, the min-cost router
+     always routes exactly the max-flow feasibility bound. *)
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* n_start = int_range 1 4 in
+        let* n_pin = int_range 1 4 in
+        let* starts =
+          list_size (return n_start)
+            (let* x = int_range 2 7 and* y = int_range 2 7 in
+             return (Point.make x y))
+        in
+        let* pin_ys = list_size (return n_pin) (int_range 1 8) in
+        return (List.sort_uniq Point.compare starts,
+                List.sort_uniq Point.compare (List.map (fun y -> Point.make 0 y) pin_ys)))
+  in
+  QCheck.Test.make ~name:"escape routes exactly the max-flow bound" ~count:60 arb
+    (fun (starts, pins) ->
+       let grid = grid10 () in
+       let claimed = Point.Set.of_list starts in
+       let reqs =
+         List.mapi (fun i s -> { Escape.cluster_idx = i; start_cells = [ s ] }) starts
+       in
+       let bound = Escape.feasibility_bound ~grid ~claimed ~pins reqs in
+       match Escape.route ~grid ~claimed ~pins reqs with
+       | Error _ -> false
+       | Ok out -> List.length out.routed = bound)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mcmf_flow_conservation; prop_solvers_agree; prop_escape_routed_equals_bound ]
+
+let () =
+  Alcotest.run "flow"
+    [ ( "mcmf",
+        [ Alcotest.test_case "simple path" `Quick test_simple_path_flow;
+          Alcotest.test_case "cheapest first" `Quick test_parallel_paths_pick_cheaper_first;
+          Alcotest.test_case "residual rerouting" `Quick test_rerouting_via_residual;
+          Alcotest.test_case "negative costs" `Quick test_negative_cost_edge;
+          Alcotest.test_case "stop threshold" `Quick test_stop_threshold;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "decompose" `Quick test_decompose_paths;
+          Alcotest.test_case "solve twice" `Quick test_solve_twice_rejected;
+          Alcotest.test_case "edge validation" `Quick test_add_edge_validation ] );
+      ( "maxflow",
+        [ Alcotest.test_case "dinic simple" `Quick test_dinic_simple;
+          Alcotest.test_case "dinic disconnected" `Quick test_dinic_disconnected;
+          Alcotest.test_case "min cut" `Quick test_dinic_min_cut ] );
+      ( "cross_check",
+        [ Alcotest.test_case "mcmf = spfa" `Quick test_mcmf_agrees_with_spfa;
+          Alcotest.test_case "mcmf flow = dinic" `Quick test_mcmf_flow_equals_dinic ] );
+      ( "escape",
+        [ Alcotest.test_case "single cluster" `Quick test_escape_single_cluster;
+          Alcotest.test_case "two disjoint" `Quick test_escape_two_clusters_disjoint;
+          Alcotest.test_case "avoids claimed" `Quick test_escape_avoids_claimed;
+          Alcotest.test_case "pin shortage" `Quick test_escape_more_clusters_than_pins;
+          Alcotest.test_case "max routed dominates" `Quick
+            test_escape_prefers_max_routed_over_length;
+          Alcotest.test_case "validation" `Quick test_escape_validation;
+          Alcotest.test_case "total length" `Quick test_escape_total_length;
+          Alcotest.test_case "routed count = max-flow bound" `Quick
+            test_escape_matches_feasibility_bound ] );
+      ("properties", qcheck_cases) ]

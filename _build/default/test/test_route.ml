@@ -1,0 +1,517 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_route
+
+let grid ?(obstacles = []) w h = Routing_grid.create ~width:w ~height:h ~obstacles ()
+
+let free_spec obstacles =
+  { Astar.usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
+
+(* ---------- A* ---------- *)
+
+let test_astar_straight_line () =
+  let g = grid 10 10 in
+  let obs = Routing_grid.fresh_work_map g in
+  match Astar.shortest ~grid:g ~obstacles:obs (Point.make 1 1) (Point.make 6 1) with
+  | None -> Alcotest.fail "expected a path"
+  | Some p ->
+    Alcotest.(check int) "manhattan optimal" 5 (Path.length p);
+    Alcotest.(check bool) "starts at source" true (Point.equal (Path.source p) (Point.make 1 1));
+    Alcotest.(check bool) "ends at target" true (Point.equal (Path.target p) (Point.make 6 1))
+
+let test_astar_around_wall () =
+  (* Vertical wall with one gap. *)
+  let wall = Rect.make ~x0:4 ~y0:0 ~x1:4 ~y1:7 in
+  let g = grid ~obstacles:[ wall ] 10 10 in
+  let obs = Routing_grid.fresh_work_map g in
+  match Astar.shortest ~grid:g ~obstacles:obs (Point.make 1 1) (Point.make 8 1) with
+  | None -> Alcotest.fail "expected a path"
+  | Some p ->
+    (* Must pass through the gap row (y >= 8). *)
+    Alcotest.(check bool) "detours above wall" true
+      (List.exists (fun (q : Point.t) -> q.y >= 8) (Path.points p));
+    Alcotest.(check int) "optimal detour length" 21 (Path.length p)
+
+let test_astar_blocked_completely () =
+  let wall = Rect.make ~x0:4 ~y0:0 ~x1:4 ~y1:9 in
+  let g = grid ~obstacles:[ wall ] 10 10 in
+  let obs = Routing_grid.fresh_work_map g in
+  Alcotest.(check bool) "no path" true
+    (Astar.shortest ~grid:g ~obstacles:obs (Point.make 1 1) (Point.make 8 1) = None)
+
+let test_astar_endpoints_exempt () =
+  (* Source and target sit on blocked cells: still routable. *)
+  let g = grid 8 8 in
+  let obs = Routing_grid.fresh_work_map g in
+  Obstacle_map.block obs (Point.make 1 1);
+  Obstacle_map.block obs (Point.make 5 1);
+  match Astar.shortest ~grid:g ~obstacles:obs (Point.make 1 1) (Point.make 5 1) with
+  | None -> Alcotest.fail "expected path despite blocked endpoints"
+  | Some p -> Alcotest.(check int) "length" 4 (Path.length p)
+
+let test_astar_multi_source_target () =
+  let g = grid 12 12 in
+  let spec = free_spec (Routing_grid.fresh_work_map g) in
+  let sources = [ Point.make 1 1; Point.make 10 10 ] in
+  let targets = [ Point.make 10 1 ] in
+  match Astar.search ~grid:g ~spec ~sources ~targets () with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    (* Nearest source to the target is (10,10): distance 9. *)
+    Alcotest.(check int) "uses nearest source" 9 (Path.length p)
+
+let test_astar_source_is_target () =
+  let g = grid 5 5 in
+  let spec = free_spec (Routing_grid.fresh_work_map g) in
+  match
+    Astar.search ~grid:g ~spec ~sources:[ Point.make 2 2 ] ~targets:[ Point.make 2 2 ] ()
+  with
+  | Some p -> Alcotest.(check int) "trivial" 0 (Path.length p)
+  | None -> Alcotest.fail "expected trivial path"
+
+let test_astar_extra_cost_steers () =
+  (* Penalise the straight row so the path detours around it. *)
+  let g = grid 10 5 in
+  let obs = Routing_grid.fresh_work_map g in
+  let spec =
+    { Astar.usable = (fun p -> Obstacle_map.free obs p);
+      extra_cost =
+        (fun (p : Point.t) -> if p.y = 2 && p.x >= 2 && p.x <= 7 then 10 * Astar.cost_scale else 0) }
+  in
+  match
+    Astar.search ~grid:g ~spec ~sources:[ Point.make 0 2 ] ~targets:[ Point.make 9 2 ] ()
+  with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    Alcotest.(check bool) "avoids penalised row" true
+      (List.for_all
+         (fun (q : Point.t) -> not (q.y = 2 && q.x >= 2 && q.x <= 7))
+         (Path.points p))
+
+(* ---------- Negotiation ---------- *)
+
+let test_negotiation_single_edge () =
+  let g = grid 8 8 in
+  let out =
+    Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g)
+      [ { Negotiation.edge_id = 0; ends = (Point.make 1 1, Point.make 6 1) } ]
+  in
+  Alcotest.(check bool) "success" true out.success;
+  Alcotest.(check int) "one path" 1 (List.length out.paths)
+
+let test_negotiation_conflicting_edges () =
+  (* Both edges want row 4; the second must detour around the first's
+     claimed path (full-span crossing pairs are topologically impossible
+     on one layer, so the vertical edge stops short of the boundary and
+     can wrap around the horizontal one). *)
+  let g = grid 9 9 in
+  let edges =
+    [ { Negotiation.edge_id = 0; ends = (Point.make 1 4, Point.make 7 4) };
+      { Negotiation.edge_id = 1; ends = (Point.make 4 1, Point.make 4 7) } ]
+  in
+  let out = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  Alcotest.(check bool) "both routed" true out.success;
+  (match out.paths with
+   | [ (_, a); (_, b) ] ->
+     Alcotest.(check bool) "vertex disjoint" false (Path.shares_vertex a b)
+   | _ -> Alcotest.fail "expected two paths")
+
+let test_negotiation_shared_endpoint () =
+  (* Two edges of one tree meeting at a merge node. *)
+  let g = grid 8 8 in
+  let m = Point.make 4 4 in
+  let edges =
+    [ { Negotiation.edge_id = 0; ends = (Point.make 1 4, m) };
+      { Negotiation.edge_id = 1; ends = (m, Point.make 7 4) } ]
+  in
+  let out = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  Alcotest.(check bool) "success with shared endpoint" true out.success
+
+let test_negotiation_impossible () =
+  (* Second edge's endpoint is walled in. *)
+  let walls =
+    [ Rect.make ~x0:5 ~y0:5 ~x1:7 ~y1:5; Rect.make ~x0:5 ~y0:7 ~x1:7 ~y1:7;
+      Rect.make ~x0:5 ~y0:5 ~x1:5 ~y1:7; Rect.make ~x0:7 ~y0:5 ~x1:7 ~y1:7 ]
+  in
+  let g = grid ~obstacles:walls 10 10 in
+  let edges =
+    [ { Negotiation.edge_id = 0; ends = (Point.make 1 1, Point.make 6 6) } ]
+  in
+  let out = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  Alcotest.(check bool) "fails" false out.success;
+  Alcotest.(check bool) "bounded iterations" true
+    (out.iterations <= Negotiation.default_config.gamma)
+
+let test_negotiation_many_parallel () =
+  (* Ten horizontal edges on ten rows: trivially disjoint. *)
+  let g = grid 12 12 in
+  let edges =
+    List.init 10 (fun i ->
+      { Negotiation.edge_id = i; ends = (Point.make 1 (i + 1), Point.make 10 (i + 1)) })
+  in
+  let out = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  Alcotest.(check bool) "all routed" true out.success;
+  Alcotest.(check int) "first iteration" 1 out.iterations
+
+
+let test_negotiation_deterministic () =
+  (* Identical inputs produce identical paths — the whole flow relies on
+     reproducibility. *)
+  let g = grid 12 12 in
+  let edges =
+    [ { Negotiation.edge_id = 0; ends = (Point.make 1 3, Point.make 10 6) };
+      { Negotiation.edge_id = 1; ends = (Point.make 1 6, Point.make 10 3) };
+      { Negotiation.edge_id = 2; ends = (Point.make 5 1, Point.make 5 10) } ]
+  in
+  let run () = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same path count" (List.length a.paths) (List.length b.paths);
+  List.iter2
+    (fun (ia, pa) (ib, pb) ->
+       Alcotest.(check int) "same edge id" ia ib;
+       Alcotest.(check bool) "same path" true (Path.equal pa pb))
+    a.paths b.paths
+
+let test_negotiation_paths_disjoint_invariant () =
+  (* On success, every pair of routed paths is vertex-disjoint except at a
+     shared endpoint. *)
+  let g = grid 14 14 in
+  let m = Point.make 7 7 in
+  let edges =
+    [ { Negotiation.edge_id = 0; ends = (Point.make 2 7, m) };
+      { Negotiation.edge_id = 1; ends = (m, Point.make 12 7) };
+      { Negotiation.edge_id = 2; ends = (Point.make 2 2, Point.make 12 2) };
+      { Negotiation.edge_id = 3; ends = (Point.make 2 12, Point.make 12 12) } ]
+  in
+  let out = Negotiation.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges in
+  Alcotest.(check bool) "success" true out.success;
+  let arr = Array.of_list out.paths in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      let _, pi = arr.(i) and _, pj = arr.(j) in
+      let shared =
+        List.filter (fun p -> Path.mem pj p) (Path.points pi)
+      in
+      Alcotest.(check bool) "at most a shared endpoint" true
+        (List.length shared <= 1
+         && List.for_all
+              (fun p ->
+                 Point.equal p (Path.source pi) || Point.equal p (Path.target pi))
+              shared)
+    done
+  done
+
+(* ---------- Bounded A* ---------- *)
+
+let test_bounded_meets_bound () =
+  let g = grid 10 10 in
+  let usable _ = true in
+  List.iter
+    (fun min_length ->
+       match
+         Bounded_astar.search ~grid:g ~usable ~source:(Point.make 2 2)
+           ~target:(Point.make 6 2) ~min_length ()
+       with
+       | None -> Alcotest.failf "no path for bound %d" min_length
+       | Some p ->
+         Alcotest.(check bool)
+           (Printf.sprintf "length >= %d" min_length)
+           true
+           (Path.length p >= min_length);
+         (* Parity: any path between these endpoints has even length. *)
+         Alcotest.(check int) "parity preserved" 0 (Path.length p mod 2))
+    [ 0; 4; 6; 10; 14 ]
+
+let test_bounded_equals_shortest_when_bound_small () =
+  let g = grid 10 10 in
+  match
+    Bounded_astar.search ~grid:g ~usable:(fun _ -> true) ~source:(Point.make 1 1)
+      ~target:(Point.make 4 1) ~min_length:0 ()
+  with
+  | None -> Alcotest.fail "expected path"
+  | Some p -> Alcotest.(check int) "shortest" 3 (Path.length p)
+
+let test_bounded_respects_obstacles () =
+  let wall = Rect.make ~x0:0 ~y0:3 ~x1:8 ~y1:3 in
+  let g = grid ~obstacles:[ wall ] 10 10 in
+  let usable p = Routing_grid.free g p in
+  match
+    Bounded_astar.search ~grid:g ~usable ~source:(Point.make 1 1) ~target:(Point.make 5 1)
+      ~min_length:8 ()
+  with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    Alcotest.(check bool) "length >= 8" true (Path.length p >= 8);
+    List.iter
+      (fun (q : Point.t) ->
+         Alcotest.(check bool) "off wall" true
+           (not (q.y = 3 && q.x <= 8)))
+      (Path.points p)
+
+let test_bounded_impossible_bound () =
+  (* 1x5 corridor: the only simple path has length 4; bound 6 unreachable. *)
+  let g = grid 5 1 in
+  Alcotest.(check bool) "unreachable bound" true
+    (Bounded_astar.search ~grid:g ~usable:(fun _ -> true) ~source:(Point.make 0 0)
+       ~target:(Point.make 4 0) ~min_length:6 ()
+     = None)
+
+(* ---------- Detour (bump insertion) ---------- *)
+
+let test_lengthen_basic () =
+  let g = grid 10 10 in
+  ignore g;
+  let path = Path.of_points [ Point.make 2 5; Point.make 3 5; Point.make 4 5 ] in
+  let usable _ = true in
+  (match Detour.lengthen path ~target:6 ~usable with
+   | None -> Alcotest.fail "expected lengthened path"
+   | Some p ->
+     Alcotest.(check int) "length 6" 6 (Path.length p);
+     Alcotest.(check bool) "same endpoints" true
+       (Point.equal (Path.source p) (Point.make 2 5)
+        && Point.equal (Path.target p) (Point.make 4 5)));
+  (match Detour.lengthen path ~target:7 ~usable with
+   | None -> Alcotest.fail "expected lengthened path"
+   | Some p -> Alcotest.(check int) "odd target overshoots to 8" 8 (Path.length p))
+
+let test_lengthen_already_long_enough () =
+  let path = Path.of_points [ Point.make 2 5; Point.make 3 5 ] in
+  match Detour.lengthen path ~target:1 ~usable:(fun _ -> true) with
+  | Some p -> Alcotest.(check int) "unchanged" 1 (Path.length p)
+  | None -> Alcotest.fail "expected identity"
+
+let test_lengthen_no_room () =
+  (* 3x1 corridor: no space for bumps. *)
+  let path = Path.of_points [ Point.make 0 0; Point.make 1 0; Point.make 2 0 ] in
+  let usable (p : Point.t) = p.y = 0 && p.x >= 0 && p.x <= 2 in
+  Alcotest.(check bool) "no bump possible" true
+    (Detour.lengthen path ~target:4 ~usable = None)
+
+let test_lengthen_large_target () =
+  let path = Path.of_points [ Point.make 5 5; Point.make 6 5 ] in
+  let usable (p : Point.t) = p.x >= 0 && p.x < 20 && p.y >= 0 && p.y < 20 in
+  match Detour.lengthen path ~target:21 ~usable with
+  | None -> Alcotest.fail "expected heavy detour"
+  | Some p ->
+    Alcotest.(check bool) "length >= 21" true (Path.length p >= 21);
+    Alcotest.(check bool) "overshoot <= 1" true (Path.length p <= 22)
+
+let test_max_bumped_length_corridor () =
+  (* 3-wide corridor bounds how long the path can get. *)
+  let path = Path.of_points [ Point.make 0 1; Point.make 1 1; Point.make 2 1 ] in
+  let usable (p : Point.t) = p.x >= 0 && p.x <= 2 && p.y >= 0 && p.y <= 2 in
+  let reach = Detour.max_bumped_length path ~usable in
+  Alcotest.(check bool) "bounded by area" true (reach <= 9);
+  Alcotest.(check bool) "gained something" true (reach > 2)
+
+(* ---------- MST router ---------- *)
+
+let test_mst_router_connects_all () =
+  let g = grid 15 15 in
+  let terminals = [ Point.make 2 2; Point.make 12 2; Point.make 7 12; Point.make 2 12 ] in
+  match Mst_router.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) terminals with
+  | None -> Alcotest.fail "expected routing"
+  | Some out ->
+    Alcotest.(check int) "three edges" 3 (List.length out.paths);
+    List.iter
+      (fun t ->
+         Alcotest.(check bool) "terminal claimed" true (Point.Set.mem t out.claimed))
+      terminals;
+    Alcotest.(check bool) "positive length" true (out.total_length > 0);
+    (* Connectivity: union of path points forms one component containing
+       all terminals; verify by BFS over claimed cells. *)
+    let claimed = out.claimed in
+    let visited = ref Point.Set.empty in
+    let rec bfs = function
+      | [] -> ()
+      | p :: rest ->
+        if Point.Set.mem p !visited then bfs rest
+        else begin
+          visited := Point.Set.add p !visited;
+          let next =
+            List.filter (fun q -> Point.Set.mem q claimed) (Point.neighbours4 p)
+          in
+          bfs (next @ rest)
+        end
+    in
+    bfs [ List.hd terminals ];
+    List.iter
+      (fun t -> Alcotest.(check bool) "terminal reachable" true (Point.Set.mem t !visited))
+      terminals
+
+let test_mst_router_singleton () =
+  let g = grid 5 5 in
+  match Mst_router.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) [ Point.make 2 2 ] with
+  | Some out ->
+    Alcotest.(check int) "no paths" 0 (List.length out.paths);
+    Alcotest.(check int) "claims itself" 1 (Point.Set.cardinal out.claimed)
+  | None -> Alcotest.fail "singleton should route"
+
+let test_mst_router_blocked () =
+  (* One terminal boxed in. *)
+  let walls =
+    [ Rect.make ~x0:4 ~y0:4 ~x1:6 ~y1:4; Rect.make ~x0:4 ~y0:6 ~x1:6 ~y1:6;
+      Rect.make ~x0:4 ~y0:4 ~x1:4 ~y1:6; Rect.make ~x0:6 ~y0:4 ~x1:6 ~y1:6 ]
+  in
+  let g = grid ~obstacles:walls 12 12 in
+  Alcotest.(check bool) "unroutable" true
+    (Mst_router.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g)
+       [ Point.make 1 1; Point.make 5 5 ]
+     = None)
+
+let test_mst_router_empty () =
+  let g = grid 5 5 in
+  Alcotest.(check bool) "empty input" true
+    (Mst_router.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) [] = None)
+
+
+(* ---------- Steiner (RSMT) ---------- *)
+
+let pts l = List.map (fun (x, y) -> Point.make x y) l
+
+let test_rsmt_cross () =
+  (* Four points in a cross: one Steiner point at the centre saves 2x the
+     radius compared with the MST. *)
+  let terminals = pts [ (5, 0); (0, 5); (10, 5); (5, 10) ] in
+  let t = Steiner.rsmt terminals in
+  Alcotest.(check int) "optimal cross" 20 t.length;
+  Alcotest.(check bool) "beats MST" true (t.length < Steiner.mst_length terminals);
+  Alcotest.(check bool) "steiner point added" true (List.length t.nodes > 4)
+
+let test_rsmt_collinear () =
+  let terminals = pts [ (0, 3); (4, 3); (9, 3) ] in
+  let t = Steiner.rsmt terminals in
+  Alcotest.(check int) "collinear needs no steiner points" 9 t.length
+
+let test_rsmt_two_points () =
+  let t = Steiner.rsmt (pts [ (1, 1); (4, 5) ]) in
+  Alcotest.(check int) "manhattan" 7 t.length
+
+let test_rsmt_bounds () =
+  let terminals = pts [ (2, 2); (2, 10); (12, 3); (13, 11) ] in
+  let t = Steiner.rsmt terminals in
+  Alcotest.(check bool) "rsmt <= mst" true (t.length <= Steiner.mst_length terminals);
+  Alcotest.(check bool) "rsmt >= half perimeter" true
+    (t.length >= Steiner.half_perimeter terminals)
+
+let test_rsmt_duplicates_rejected () =
+  Alcotest.check_raises "duplicates" (Invalid_argument "Steiner.rsmt: duplicate terminals")
+    (fun () -> ignore (Steiner.rsmt (pts [ (1, 1); (1, 1) ])))
+
+let test_hanan_points () =
+  let h = Steiner.hanan_points (pts [ (0, 0); (3, 4) ]) in
+  Alcotest.(check int) "two crossings" 2 (List.length h);
+  Alcotest.(check bool) "contains (0,4)" true (List.exists (Point.equal (Point.make 0 4)) h)
+
+let prop_rsmt_between_bounds =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 2 6 in
+        let rec gen acc k =
+          if k = 0 then return acc
+          else
+            let* x = int_range 0 15 and* y = int_range 0 15 in
+            let p = Point.make x y in
+            if List.exists (Point.equal p) acc then gen acc k
+            else gen (p :: acc) (k - 1)
+        in
+        gen [] n)
+  in
+  QCheck.Test.make ~name:"half-perimeter <= rsmt <= mst" ~count:80 arb (fun terminals ->
+    let t = Steiner.rsmt terminals in
+    Steiner.half_perimeter terminals <= t.length
+    && t.length <= Steiner.mst_length terminals)
+
+(* ---------- QCheck ---------- *)
+
+let arb_grid_points =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 2 6 in
+      let* pts =
+        list_size (return n)
+          (let* x = int_range 1 10 and* y = int_range 1 10 in
+           return (Point.make x y))
+      in
+      return (List.sort_uniq Point.compare pts))
+
+let prop_astar_optimal_no_obstacles =
+  QCheck.Test.make ~name:"A* equals manhattan without obstacles" ~count:100
+    arb_grid_points (fun pts ->
+      match pts with
+      | a :: b :: _ ->
+        let g = grid 12 12 in
+        (match Astar.shortest ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) a b with
+         | Some p -> Path.length p = Point.manhattan a b
+         | None -> false)
+      | _ -> true)
+
+let prop_mst_router_claims_terminals =
+  QCheck.Test.make ~name:"MST router claims all terminals" ~count:50 arb_grid_points
+    (fun pts ->
+       let g = grid 12 12 in
+       match Mst_router.route ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) pts with
+       | Some out -> List.for_all (fun t -> Point.Set.mem t out.claimed) pts
+       | None -> false)
+
+let prop_lengthen_parity =
+  QCheck.Test.make ~name:"lengthen adds an even amount" ~count:100
+    (QCheck.pair (QCheck.int_range 2 8) (QCheck.int_range 0 10))
+    (fun (len, extra) ->
+       let pts = List.init (len + 1) (fun i -> Point.make (i + 2) 10) in
+       let path = Path.of_points pts in
+       let usable (p : Point.t) = p.x >= 0 && p.x < 30 && p.y >= 0 && p.y < 30 in
+       match Detour.lengthen path ~target:(len + extra) ~usable with
+       | Some p -> (Path.length p - len) mod 2 = 0 && Path.length p >= len + extra
+       | None -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_astar_optimal_no_obstacles; prop_mst_router_claims_terminals;
+      prop_lengthen_parity; prop_rsmt_between_bounds ]
+
+let () =
+  Alcotest.run "route"
+    [ ( "astar",
+        [ Alcotest.test_case "straight line" `Quick test_astar_straight_line;
+          Alcotest.test_case "around wall" `Quick test_astar_around_wall;
+          Alcotest.test_case "fully blocked" `Quick test_astar_blocked_completely;
+          Alcotest.test_case "endpoints exempt" `Quick test_astar_endpoints_exempt;
+          Alcotest.test_case "multi source/target" `Quick test_astar_multi_source_target;
+          Alcotest.test_case "source is target" `Quick test_astar_source_is_target;
+          Alcotest.test_case "history cost steers" `Quick test_astar_extra_cost_steers ] );
+      ( "negotiation",
+        [ Alcotest.test_case "single edge" `Quick test_negotiation_single_edge;
+          Alcotest.test_case "conflicting edges" `Quick test_negotiation_conflicting_edges;
+          Alcotest.test_case "shared endpoint" `Quick test_negotiation_shared_endpoint;
+          Alcotest.test_case "impossible edge" `Quick test_negotiation_impossible;
+          Alcotest.test_case "many parallel" `Quick test_negotiation_many_parallel;
+          Alcotest.test_case "deterministic" `Quick test_negotiation_deterministic;
+          Alcotest.test_case "disjointness invariant" `Quick
+            test_negotiation_paths_disjoint_invariant ] );
+      ( "bounded_astar",
+        [ Alcotest.test_case "meets bound" `Quick test_bounded_meets_bound;
+          Alcotest.test_case "small bound = shortest" `Quick
+            test_bounded_equals_shortest_when_bound_small;
+          Alcotest.test_case "respects obstacles" `Quick test_bounded_respects_obstacles;
+          Alcotest.test_case "impossible bound" `Quick test_bounded_impossible_bound ] );
+      ( "detour",
+        [ Alcotest.test_case "lengthen basic" `Quick test_lengthen_basic;
+          Alcotest.test_case "already long enough" `Quick test_lengthen_already_long_enough;
+          Alcotest.test_case "no room" `Quick test_lengthen_no_room;
+          Alcotest.test_case "large target" `Quick test_lengthen_large_target;
+          Alcotest.test_case "corridor cap" `Quick test_max_bumped_length_corridor ] );
+      ( "mst_router",
+        [ Alcotest.test_case "connects all" `Quick test_mst_router_connects_all;
+          Alcotest.test_case "singleton" `Quick test_mst_router_singleton;
+          Alcotest.test_case "blocked terminal" `Quick test_mst_router_blocked;
+          Alcotest.test_case "empty" `Quick test_mst_router_empty ] );
+      ( "steiner",
+        [ Alcotest.test_case "cross" `Quick test_rsmt_cross;
+          Alcotest.test_case "collinear" `Quick test_rsmt_collinear;
+          Alcotest.test_case "two points" `Quick test_rsmt_two_points;
+          Alcotest.test_case "bounds" `Quick test_rsmt_bounds;
+          Alcotest.test_case "duplicates" `Quick test_rsmt_duplicates_rejected;
+          Alcotest.test_case "hanan points" `Quick test_hanan_points ] );
+      ("properties", qcheck_cases) ]

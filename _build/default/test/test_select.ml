@@ -1,0 +1,234 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_dme
+open Pacor_select
+
+let grid = Routing_grid.create ~width:30 ~height:30 ()
+
+let candidates_of sinks =
+  Candidate.enumerate ~grid ~usable:(fun _ -> true)
+    (List.map (fun (x, y) -> Point.make x y) sinks)
+
+(* A hand-built candidate with chosen edges, for cost tests. *)
+let fake_candidate edges mismatch =
+  let edges =
+    List.map
+      (fun ((x1, y1), (x2, y2)) ->
+         { Candidate.parent_pos = Point.make x1 y1; child_pos = Point.make x2 y2 })
+      edges
+  in
+  {
+    Candidate.root = Point.make 0 0;
+    nodes = [];
+    edges;
+    sinks = [| Point.make 0 0 |];
+    full_path_lengths = [| 0 |];
+    mismatch;
+    total_estimate = 0;
+  }
+
+(* ---------- Cost functions ---------- *)
+
+let test_overlap_cost_disjoint () =
+  let a = fake_candidate [ ((0, 0), (5, 0)) ] 0 in
+  let b = fake_candidate [ ((0, 10), (5, 10)) ] 0 in
+  Alcotest.(check (float 1e-9)) "no overlap" 0.0 (Tree_select.overlap_cost a b)
+
+let test_overlap_cost_identical () =
+  let a = fake_candidate [ ((0, 0), (5, 0)) ] 0 in
+  Alcotest.(check (float 1e-9)) "full overlap = 1" 1.0 (Tree_select.overlap_cost a a)
+
+let test_overlap_cost_partial () =
+  (* Edge boxes [0..5]x[0..0] (6 cells) and [3..8]x[0..0] (6 cells) share 3
+     cells: ratio 0.5. *)
+  let a = fake_candidate [ ((0, 0), (5, 0)) ] 0 in
+  let b = fake_candidate [ ((3, 0), (8, 0)) ] 0 in
+  Alcotest.(check (float 1e-9)) "half overlap" 0.5 (Tree_select.overlap_cost a b)
+
+let test_overlap_symmetric () =
+  let a = fake_candidate [ ((0, 0), (4, 3)); ((4, 3), (7, 1)) ] 0 in
+  let b = fake_candidate [ ((2, 1), (6, 2)) ] 0 in
+  Alcotest.(check (float 1e-9)) "symmetric" (Tree_select.overlap_cost a b)
+    (Tree_select.overlap_cost b a)
+
+let test_mismatch_cost_normalised () =
+  let c0 = fake_candidate [] 0 and c2 = fake_candidate [] 2 and c4 = fake_candidate [] 4 in
+  let per_cluster = [ [ c0; c4 ]; [ c2 ] ] in
+  Alcotest.(check (float 1e-9)) "zero mismatch" 0.0 (Tree_select.mismatch_cost per_cluster c0);
+  Alcotest.(check (float 1e-9)) "max mismatch" 1.0 (Tree_select.mismatch_cost per_cluster c4);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Tree_select.mismatch_cost per_cluster c2)
+
+(* ---------- Selection ---------- *)
+
+let test_select_one_per_cluster () =
+  let per_cluster = [ candidates_of [ (2, 2); (2, 8) ]; candidates_of [ (20, 20); (26, 20) ] ] in
+  match Tree_select.select per_cluster with
+  | Error e -> Alcotest.failf "select failed: %s" e
+  | Ok sel ->
+    Alcotest.(check int) "one per cluster" 2 (List.length sel.chosen);
+    Alcotest.(check bool) "objective non-positive" true (sel.objective <= 1e-9)
+
+let test_select_avoids_overlap () =
+  (* Cluster A has two candidates: one overlapping cluster B's only
+     candidate, one clean. The selection must pick the clean one. *)
+  let overlapping = fake_candidate [ ((0, 0), (10, 0)) ] 0 in
+  let clean = fake_candidate [ ((0, 5), (10, 5)) ] 0 in
+  let b_only = fake_candidate [ ((4, 0), (8, 0)) ] 0 in
+  (match Tree_select.select [ [ overlapping; clean ]; [ b_only ] ] with
+   | Error e -> Alcotest.failf "select failed: %s" e
+   | Ok sel ->
+     (match sel.chosen with
+      | [ a; _ ] ->
+        Alcotest.(check bool) "clean candidate picked" true (a == clean)
+      | _ -> Alcotest.fail "expected two choices"))
+
+let test_select_trades_mismatch_for_overlap () =
+  (* lambda = 0.1: overlap dominates mismatch, so a slightly mismatched
+     but non-overlapping candidate wins. *)
+  let matched_overlapping = fake_candidate [ ((0, 0), (10, 0)) ] 0 in
+  let mismatched_clean = fake_candidate [ ((0, 5), (10, 5)) ] 3 in
+  let b_only = fake_candidate [ ((2, 0), (9, 0)) ] 3 in
+  match Tree_select.select [ [ matched_overlapping; mismatched_clean ]; [ b_only ] ] with
+  | Error e -> Alcotest.failf "select failed: %s" e
+  | Ok sel ->
+    (match sel.chosen with
+     | [ a; _ ] -> Alcotest.(check bool) "mismatched clean wins" true (a == mismatched_clean)
+     | _ -> Alcotest.fail "expected two choices")
+
+let test_select_empty_cluster_error () =
+  Alcotest.(check bool) "error on empty candidate list" true
+    (Result.is_error (Tree_select.select [ []; [ fake_candidate [] 0 ] ]))
+
+let test_select_no_clusters () =
+  match Tree_select.select [] with
+  | Ok sel -> Alcotest.(check int) "empty selection" 0 (List.length sel.chosen)
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* Brute-force optimal selection for small instances. *)
+let brute_force ~lambda per_cluster =
+  let rec all_choices = function
+    | [] -> [ [] ]
+    | cands :: rest ->
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) (all_choices rest)) cands
+  in
+  List.fold_left
+    (fun (best, bw) choice ->
+       let w = Tree_select.selection_weight ~lambda per_cluster choice in
+       if w > bw then (choice, w) else (best, bw))
+    ([], neg_infinity)
+    (all_choices per_cluster)
+
+let random_instance seed =
+  let rng = ref seed in
+  let next () =
+    rng := (!rng * 1103515245) + 12345;
+    abs !rng
+  in
+  List.init 3 (fun _ ->
+    List.init
+      (1 + (next () mod 3))
+      (fun _ ->
+         let x1 = next () mod 15 and y1 = next () mod 15 in
+         let x2 = next () mod 15 and y2 = next () mod 15 in
+         fake_candidate [ ((x1, y1), (x2, y2)) ] (next () mod 5)))
+
+let test_mwcp_clique_matches_exact () =
+  (* The paper's literal MWCP formulation and the direct branch-and-bound
+     must agree on the optimum. *)
+  List.iter
+    (fun seed ->
+       let per_cluster = random_instance seed in
+       let run solver =
+         match Tree_select.select ~config:{ Tree_select.lambda = 0.1; solver } per_cluster with
+         | Ok sel -> sel.objective
+         | Error e -> Alcotest.failf "solver failed: %s" e
+       in
+       Alcotest.(check (float 1e-9)) (Printf.sprintf "seed %d" seed)
+         (run Tree_select.Exact) (run Tree_select.Mwcp_clique))
+    [ 3; 17; 99; 123; 4242; 31337 ]
+
+let test_exact_matches_brute_force () =
+  List.iter
+    (fun seed ->
+       let per_cluster = random_instance seed in
+       let _, brute_w = brute_force ~lambda:0.1 per_cluster in
+       match
+         Tree_select.select
+           ~config:{ Tree_select.lambda = 0.1; solver = Tree_select.Exact }
+           per_cluster
+       with
+       | Error e -> Alcotest.failf "select failed: %s" e
+       | Ok sel -> Alcotest.(check (float 1e-9)) "optimal" brute_w sel.objective)
+    [ 3; 17; 99; 123; 4242 ]
+
+let test_solvers_agree_on_feasibility () =
+  let per_cluster = random_instance 7 in
+  List.iter
+    (fun solver ->
+       match Tree_select.select ~config:{ Tree_select.lambda = 0.1; solver } per_cluster with
+       | Error e -> Alcotest.failf "solver failed: %s" e
+       | Ok sel -> Alcotest.(check int) "full selection" 3 (List.length sel.chosen))
+    [ Tree_select.Exact; Tree_select.Greedy; Tree_select.Local_search;
+      Tree_select.Mwcp_clique ]
+
+let test_local_search_at_least_greedy () =
+  List.iter
+    (fun seed ->
+       let per_cluster = random_instance seed in
+       let run solver =
+         match Tree_select.select ~config:{ Tree_select.lambda = 0.1; solver } per_cluster with
+         | Ok sel -> sel.objective
+         | Error e -> Alcotest.failf "solver failed: %s" e
+       in
+       let g = run Tree_select.Greedy and ls = run Tree_select.Local_search in
+       let ex = run Tree_select.Exact in
+       Alcotest.(check bool) "local search >= greedy" true (ls >= g -. 1e-9);
+       Alcotest.(check bool) "exact >= local search" true (ex >= ls -. 1e-9))
+    [ 11; 29; 57 ]
+
+(* ---------- QCheck ---------- *)
+
+let arb_instance = QCheck.map random_instance QCheck.small_int
+
+let prop_exact_optimal =
+  QCheck.Test.make ~name:"exact solver is optimal" ~count:40 arb_instance
+    (fun per_cluster ->
+       let _, brute_w = brute_force ~lambda:0.1 per_cluster in
+       match
+         Tree_select.select
+           ~config:{ Tree_select.lambda = 0.1; solver = Tree_select.Exact }
+           per_cluster
+       with
+       | Ok sel -> Float.abs (sel.objective -. brute_w) < 1e-9
+       | Error _ -> false)
+
+let prop_selection_weight_nonpositive =
+  QCheck.Test.make ~name:"objective always <= 0" ~count:40 arb_instance
+    (fun per_cluster ->
+       match Tree_select.select per_cluster with
+       | Ok sel -> sel.objective <= 1e-9
+       | Error _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_exact_optimal; prop_selection_weight_nonpositive ]
+
+let () =
+  Alcotest.run "select"
+    [ ( "costs",
+        [ Alcotest.test_case "disjoint overlap" `Quick test_overlap_cost_disjoint;
+          Alcotest.test_case "identical overlap" `Quick test_overlap_cost_identical;
+          Alcotest.test_case "partial overlap" `Quick test_overlap_cost_partial;
+          Alcotest.test_case "symmetric" `Quick test_overlap_symmetric;
+          Alcotest.test_case "mismatch normalised" `Quick test_mismatch_cost_normalised ] );
+      ( "selection",
+        [ Alcotest.test_case "one per cluster" `Quick test_select_one_per_cluster;
+          Alcotest.test_case "avoids overlap" `Quick test_select_avoids_overlap;
+          Alcotest.test_case "mismatch vs overlap tradeoff" `Quick
+            test_select_trades_mismatch_for_overlap;
+          Alcotest.test_case "empty cluster error" `Quick test_select_empty_cluster_error;
+          Alcotest.test_case "no clusters" `Quick test_select_no_clusters;
+          Alcotest.test_case "exact vs brute force" `Quick test_exact_matches_brute_force;
+          Alcotest.test_case "MWCP clique = exact" `Quick test_mwcp_clique_matches_exact;
+          Alcotest.test_case "all solvers feasible" `Quick test_solvers_agree_on_feasibility;
+          Alcotest.test_case "solver quality ordering" `Quick test_local_search_at_least_greedy ] );
+      ("properties", qcheck_cases) ]

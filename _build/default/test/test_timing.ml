@@ -1,0 +1,145 @@
+open Pacor_timing
+
+let rules = Pacor_grid.Design_rules.default
+let params = Rc_model.default
+
+(* ---------- RC model ---------- *)
+
+let test_delay_zero () =
+  Alcotest.(check (float 1e-15)) "zero length, zero delay" 0.0
+    (Rc_model.delay_of_um params 0.0)
+
+let test_delay_monotonic () =
+  let rec check prev = function
+    | [] -> ()
+    | l :: rest ->
+      let d = Rc_model.delay_of_um params l in
+      Alcotest.(check bool) (Printf.sprintf "monotonic at %.0f" l) true (d > prev);
+      check d rest
+  in
+  check (-1.0) [ 10.0; 100.0; 1000.0; 10_000.0; 100_000.0 ]
+
+let test_delay_superlinear () =
+  (* Distributed RC: doubling the length more than doubles the delay. *)
+  let d1 = Rc_model.delay_of_um params 10_000.0 in
+  let d2 = Rc_model.delay_of_um params 20_000.0 in
+  Alcotest.(check bool) "superlinear" true (d2 > 2.0 *. d1)
+
+let test_delay_magnitude () =
+  (* 20 mm of channel settles on the order of milliseconds (the mVLSI
+     regime the paper describes). *)
+  let d = Rc_model.delay_of_um params 20_000.0 in
+  Alcotest.(check bool) "between 1 and 100 ms" true (d > 1e-3 && d < 0.1)
+
+let test_delay_negative_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Rc_model.delay_of_um: negative length")
+    (fun () -> ignore (Rc_model.delay_of_um params (-1.0)))
+
+let test_grid_conversion () =
+  let d_grid = Rc_model.delay_of_grid params ~rules 100 in
+  let d_um =
+    Rc_model.delay_of_um params
+      (float_of_int (Pacor_grid.Design_rules.um_of_grid_length rules 100))
+  in
+  Alcotest.(check (float 1e-15)) "grid = um path" d_um d_grid
+
+let test_skew_of_lengths () =
+  Alcotest.(check (float 1e-15)) "singleton" 0.0
+    (Rc_model.skew_of_lengths params ~rules [ 50 ]);
+  Alcotest.(check (float 1e-15)) "equal lengths" 0.0
+    (Rc_model.skew_of_lengths params ~rules [ 50; 50; 50 ]);
+  Alcotest.(check bool) "unequal positive" true
+    (Rc_model.skew_of_lengths params ~rules [ 10; 60 ] > 0.0)
+
+let test_matched_skew_below_unmatched () =
+  (* Lengths within delta=1 of each other produce far less skew than a
+     spread of 10. *)
+  let tight = Rc_model.skew_of_lengths params ~rules [ 40; 41 ] in
+  let loose = Rc_model.skew_of_lengths params ~rules [ 31; 41 ] in
+  Alcotest.(check bool) "tight << loose" true (tight *. 5.0 < loose)
+
+(* ---------- Skew analysis on a routed solution ---------- *)
+
+let solution () =
+  match Pacor_designs.Table1.load "S1" with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok problem ->
+    (match Pacor.Engine.run problem with
+     | Ok sol -> sol
+     | Error e -> Alcotest.failf "engine: %s" e.message)
+
+let test_analyze_reports_lm_clusters () =
+  let report = Skew.analyze (solution ()) in
+  Alcotest.(check int) "two clusters" 2 (List.length report.clusters);
+  List.iter
+    (fun (c : Skew.cluster_report) ->
+       Alcotest.(check bool) "delays positive" true
+         (List.for_all (fun (_, d) -> d > 0.0) c.valve_delays);
+       Alcotest.(check bool) "skew non-negative" true (c.skew_s >= 0.0))
+    report.clusters;
+  Alcotest.(check bool) "worst identified" true (report.worst_cluster <> None)
+
+let test_matched_clusters_have_small_skew () =
+  let report = Skew.analyze (solution ()) in
+  (* delta = 1 at S1 scale: skew below 0.1 ms for every matched cluster. *)
+  List.iter
+    (fun (c : Skew.cluster_report) ->
+       if c.matched then
+         Alcotest.(check bool)
+           (Printf.sprintf "cluster %d skew small" c.cluster_id)
+           true (c.skew_s < 1e-4))
+    report.clusters
+
+let test_pp_smoke () =
+  let report = Skew.analyze (solution ()) in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Skew.pp ppf report;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "mentions skew" true
+    (String.length (Buffer.contents buf) > 20)
+
+(* ---------- QCheck ---------- *)
+
+let prop_delay_monotone =
+  QCheck.Test.make ~name:"delay monotone in length" ~count:200
+    (QCheck.pair (QCheck.int_range 0 5000) (QCheck.int_range 0 5000))
+    (fun (a, b) ->
+       let da = Rc_model.delay_of_grid params ~rules a in
+       let db = Rc_model.delay_of_grid params ~rules b in
+       (a <= b && da <= db) || (a > b && da > db))
+
+let prop_skew_invariant_under_common_offset_sign =
+  QCheck.Test.make ~name:"skew grows with common length at fixed spread" ~count:100
+    (QCheck.pair (QCheck.int_range 1 500) (QCheck.int_range 1 20))
+    (fun (base, spread) ->
+       (* Quadratic delay: the same length spread produces more skew on
+          longer channels. *)
+       let near = Rc_model.skew_of_lengths params ~rules [ base; base + spread ] in
+       let far =
+         Rc_model.skew_of_lengths params ~rules [ base + 100; base + 100 + spread ]
+       in
+       far > near)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_delay_monotone; prop_skew_invariant_under_common_offset_sign ]
+
+let () =
+  Alcotest.run "timing"
+    [ ( "rc_model",
+        [ Alcotest.test_case "zero" `Quick test_delay_zero;
+          Alcotest.test_case "monotonic" `Quick test_delay_monotonic;
+          Alcotest.test_case "superlinear" `Quick test_delay_superlinear;
+          Alcotest.test_case "magnitude" `Quick test_delay_magnitude;
+          Alcotest.test_case "negative rejected" `Quick test_delay_negative_rejected;
+          Alcotest.test_case "grid conversion" `Quick test_grid_conversion;
+          Alcotest.test_case "skew of lengths" `Quick test_skew_of_lengths;
+          Alcotest.test_case "matched below unmatched" `Quick
+            test_matched_skew_below_unmatched ] );
+      ( "skew_analysis",
+        [ Alcotest.test_case "reports clusters" `Quick test_analyze_reports_lm_clusters;
+          Alcotest.test_case "matched skew small" `Quick
+            test_matched_clusters_have_small_skew;
+          Alcotest.test_case "pp" `Quick test_pp_smoke ] );
+      ("properties", qcheck_cases) ]
