@@ -10,13 +10,17 @@
    - Fig. 3: DME candidate-tree enumeration summary for a 4-valve cluster.
 
    Pass --quick (or set PACOR_BENCH_QUICK=1) to restrict the Table 2 sweep
-   to the synthetic S designs and shorten micro-benchmark quotas. *)
+   to the synthetic S designs and shorten micro-benchmark quotas. Pass
+   --smoke for the CI fast path: a seconds-long sanity run covering only
+   the workspace micro-bench and one full-flow stats printout. *)
 
 open Bechamel
 
 let quick =
   Array.exists (String.equal "--quick") Sys.argv
   || (match Sys.getenv_opt "PACOR_BENCH_QUICK" with Some ("1" | "true") -> true | _ -> false)
+
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -183,16 +187,51 @@ let bench_flow_solvers =
         (Staged.stage (fun () ->
            ignore (Pacor_flow.Mcmf_spfa.solve (build_spfa ()) ~source:0 ~sink:199))) ]
 
+let bench_astar_workspace =
+  (* The tentpole claim in numbers: A* with one shared workspace (O(1)
+     epoch reset) vs fresh per-call arrays, same searches on a 64x64 grid
+     with a sparse obstacle field. *)
+  let grid = Pacor_grid.Routing_grid.create ~width:64 ~height:64 () in
+  let obstacles = Pacor_grid.Routing_grid.fresh_work_map grid in
+  let () =
+    for i = 0 to 63 do
+      Pacor_geom.
+        [ Point.make ((i * 7) mod 64) ((i * 13) mod 64);
+          Point.make ((i * 11) mod 64) ((i * 3) mod 64) ]
+      |> List.iter (Pacor_grid.Obstacle_map.block obstacles)
+    done
+  in
+  let spec =
+    { Pacor_route.Astar.usable = (fun p -> Pacor_grid.Obstacle_map.free obstacles p);
+      extra_cost = (fun _ -> 0) }
+  in
+  let endpoints i =
+    Pacor_geom.(Point.make (1 + (i mod 8)) 1, Point.make (62 - (i mod 8)) 62)
+  in
+  let search workspace i =
+    let source, target = endpoints i in
+    ignore
+      (Pacor_route.Astar.search ?workspace ~grid ~spec ~sources:[ source ]
+         ~targets:[ target ] ())
+  in
+  let shared = Pacor_route.Workspace.create () in
+  let counter = ref 0 in
+  Test.make_grouped ~name:"astar_workspace_vs_fresh"
+    [ Test.make ~name:"shared-workspace"
+        (Staged.stage (fun () -> incr counter; search (Some shared) !counter));
+      Test.make ~name:"fresh-arrays"
+        (Staged.stage (fun () -> incr counter; search None !counter)) ]
+
 let all_micro_benches =
   Test.make_grouped ~name:"pacor"
-    [ bench_table1; bench_table2; bench_fig3; bench_ablation_candidates;
-      bench_ablation_solvers; bench_ablation_negotiation; bench_ablation_detour;
-      bench_ablation_rsmt; bench_flow_solvers ]
+    [ bench_table1; bench_table2; bench_fig3; bench_astar_workspace;
+      bench_ablation_candidates; bench_ablation_solvers; bench_ablation_negotiation;
+      bench_ablation_detour; bench_ablation_rsmt; bench_flow_solvers ]
 
-let run_micro_benches () =
-  let quota = if quick then Time.second 0.05 else Time.second 0.5 in
+let run_micro_benches ?(only = all_micro_benches) () =
+  let quota = if quick || smoke then Time.second 0.05 else Time.second 0.5 in
   let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] all_micro_benches in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] only in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -326,13 +365,44 @@ let print_scaling () =
   | Error e -> Format.printf "scaling failed: %s@." e
   | Ok samples -> Pacor_designs.Scaling.pp_table Format.std_formatter samples
 
+let print_flow_search_stats () =
+  Format.printf
+    "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
+  let designs = if smoke then [ "S3" ] else [ "S4"; "S5" ] in
+  List.iter
+    (fun name ->
+       match Pacor_designs.Table1.load name with
+       | Error e -> Format.printf "%s: generation failed: %s@." name e
+       | Ok problem ->
+         (match Pacor.Engine.run problem with
+          | Error e -> Format.printf "%s: flow failed at %s: %s@." name e.stage e.message
+          | Ok sol ->
+            Format.printf "%s (runtime %.2fs):@." name sol.Pacor.Solution.runtime_s;
+            List.iter
+              (fun (stage, seconds) ->
+                 Format.printf "  stage %-14s %.3fs@." stage seconds)
+              sol.Pacor.Solution.stage_seconds;
+            Pacor.Report.print_search_stats Format.std_formatter sol))
+    designs
+
 let () =
-  Format.printf "PACOR benchmark harness%s@." (if quick then " (quick mode)" else "");
-  print_table1 ();
-  print_fig3 ();
-  print_table2 ();
-  print_rsmt_comparison ();
-  print_delta_sweep ();
-  print_scaling ();
-  run_micro_benches ();
-  Format.printf "@.done.@."
+  if smoke then begin
+    (* CI fast path: seconds, not minutes — exercises the workspace bench
+       machinery and one full flow end to end. *)
+    Format.printf "PACOR benchmark harness (smoke mode)@.";
+    print_flow_search_stats ();
+    run_micro_benches ~only:bench_astar_workspace ();
+    Format.printf "@.done.@."
+  end
+  else begin
+    Format.printf "PACOR benchmark harness%s@." (if quick then " (quick mode)" else "");
+    print_table1 ();
+    print_fig3 ();
+    print_table2 ();
+    print_rsmt_comparison ();
+    print_delta_sweep ();
+    print_scaling ();
+    print_flow_search_stats ();
+    run_micro_benches ();
+    Format.printf "@.done.@."
+  end

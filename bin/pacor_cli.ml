@@ -74,10 +74,12 @@ let route_cmd =
          Format.printf "%s: %a@."
            (Pacor.Config.variant_name variant)
            Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
-         if verbose then
+         if verbose then begin
            List.iter
              (fun (stage, seconds) -> Format.printf "  stage %-14s %.3fs@." stage seconds)
              sol.Pacor.Solution.stage_seconds;
+           Pacor.Report.print_search_stats Format.std_formatter sol
+         end;
          if render then Format.printf "%s@." (Pacor.Render.solution sol);
          if skew then
            Format.printf "%a" Pacor_timing.Skew.pp (Pacor_timing.Skew.analyze sol);

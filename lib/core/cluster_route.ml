@@ -55,7 +55,7 @@ let build_routed (cluster : Cluster.t) (candidate : Candidate.t)
      | _ -> invalid_arg "Cluster_route: pair cluster needs exactly one path")
   | _ -> Routed.make_tree cluster ~candidate ~edge_paths:paths
 
-let route ~config ~grid ~valve_cells clusters =
+let route ?workspace ~config ~grid ~valve_cells clusters =
   let lm = List.filter Cluster.needs_matching clusters in
   if lm = [] then { routed = []; demoted = []; iterations = 0 }
   else begin
@@ -169,8 +169,8 @@ let route ~config ~grid ~valve_cells clusters =
         in
         let info = !edge_info in
         let result =
-          Pacor_route.Negotiation.route ~config:config.Config.negotiation ~grid
-            ~obstacles:batch_obstacles edges
+          Pacor_route.Negotiation.route ?workspace ~config:config.Config.negotiation
+            ~grid ~obstacles:batch_obstacles edges
         in
         let iterations = iterations + result.iterations in
         if result.success then begin
@@ -229,7 +229,7 @@ let route ~config ~grid ~valve_cells clusters =
     out
   end
 
-let route_single ~config ~grid ~obstacles cluster candidate =
+let route_single ?workspace ~config ~grid ~obstacles cluster candidate =
   let obstacles = Obstacle_map.copy obstacles in
   List.iter
     (fun (n : Candidate.node) -> Obstacle_map.block obstacles n.pos)
@@ -241,7 +241,8 @@ let route_single ~config ~grid ~obstacles cluster candidate =
   in
   let ids = List.map (fun (child_id, _, _) -> child_id) (tree_edges candidate) in
   let result =
-    Pacor_route.Negotiation.route ~config:config.Config.negotiation ~grid ~obstacles edges
+    Pacor_route.Negotiation.route ?workspace ~config:config.Config.negotiation ~grid
+      ~obstacles edges
   in
   if not result.success then None
   else begin

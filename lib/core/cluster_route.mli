@@ -18,6 +18,7 @@ type outcome = {
 }
 
 val route :
+  ?workspace:Pacor_route.Workspace.t ->
   config:Config.t ->
   grid:Routing_grid.t ->
   valve_cells:Point.Set.t ->
@@ -41,6 +42,7 @@ val candidates_for :
     candidate for singletons. Exposed for the Fig. 3 example and tests. *)
 
 val route_single :
+  ?workspace:Pacor_route.Workspace.t ->
   config:Config.t ->
   grid:Routing_grid.t ->
   obstacles:Obstacle_map.t ->

@@ -11,7 +11,7 @@ type outcome = {
 (* Detour one tree-routed cluster. [usable_base] already excludes static
    obstacles, grid bounds and everything outside this cluster. Returns the
    (possibly updated) route and whether it now satisfies delta. *)
-let detour_tree ~grid ~usable_base ~delta ~theta (original : Routed.t) =
+let detour_tree ?workspace ~grid ~usable_base ~delta ~theta (original : Routed.t) =
   let candidate, _ =
     match original.shape with
     | Some (Routed.Tree { candidate; edge_paths }) -> (candidate, edge_paths)
@@ -42,7 +42,8 @@ let detour_tree ~grid ~usable_base ~delta ~theta (original : Routed.t) =
             search budget is capped — an uncapped budget dominates the
             whole stage's runtime on large chips. *)
          (match
-            Pacor_route.Bounded_astar.search ~grid ~usable ~pop_budget:20_000
+            Pacor_route.Bounded_astar.search ?workspace ~grid ~usable
+              ~pop_budget:20_000
               ~source:(Path.source leg) ~target:(Path.target leg) ~min_length:target ()
           with
           | Some path -> Some (Routed.with_edge_path r ~child path)
@@ -132,16 +133,16 @@ let detour_tree ~grid ~usable_base ~delta ~theta (original : Routed.t) =
   in
   loop original 0
 
-let detour_one ~grid ~delta ~theta ~blocked (r : Routed.t) =
+let detour_one ?workspace ~grid ~delta ~theta ~blocked (r : Routed.t) =
   let static = Routing_grid.obstacles grid in
   let usable_base p =
     Routing_grid.in_bounds grid p
     && Obstacle_map.free static p
     && not (Point.Set.mem p blocked)
   in
-  detour_tree ~grid ~usable_base ~delta ~theta r
+  detour_tree ?workspace ~grid ~usable_base ~delta ~theta r
 
-let run ~grid ~delta ~theta ~blocked routed_list =
+let run ?workspace ~grid ~delta ~theta ~blocked routed_list =
   let static = Routing_grid.obstacles grid in
   let global = ref blocked in
   let matched = ref [] and unmatched = ref [] in
@@ -171,7 +172,7 @@ let run ~grid ~delta ~theta ~blocked routed_list =
         && Obstacle_map.free static p
         && not (Point.Set.mem p others)
       in
-      let r', ok = detour_tree ~grid ~usable_base ~delta ~theta r in
+      let r', ok = detour_tree ?workspace ~grid ~usable_base ~delta ~theta r in
       global := Point.Set.union others r'.claimed;
       if ok then matched := r'.cluster.Pacor_valve.Cluster.id :: !matched
       else unmatched := r'.cluster.Pacor_valve.Cluster.id :: !unmatched;

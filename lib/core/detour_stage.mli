@@ -25,6 +25,7 @@ type outcome = {
 }
 
 val run :
+  ?workspace:Pacor_route.Workspace.t ->
   grid:Routing_grid.t ->
   delta:int ->
   theta:int ->
@@ -36,6 +37,7 @@ val run :
     cells. Each cluster's own internal cells are handled internally. *)
 
 val detour_one :
+  ?workspace:Pacor_route.Workspace.t ->
   grid:Routing_grid.t ->
   delta:int ->
   theta:int ->

@@ -19,40 +19,14 @@ let claims_of routed_list =
 (* Demote a routed length-matched cluster (or re-route a declustered one):
    rip its channels and route it as an ordinary cluster around everything
    else. *)
-let reroute_as_plain ~grid ~valve_cells ~others ~fresh_id (cluster : Cluster.t) =
+let reroute_as_plain ~workspace ~grid ~valve_cells ~others ~fresh_id (cluster : Cluster.t) =
   let out =
-    Plain_route.route_all ~grid ~valve_cells ~already_claimed:others ~fresh_id [ cluster ]
+    Plain_route.route_all ~workspace ~grid ~valve_cells ~already_claimed:others ~fresh_id
+      [ cluster ]
   in
   out.Plain_route.routed
 
-(* One cluster's escape in isolation is a multi-source shortest path — no
-   need for the full min-cost-flow network the global stage uses. *)
-let single_escape ~grid ~claimed ~pins ~start_cells =
-  match pins with
-  | [] -> None
-  | _ :: _ ->
-    (* Boundary cells — pins included — are never transit space: A* exempts
-       the search's own targets, and it stops at the first target popped, so
-       the path cannot run {e through} one candidate pin on its way to
-       another (which a later escape might then be assigned). *)
-    let spec =
-      { Pacor_route.Astar.usable =
-          (fun p ->
-             Pacor_grid.Routing_grid.free grid p
-             && (not (Point.Set.mem p claimed))
-             && not (Pacor_grid.Routing_grid.on_boundary grid p));
-        extra_cost = (fun _ -> 0) }
-    in
-    (match Pacor_route.Astar.search ~grid ~spec ~sources:start_cells ~targets:pins () with
-     | Some path ->
-       Some
-         { Pacor_flow.Escape.idx = 0;
-           start_cell = Pacor_grid.Path.source path;
-           pin = Pacor_grid.Path.target path;
-           path }
-     | None -> None)
-
-let detour ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
+let detour ~workspace ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   let escape_cells =
     List.fold_left
       (fun acc (e : Pacor_flow.Escape.routed option) ->
@@ -68,15 +42,23 @@ let detour ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   let blocked =
     Point.Set.union valve_cells (Point.Set.union (claims_of routed_list) escape_cells)
   in
-  Detour_stage.run ~grid ~delta ~theta ~blocked routed_list
+  Detour_stage.run ~workspace ~grid ~delta ~theta ~blocked routed_list
 
 let run ?(config = Config.default) (problem : Problem.t) =
   let t0 = Sys.time () in
+  (* One search workspace for the whole problem: every stage's A* /
+     bounded-A* calls reuse its arrays (O(1) epoch reset, no grid-sized
+     allocation per search) and accumulate into its counters. *)
+  let workspace = Pacor_route.Workspace.create () in
   let timings = ref [] in
+  let stage_search = ref [] in
   let timed label f =
+    let s0 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
     let start = Sys.time () in
     let result = f () in
     timings := (label, Sys.time () -. start) :: !timings;
+    let s1 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
+    stage_search := (label, Pacor_route.Search_stats.diff s1 s0) :: !stage_search;
     result
   in
   let grid = problem.Problem.grid in
@@ -117,7 +99,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
     in
     (* Stage 2: length-matching cluster routing. *)
     let lm_out =
-      timed "lm-routing" (fun () -> Cluster_route.route ~config ~grid ~valve_cells clusters)
+      timed "lm-routing" (fun () ->
+        Cluster_route.route ~workspace ~config ~grid ~valve_cells clusters)
     in
     log config "lm routing: %d routed, %d demoted (%d negotiation rounds)"
       (List.length lm_out.Cluster_route.routed)
@@ -129,8 +112,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
       | Config.Detour_first ->
         let out =
           timed "detour" (fun () ->
-            detour ~grid ~delta ~theta:config.Config.theta ~valve_cells ~escapes:[]
-              lm_out.Cluster_route.routed)
+            detour ~workspace ~grid ~delta ~theta:config.Config.theta ~valve_cells
+              ~escapes:[] lm_out.Cluster_route.routed)
         in
         out.Detour_stage.updated
       | Config.Full | Config.Without_selection -> lm_out.Cluster_route.routed
@@ -142,8 +125,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
     in
     let plain_out =
       timed "plain-routing" (fun () ->
-        Plain_route.route_all ~grid ~valve_cells ~already_claimed:(claims_of lm_routed)
-          ~fresh_id plain_clusters)
+        Plain_route.route_all ~workspace ~grid ~valve_cells
+          ~already_claimed:(claims_of lm_routed) ~fresh_id plain_clusters)
     in
     log config "plain routing: %d routes (%d declustered)"
       (List.length plain_out.Plain_route.routed)
@@ -178,7 +161,7 @@ let run ?(config = Config.default) (problem : Problem.t) =
           let obstacles = Pacor_grid.Routing_grid.fresh_work_map grid in
           Point.Set.iter (fun p -> Pacor_grid.Obstacle_map.block obstacles p) valve_cells;
           Point.Set.iter (fun p -> Pacor_grid.Obstacle_map.block obstacles p) others;
-          Cluster_route.route_single ~config ~grid ~obstacles r.cluster cand
+          Cluster_route.route_single ~workspace ~config ~grid ~obstacles r.cluster cand
         end
     in
     let rec escape_loop round routed_list =
@@ -220,7 +203,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
                     | None ->
                       (* Rip the length-matched tree and reroute as ordinary
                          (higher rip-up cost, per Sec. 3). *)
-                      reroute_as_plain ~grid ~valve_cells ~others ~fresh_id r.cluster
+                      reroute_as_plain ~workspace ~grid ~valve_cells ~others ~fresh_id
+                        r.cluster
                   end
                   else if Cluster.size r.cluster >= 2 then begin
                     changed := true;
@@ -284,8 +268,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
                       (fun p -> Pacor_grid.Obstacle_map.free work p);
                     extra_cost = (fun _ -> 0) }
                 in
-                Pacor_route.Astar.search ~grid ~spec ~sources:(Routed.start_cells r)
-                  ~targets:problem.Problem.pins ()
+                Pacor_route.Astar.search ~workspace ~grid ~spec
+                  ~sources:(Routed.start_cells r) ~targets:problem.Problem.pins ()
               in
               (* Upgrade each jailed cluster: its corridor (minus the pin
                  itself) becomes an internal channel, so the next escape
@@ -323,7 +307,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
                     in
                     go
                       (done_
-                       @ reroute_as_plain ~grid ~valve_cells ~others ~fresh_id r.cluster)
+                       @ reroute_as_plain ~workspace ~grid ~valve_cells ~others ~fresh_id
+                           r.cluster)
                       rest
                 in
                 go [] jailers
@@ -351,8 +336,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
            let escapes = List.map escape_of routed_list in
            let out =
              timed "detour" (fun () ->
-               detour ~grid ~delta ~theta:config.Config.theta ~valve_cells ~escapes
-                 routed_list)
+               detour ~workspace ~grid ~delta ~theta:config.Config.theta ~valve_cells
+                 ~escapes routed_list)
            in
            out.Detour_stage.updated
        in
@@ -422,13 +407,16 @@ let run ?(config = Config.default) (problem : Problem.t) =
              Cluster_route.candidates_for ~config ~grid ~usable:usable_embed r.cluster
            in
            let try_candidate (cand : Pacor_dme.Candidate.t) =
-             match Cluster_route.route_single ~config ~grid ~obstacles r.cluster cand with
+             match
+               Cluster_route.route_single ~workspace ~config ~grid ~obstacles r.cluster
+                 cand
+             with
              | None -> None
              | Some r' ->
                let claimed = Point.Set.union forbidden r'.claimed in
                (match
-                  single_escape ~grid ~claimed ~pins:available_pins
-                    ~start_cells:(Routed.start_cells r')
+                  Escape_stage.single ~workspace ~grid ~claimed ~pins:available_pins
+                    ~start_cells:(Routed.start_cells r') ()
                 with
                 | Some e ->
                   let blocked =
@@ -438,8 +426,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
                             (Pacor_grid.Path.points e.Pacor_flow.Escape.path)))
                   in
                   let r'', ok =
-                    Detour_stage.detour_one ~grid ~delta ~theta:config.Config.theta
-                      ~blocked r'
+                    Detour_stage.detour_one ~workspace ~grid ~delta
+                      ~theta:config.Config.theta ~blocked r'
                   in
                   if ok then Some (r'', e) else None
                 | None -> None)
@@ -483,7 +471,7 @@ let run ?(config = Config.default) (problem : Problem.t) =
                let forbidden2 = forbidden_of rest in
                let blocked_all = Point.Set.union valve_cells forbidden2 in
                let joint =
-                 Cluster_route.route ~config ~grid ~valve_cells:blocked_all
+                 Cluster_route.route ~workspace ~config ~grid ~valve_cells:blocked_all
                    [ r.cluster; n.cluster ]
                in
                log config "rematch-joint: %d routed, %d demoted"
@@ -514,8 +502,8 @@ let run ?(config = Config.default) (problem : Problem.t) =
                          [ forbidden2; claims_both; escape_pts e0; escape_pts e1 ]
                      in
                      let out =
-                       Detour_stage.run ~grid ~delta ~theta:config.Config.theta ~blocked
-                         both
+                       Detour_stage.run ~workspace ~grid ~delta
+                         ~theta:config.Config.theta ~blocked both
                      in
                      log config "rematch-joint: detour matched %d of 2"
                        (List.length out.Detour_stage.matched_ids);
@@ -621,4 +609,5 @@ let run ?(config = Config.default) (problem : Problem.t) =
            initial_multi_clusters;
            runtime_s;
            stage_seconds = List.rev !timings;
+           stage_search = List.rev !stage_search;
          })

@@ -12,6 +12,35 @@ type outcome = {
   escape_length : int;
 }
 
+(* One cluster's escape in isolation is a multi-source shortest path — no
+   need for the full min-cost-flow network the global stage uses. *)
+let single ?workspace ~grid ~claimed ~pins ~start_cells () =
+  match pins with
+  | [] -> None
+  | _ :: _ ->
+    (* Boundary cells — pins included — are never transit space: A* exempts
+       the search's own targets, and it stops at the first target popped, so
+       the path cannot run {e through} one candidate pin on its way to
+       another (which a later escape might then be assigned). *)
+    let spec =
+      { Pacor_route.Astar.usable =
+          (fun p ->
+             Pacor_grid.Routing_grid.free grid p
+             && (not (Point.Set.mem p claimed))
+             && not (Pacor_grid.Routing_grid.on_boundary grid p));
+        extra_cost = (fun _ -> 0) }
+    in
+    (match
+       Pacor_route.Astar.search ?workspace ~grid ~spec ~sources:start_cells ~targets:pins ()
+     with
+     | Some path ->
+       Some
+         { Pacor_flow.Escape.idx = 0;
+           start_cell = Pacor_grid.Path.source path;
+           pin = Pacor_grid.Path.target path;
+           path }
+     | None -> None)
+
 let run ~grid ~pins routed_clusters =
   let claimed =
     List.fold_left

@@ -22,3 +22,16 @@ val run :
   (outcome, string) result
 (** Claims of all routed clusters become non-transit cells; each cluster's
     start cells follow Sec. 5's three cases (see {!Routed.start_cells}). *)
+
+val single :
+  ?workspace:Pacor_route.Workspace.t ->
+  grid:Routing_grid.t ->
+  claimed:Point.Set.t ->
+  pins:Point.t list ->
+  start_cells:Point.t list ->
+  unit ->
+  Pacor_flow.Escape.routed option
+(** One cluster's escape in isolation (the rematch pass): a multi-source A*
+    from the cluster's start cells onto the free pins, avoiding [claimed]
+    and all boundary transit. [idx] of the result is 0 — the caller knows
+    which cluster it asked for. *)

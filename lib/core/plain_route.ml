@@ -7,7 +7,7 @@ type outcome = {
   declustered : int;
 }
 
-let route_all ~grid ~valve_cells ~already_claimed ~fresh_id clusters =
+let route_all ?workspace ~grid ~valve_cells ~already_claimed ~fresh_id clusters =
   let static = Routing_grid.obstacles grid in
   let work = Obstacle_map.copy static in
   Point.Set.iter (fun p -> Obstacle_map.block work p) already_claimed;
@@ -29,7 +29,7 @@ let route_all ~grid ~valve_cells ~already_claimed ~fresh_id clusters =
         (fun p -> if Point.Set.mem p valve_cells then Obstacle_map.block work p)
         own
     in
-    match Pacor_route.Mst_router.route ~grid ~obstacles:work own with
+    match Pacor_route.Mst_router.route ?workspace ~grid ~obstacles:work own with
     | Some mst ->
       reblock_foreign ();
       Point.Set.iter (fun p -> Obstacle_map.block work p) mst.claimed;

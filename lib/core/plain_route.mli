@@ -12,6 +12,7 @@ type outcome = {
 }
 
 val route_all :
+  ?workspace:Pacor_route.Workspace.t ->
   grid:Routing_grid.t ->
   valve_cells:Point.Set.t ->
   already_claimed:Point.Set.t ->

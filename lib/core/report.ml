@@ -133,6 +133,26 @@ let print_table ppf rows =
     m_w m_d m_p ml_w ml_d ml_p tl_w tl_d tl_p rt_w rt_d rt_p;
   line ()
 
+let print_search_stats ppf (solution : Solution.t) =
+  let stages =
+    List.filter
+      (fun (_, s) -> not (Pacor_route.Search_stats.is_zero s))
+      solution.Solution.stage_search
+  in
+  match stages with
+  | [] -> Format.fprintf ppf "search: no grid searches recorded@."
+  | _ ->
+    List.iter
+      (fun (label, s) ->
+         Format.fprintf ppf "search %-14s %a@." label Pacor_route.Search_stats.pp s)
+      stages;
+    let total =
+      List.fold_left
+        (fun acc (_, s) -> Pacor_route.Search_stats.add acc s)
+        Pacor_route.Search_stats.zero solution.Solution.stage_search
+    in
+    Format.fprintf ppf "search %-14s %a@." "total" Pacor_route.Search_stats.pp total
+
 let shape_checks ~measured =
   let find design = List.find_opt (fun r -> r.design = design) measured in
   let all_designs_present =

@@ -39,6 +39,11 @@ val averages : row list -> (float * float * float) * (float * float * float) * (
     (matched clusters, matched length, total length, runtime), each as
     (w/o Sel, Detour First, PACOR-normalised = 1.0 baseline) ratios. *)
 
+val print_search_stats : Format.formatter -> Solution.t -> unit
+(** One line per stage that ran grid searches (label + the workspace's
+    counter deltas for that stage) followed by a total line. Backs the
+    CLI's [route --verbose] output. *)
+
 val shape_checks : measured:row list -> (string * bool) list
 (** The qualitative claims of Sec. 7, evaluated on measured rows:
     - every variant completes all designs (implicit: rows exist);

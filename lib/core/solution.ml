@@ -16,6 +16,7 @@ type t = {
   initial_multi_clusters : int;
   runtime_s : float;
   stage_seconds : (string * float) list;
+  stage_search : (string * Pacor_route.Search_stats.snapshot) list;
 }
 
 type stats = {

@@ -24,6 +24,10 @@ type t = {
   stage_seconds : (string * float) list;
       (** per-stage CPU time, in flow order (clustering, lm-routing,
           plain-routing, escape, detour, rematch) *)
+  stage_search : (string * Pacor_route.Search_stats.snapshot) list;
+      (** per-stage search-workspace counters, same order and labels as
+          [stage_seconds]; zero snapshots for stages that run no grid
+          search (e.g. clustering) *)
 }
 
 type stats = {

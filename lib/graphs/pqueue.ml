@@ -2,17 +2,25 @@ type 'a t = {
   mutable prios : int array;
   mutable elems : 'a array;
   mutable len : int;
+  (* One-element sentinel box, set at the first push. Vacated slots are
+     overwritten with it so popped elements become unreachable — the
+     backing array outlives the logical queue (it is reused across
+     searches), and a dangling slot would otherwise pin arbitrary amounts
+     of garbage. Retention is O(1): just the sentinel element itself. *)
+  mutable sentinel : 'a array;
 }
 
-let create () = { prios = [||]; elems = [||]; len = 0 }
+let create () = { prios = [||]; elems = [||]; len = 0; sentinel = [||] }
 let is_empty t = t.len = 0
 let size t = t.len
 
-let grow t x =
+let grow t =
   let cap = Array.length t.prios in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nprios = Array.make ncap 0 and nelems = Array.make ncap x in
+    (* Fill with the sentinel, not the pushed element: untouched tail slots
+       must not keep it reachable after it is popped. *)
+    let nprios = Array.make ncap 0 and nelems = Array.make ncap t.sentinel.(0) in
     Array.blit t.prios 0 nprios 0 t.len;
     Array.blit t.elems 0 nelems 0 t.len;
     t.prios <- nprios;
@@ -46,7 +54,8 @@ let rec sift_down t i =
   end
 
 let push t ~prio x =
-  grow t x;
+  if Array.length t.sentinel = 0 then t.sentinel <- [| x |];
+  grow t;
   t.prios.(t.len) <- prio;
   t.elems.(t.len) <- x;
   t.len <- t.len + 1;
@@ -59,11 +68,16 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.prios.(0) <- t.prios.(t.len);
-      t.elems.(0) <- t.elems.(t.len);
-      sift_down t 0
+      t.elems.(0) <- t.elems.(t.len)
     end;
+    t.elems.(t.len) <- t.sentinel.(0);
+    if t.len > 0 then sift_down t 0;
     Some (prio, x)
   end
 
 let peek t = if t.len = 0 then None else Some (t.prios.(0), t.elems.(0))
-let clear t = t.len <- 0
+
+(* Same retention concern as [pop]: blank the live prefix. *)
+let clear t =
+  if t.len > 0 then Array.fill t.elems 0 t.len t.sentinel.(0);
+  t.len <- 0

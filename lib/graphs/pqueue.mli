@@ -16,4 +16,7 @@ val pop : 'a t -> (int * 'a) option
     for a fixed push sequence) order. *)
 
 val peek : 'a t -> (int * 'a) option
+
 val clear : 'a t -> unit
+(** Empties the queue. Dropped elements become unreachable (up to one
+    sentinel element retained by the backing array, as after {!pop}). *)

@@ -17,54 +17,61 @@ let bbox_heuristic targets =
     let dy = max 0 (max (box.y0 - p.y) (p.y - box.y1)) in
     (dx + dy) * cost_scale
 
-let search ~grid ~spec ~sources ~targets () =
+let search ?workspace ~grid ~spec ~sources ~targets () =
   match sources, targets with
   | [], _ | _, [] -> None
   | _ :: _, _ :: _ ->
-    let target_set = Point.Set.of_list targets in
-    let source_set = Point.Set.of_list sources in
+    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
     let h = bbox_heuristic targets in
     let n = Routing_grid.cells grid in
-    let dist = Array.make n max_int in
-    let parent = Array.make n (-1) in
-    let closed = Array.make n false in
-    let pq = Pacor_graphs.Pqueue.create () in
+    Workspace.begin_search ws ~cells:n;
     let idx p = Routing_grid.index grid p in
+    (* Out-of-bounds sources/targets can never be reached or entered, so
+       skipping them preserves the old Point.Set semantics. *)
+    List.iter
+      (fun p -> if Routing_grid.in_bounds grid p then Workspace.mark_target ws (idx p))
+      targets;
     List.iter
       (fun p ->
          if Routing_grid.in_bounds grid p then begin
-           dist.(idx p) <- 0;
-           Pacor_graphs.Pqueue.push pq ~prio:(h p) (idx p)
+           let i = idx p in
+           Workspace.mark_source ws i;
+           Workspace.set_dist ws i 0;
+           Workspace.push ws ~prio:(h p) i
          end)
       sources;
     let enterable p =
       Routing_grid.in_bounds grid p
-      && (spec.usable p || Point.Set.mem p target_set || Point.Set.mem p source_set)
+      && (spec.usable p
+          || Workspace.is_target ws (idx p)
+          || Workspace.is_source ws (idx p))
     in
     let rec reconstruct i acc =
       let p = Routing_grid.point_of_index grid i in
-      if parent.(i) = -1 then p :: acc else reconstruct parent.(i) (p :: acc)
+      let j = Workspace.parent ws i in
+      if j = -1 then p :: acc else reconstruct j (p :: acc)
     in
     let rec loop () =
-      match Pacor_graphs.Pqueue.pop pq with
+      match Workspace.pop ws with
       | None -> None
       | Some (_, i) ->
-        if closed.(i) then loop ()
+        if Workspace.closed ws i then loop ()
         else begin
-          closed.(i) <- true;
+          Workspace.close ws i;
           let p = Routing_grid.point_of_index grid i in
-          if Point.Set.mem p target_set then Some (Path.of_points (reconstruct i []))
+          if Workspace.is_target ws i then Some (Path.of_points (reconstruct i []))
           else begin
             let relax q =
+              Search_stats.relaxed (Workspace.stats ws);
               if enterable q then begin
                 let j = idx q in
-                if not closed.(j) then begin
+                if not (Workspace.closed ws j) then begin
                   let step = cost_scale + spec.extra_cost q in
-                  let nd = dist.(i) + step in
-                  if nd < dist.(j) then begin
-                    dist.(j) <- nd;
-                    parent.(j) <- i;
-                    Pacor_graphs.Pqueue.push pq ~prio:(nd + h q) j
+                  let nd = Workspace.dist ws i + step in
+                  if nd < Workspace.dist ws j then begin
+                    Workspace.set_dist ws j nd;
+                    Workspace.set_parent ws j i;
+                    Workspace.push ws ~prio:(nd + h q) j
                   end
                 end
               end
@@ -76,8 +83,8 @@ let search ~grid ~spec ~sources ~targets () =
     in
     loop ()
 
-let shortest ~grid ~obstacles a b =
+let shortest ?workspace ~grid ~obstacles a b =
   let spec =
     { usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
   in
-  search ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()
+  search ?workspace ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()

@@ -25,6 +25,7 @@ type spec = {
 }
 
 val search :
+  ?workspace:Workspace.t ->
   grid:Routing_grid.t ->
   spec:spec ->
   sources:Point.t list ->
@@ -33,9 +34,15 @@ val search :
   Path.t option
 (** Cheapest path from any source to any target ([None] when disconnected).
     The result starts at a source and ends at a target; a source that is
-    itself a target yields a trivial path. Deterministic. *)
+    itself a target yields a trivial path. Deterministic.
+
+    Pass [workspace] to reuse preallocated search state across calls (the
+    whole engine shares one workspace per routed problem); without it a
+    private workspace is created, preserving the original
+    allocate-per-call behaviour. *)
 
 val shortest :
+  ?workspace:Workspace.t ->
   grid:Routing_grid.t ->
   obstacles:Obstacle_map.t ->
   Point.t ->

@@ -1,22 +1,26 @@
 open Pacor_geom
 open Pacor_grid
 
-(* Per-cell visit entries: G value and parent (cell index, entry index).
-   Every stored entry's parent chain is a simple path (checked at
-   insertion), so reconstruction never fails. G strictly decreases along
-   parents, so chains terminate. *)
-type entry = { g : int; parent : (int * int) option }
+(* Per-cell visit entries: G value and parent slot, drawn from the
+   workspace's flat pool ([cell * max_visits + k]) — no per-visit
+   allocation, and appending is O(1) (the old representation grew a fresh
+   array per visit, O(k^2) per cell). Every stored entry's parent chain is
+   a simple path (checked at insertion), so reconstruction never fails. G
+   strictly decreases along parents, so chains terminate. Dedup on G scans
+   the cell's fill count, which is capped at [max_visits_per_cell]. *)
 
-let search ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source ~target
-    ~min_length () =
+let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source
+    ~target ~min_length () =
   if min_length < 0 then invalid_arg "Bounded_astar.search: negative bound";
+  if max_visits_per_cell < 1 then
+    invalid_arg "Bounded_astar.search: max_visits_per_cell < 1";
   if not (Routing_grid.in_bounds grid source && Routing_grid.in_bounds grid target) then None
   else begin
+    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
     let cells = Routing_grid.cells grid in
     let budget = if pop_budget > 0 then pop_budget else 50 * cells in
-    let entries : entry array array = Array.make cells [||] in
+    Workspace.begin_bounded ws ~cells ~max_visits_per_cell;
     let idx p = Routing_grid.index grid p in
-    let pq = Pacor_graphs.Pqueue.create () in
     (* Priority: estimated total when feasible, otherwise mirrored around
        the bound so that longer prefixes come first (the paper's penalty
        for estimates below the bound). *)
@@ -28,50 +32,50 @@ let search ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source ~t
       Routing_grid.in_bounds grid p
       && (usable p || Point.equal p source || Point.equal p target)
     in
-    (* Does cell index [i] already appear in the chain of (j, e)? *)
-    let rec on_chain i (j, e) =
-      i = j
+    (* Does cell index [i] already appear in the parent chain of [slot]? *)
+    let rec on_chain i slot =
+      i = Workspace.entry_cell ws slot
       ||
-      match entries.(j).(e).parent with
-      | None -> false
-      | Some parent -> on_chain i parent
+      match Workspace.entry_parent ws slot with
+      | -1 -> false
+      | parent -> on_chain i parent
     in
     let add_entry p g parent =
       let i = idx p in
-      let existing = entries.(i) in
-      if Array.length existing >= max_visits_per_cell then None
-      else if Array.exists (fun e -> e.g = g) existing then None
-      else if (match parent with Some pe -> on_chain i pe | None -> false) then None
-      else begin
-        entries.(i) <- Array.append existing [| { g; parent } |];
-        Some (i, Array.length existing)
-      end
-    in
-    let reconstruct (i, e) =
-      let rec go (i, e) acc =
-        let entry = entries.(i).(e) in
-        let p = Routing_grid.point_of_index grid i in
-        match entry.parent with
-        | None -> p :: acc
-        | Some parent -> go parent (p :: acc)
+      let count = Workspace.entry_count ws i in
+      let rec dup k =
+        k < count && (Workspace.entry_g ws (Workspace.entry_slot ws ~cell:i k) = g || dup (k + 1))
       in
-      go (i, e) []
+      if count >= max_visits_per_cell then None
+      else if dup 0 then None
+      else if parent >= 0 && on_chain i parent then None
+      else Some (Workspace.append_entry ws ~cell:i ~g ~parent)
     in
-    (match add_entry source 0 None with
-     | Some key -> Pacor_graphs.Pqueue.push pq ~prio:(prio 0 source) key
+    let reconstruct slot =
+      let rec go slot acc =
+        let p = Routing_grid.point_of_index grid (Workspace.entry_cell ws slot) in
+        match Workspace.entry_parent ws slot with
+        | -1 -> p :: acc
+        | parent -> go parent (p :: acc)
+      in
+      go slot []
+    in
+    (match add_entry source 0 (-1) with
+     | Some slot -> Workspace.push ws ~prio:(prio 0 source) slot
      | None -> ());
     let pops = ref 0 in
     let rec loop () =
       if !pops >= budget then None
       else
-        match Pacor_graphs.Pqueue.pop pq with
+        match Workspace.pop ws with
         | None -> None
-        | Some (_, (i, e)) ->
+        | Some (_, slot) ->
           incr pops;
-          let entry = entries.(i).(e) in
+          let i = Workspace.entry_cell ws slot in
+          let g = Workspace.entry_g ws slot in
           let p = Routing_grid.point_of_index grid i in
-          if Point.equal p target && entry.g >= min_length then
-            Some (Path.of_points (reconstruct (i, e)))
+          if Point.equal p target && g >= min_length then
+            Some (Path.of_points (reconstruct slot))
           else if Point.equal p target then
             (* A too-short prefix ending at the target cannot be extended
                into a simple path that returns to the target. *)
@@ -79,10 +83,11 @@ let search ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source ~t
           else begin
             List.iter
               (fun q ->
+                 Search_stats.relaxed (Workspace.stats ws);
                  if enterable q then begin
-                   let g = entry.g + 1 in
-                   match add_entry q g (Some (i, e)) with
-                   | Some key -> Pacor_graphs.Pqueue.push pq ~prio:(prio g q) key
+                   let g' = g + 1 in
+                   match add_entry q g' slot with
+                   | Some slot' -> Workspace.push ws ~prio:(prio g' q) slot'
                    | None -> ()
                  end)
               (Point.neighbours4 p);

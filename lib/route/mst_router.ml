@@ -7,7 +7,7 @@ type outcome = {
   total_length : int;
 }
 
-let route ~grid ~obstacles terminals =
+let route ?workspace ~grid ~obstacles terminals =
   match terminals with
   | [] -> None
   | [ t ] -> Some { paths = []; claimed = Point.Set.singleton t; total_length = 0 }
@@ -32,7 +32,7 @@ let route ~grid ~obstacles terminals =
         if Point.Set.is_empty !component then [ terms.(e.a) ]
         else Point.Set.elements !component
       in
-      match Astar.search ~grid ~spec ~sources ~targets () with
+      match Astar.search ?workspace ~grid ~spec ~sources ~targets () with
       | None -> None
       | Some path ->
         add_points (Path.points path);

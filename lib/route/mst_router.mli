@@ -17,6 +17,7 @@ type outcome = {
 }
 
 val route :
+  ?workspace:Workspace.t ->
   grid:Routing_grid.t ->
   obstacles:Obstacle_map.t ->
   Point.t list ->

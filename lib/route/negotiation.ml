@@ -20,7 +20,19 @@ type outcome = {
   iterations : int;
 }
 
-let route ?(config = default_config) ~grid ~obstacles edges =
+let total_length paths =
+  List.fold_left (fun acc (_, p) -> acc + Path.length p) 0 paths
+
+(* Keep the iteration that routes more edges; on equal coverage, the one
+   with the smaller total wirelength ((count, length) lexicographic — a
+   plain count comparison used to discard equal-coverage iterations that
+   negotiation had nudged onto shorter paths). *)
+let better (a : outcome) (b : outcome) =
+  let ca = List.length a.paths and cb = List.length b.paths in
+  ca > cb || (ca = cb && total_length a.paths < total_length b.paths)
+
+let route ?workspace ?(config = default_config) ~grid ~obstacles edges =
+  let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
   let n = Routing_grid.cells grid in
   let history = Array.make n 0.0 in
   let history_cost p =
@@ -33,7 +45,7 @@ let route ?(config = default_config) ~grid ~obstacles edges =
     let spec =
       { Astar.usable = (fun p -> Obstacle_map.free work p); extra_cost = history_cost }
     in
-    Astar.search ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()
+    Astar.search ~workspace:ws ~grid ~spec ~sources:[ a ] ~targets:[ b ] ()
   in
   let bump_history path =
     List.iter
@@ -66,9 +78,7 @@ let route ?(config = default_config) ~grid ~obstacles edges =
       if failed = [] then result
       else begin
         List.iter (fun (_, p) -> bump_history p) routed;
-        let best =
-          if List.length result.paths > List.length best.paths then result else best
-        in
+        let best = if better result best then result else best in
         iterate (r + 1) (failed @ List.map fst routed) best
       end
     end

@@ -38,6 +38,7 @@ type outcome = {
 }
 
 val route :
+  ?workspace:Workspace.t ->
   ?config:config ->
   grid:Routing_grid.t ->
   obstacles:Obstacle_map.t ->
@@ -46,4 +47,6 @@ val route :
 (** [route ~grid ~obstacles edges] routes all edges. [obstacles] are static
     blockages (not mutated; include every cell the batch must avoid, e.g.
     other clusters' valves). On [success = false], [paths] holds the best
-    subset found across rounds. *)
+    subset found across rounds — most edges routed, total wirelength as the
+    tie-break. Pass [workspace] to reuse one search state across the
+    O(gamma x edges) inner A* calls. *)

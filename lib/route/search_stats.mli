@@ -1,0 +1,45 @@
+(** Instrumentation counters for the routing searches.
+
+    One mutable record is shared by every search running on a
+    {!Workspace.t}, so a whole engine stage (or a whole routed problem)
+    accumulates into a single place. Counters are monotone; stages are
+    delimited by taking {!snapshot}s and {!diff}ing them, never by
+    resetting mid-flight. *)
+
+type t
+(** Mutable monotone counters. *)
+
+type snapshot = {
+  searches : int;     (** A* / bounded-A* searches started *)
+  pops : int;         (** priority-queue pops (incl. stale lazy-delete pops) *)
+  pushes : int;       (** priority-queue pushes *)
+  relaxations : int;  (** neighbour cells examined *)
+  resets : int;       (** workspace epoch bumps (O(1) lazy resets) *)
+  grid_allocs : int;  (** grid-sized array allocation events — stays flat
+                          once the workspace has grown to the problem size *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val started : t -> unit
+val popped : t -> unit
+val pushed : t -> unit
+val relaxed : t -> unit
+val reset_noted : t -> unit
+val grid_alloc_noted : t -> unit
+
+val snapshot : t -> snapshot
+
+val zero : snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference — the activity between
+    the two snapshots. *)
+
+val add : snapshot -> snapshot -> snapshot
+
+val is_zero : snapshot -> bool
+
+val pp : Format.formatter -> snapshot -> unit
+(** One line: [searches=… pops=… pushes=… relax=… resets=… allocs=…]. *)

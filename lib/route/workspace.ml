@@ -1,0 +1,135 @@
+type t = {
+  mutable cap : int;
+  mutable dist_a : int array;
+  mutable parent_a : int array;
+  mutable dist_stamp : int array;
+  mutable closed_stamp : int array;
+  mutable target_stamp : int array;
+  mutable source_stamp : int array;
+  (* Bounded-search visit pool: [fill] counts a cell's entries this epoch;
+     slots are [cell * stride + k]. *)
+  mutable fill : int array;
+  mutable fill_stamp : int array;
+  mutable entry_g_a : int array;
+  mutable entry_parent_a : int array;
+  mutable entry_cap : int;
+  mutable stride : int;
+  (* Epoch starts at 1 so freshly zeroed stamp arrays read as stale. *)
+  mutable epoch : int;
+  pq : int Pacor_graphs.Pqueue.t;
+  stats : Search_stats.t;
+}
+
+let create ?stats () =
+  let stats = match stats with Some s -> s | None -> Search_stats.create () in
+  {
+    cap = 0;
+    dist_a = [||];
+    parent_a = [||];
+    dist_stamp = [||];
+    closed_stamp = [||];
+    target_stamp = [||];
+    source_stamp = [||];
+    fill = [||];
+    fill_stamp = [||];
+    entry_g_a = [||];
+    entry_parent_a = [||];
+    entry_cap = 0;
+    stride = 0;
+    epoch = 1;
+    pq = Pacor_graphs.Pqueue.create ();
+    stats;
+  }
+
+let stats t = t.stats
+
+let reserve_cells t n =
+  if t.cap < n then begin
+    let cap = max n (2 * t.cap) in
+    t.dist_a <- Array.make cap 0;
+    t.parent_a <- Array.make cap 0;
+    t.dist_stamp <- Array.make cap 0;
+    t.closed_stamp <- Array.make cap 0;
+    t.target_stamp <- Array.make cap 0;
+    t.source_stamp <- Array.make cap 0;
+    t.fill <- Array.make cap 0;
+    t.fill_stamp <- Array.make cap 0;
+    t.cap <- cap;
+    Search_stats.grid_alloc_noted t.stats
+  end
+
+let reserve_entries t n =
+  if t.entry_cap < n then begin
+    let cap = max n (2 * t.entry_cap) in
+    t.entry_g_a <- Array.make cap 0;
+    t.entry_parent_a <- Array.make cap (-1);
+    t.entry_cap <- cap;
+    Search_stats.grid_alloc_noted t.stats
+  end
+
+let begin_epoch t =
+  t.epoch <- t.epoch + 1;
+  Pacor_graphs.Pqueue.clear t.pq;
+  Search_stats.started t.stats;
+  Search_stats.reset_noted t.stats
+
+let begin_search t ~cells =
+  reserve_cells t cells;
+  begin_epoch t
+
+let begin_bounded t ~cells ~max_visits_per_cell =
+  reserve_cells t cells;
+  reserve_entries t (cells * max_visits_per_cell);
+  t.stride <- max_visits_per_cell;
+  begin_epoch t
+
+let dist t i = if t.dist_stamp.(i) = t.epoch then t.dist_a.(i) else max_int
+
+(* First touch of a cell in an epoch also resets its parent, so [parent]
+   never reads a stale predecessor through a fresh distance stamp. *)
+let set_dist t i d =
+  if t.dist_stamp.(i) <> t.epoch then begin
+    t.dist_stamp.(i) <- t.epoch;
+    t.parent_a.(i) <- -1
+  end;
+  t.dist_a.(i) <- d
+
+let parent t i =
+  if t.dist_stamp.(i) = t.epoch then t.parent_a.(i) else -1
+
+let set_parent t i j =
+  t.parent_a.(i) <- j
+
+let closed t i = t.closed_stamp.(i) = t.epoch
+let close t i = t.closed_stamp.(i) <- t.epoch
+
+let mark_target t i = t.target_stamp.(i) <- t.epoch
+let is_target t i = t.target_stamp.(i) = t.epoch
+let mark_source t i = t.source_stamp.(i) <- t.epoch
+let is_source t i = t.source_stamp.(i) = t.epoch
+
+let push t ~prio i =
+  Search_stats.pushed t.stats;
+  Pacor_graphs.Pqueue.push t.pq ~prio i
+
+let pop t =
+  match Pacor_graphs.Pqueue.pop t.pq with
+  | None -> None
+  | Some _ as r ->
+    Search_stats.popped t.stats;
+    r
+
+let entry_count t i = if t.fill_stamp.(i) = t.epoch then t.fill.(i) else 0
+let entry_slot t ~cell k = (cell * t.stride) + k
+let entry_cell t slot = slot / t.stride
+let entry_g t slot = t.entry_g_a.(slot)
+let entry_parent t slot = t.entry_parent_a.(slot)
+
+let append_entry t ~cell ~g ~parent =
+  let k = entry_count t cell in
+  let slot = (cell * t.stride) + k in
+  t.entry_g_a.(slot) <- g;
+  t.entry_parent_a.(slot) <- parent;
+  t.fill.(cell) <- k + 1;
+  t.fill_stamp.(cell) <- t.epoch;
+  slot

@@ -1,0 +1,84 @@
+(** Reusable search state for the grid routers.
+
+    {!Astar.search} used to allocate three grid-sized arrays and two
+    [Point.Set]s per call; {!Negotiation.route} calls it once per edge per
+    iteration, so a full PACOR run performed O(gamma x edges x cells)
+    allocation before any real work. A workspace preallocates that state
+    once per routed problem and hands it to every search.
+
+    Reset is O(1) by generation stamping: {!begin_search} bumps an integer
+    epoch instead of refilling arrays, and a cell's entry is live only when
+    its stamp equals the current epoch — stale entries read as their
+    defaults ([max_int] distance, [-1] parent, not closed, not a member).
+    The priority queue is cleared and reused, and the bounded-length
+    searcher's per-cell visit entries draw from a flat pool indexed by
+    [cell * max_visits + k], so no per-visit allocation happens either.
+
+    A workspace is single-threaded and non-reentrant: one search at a time.
+    Every operation below is O(1). *)
+
+type t
+
+val create : ?stats:Search_stats.t -> unit -> t
+(** Empty workspace; arrays grow on first use and then stick. Pass [stats]
+    to share one counter set across several workspaces (rarely needed —
+    {!stats} exposes the implicit one). *)
+
+val stats : t -> Search_stats.t
+(** The counter set every search on this workspace accumulates into. *)
+
+val begin_search : t -> cells:int -> unit
+(** Start a plain A* search over a [cells]-cell grid: ensures capacity,
+    bumps the epoch (invalidating all per-cell state), clears the queue. *)
+
+val begin_bounded : t -> cells:int -> max_visits_per_cell:int -> unit
+(** Start a bounded-length search: like {!begin_search} but also sizes the
+    visit-entry pool to [cells * max_visits_per_cell] slots. *)
+
+(** {2 Per-cell A* state (valid between [begin_*] calls)} *)
+
+val dist : t -> int -> int
+(** [max_int] when the cell is untouched this epoch. *)
+
+val set_dist : t -> int -> int -> unit
+
+val parent : t -> int -> int
+(** [-1] when the cell is untouched this epoch. *)
+
+val set_parent : t -> int -> int -> unit
+
+val closed : t -> int -> bool
+val close : t -> int -> unit
+
+val mark_target : t -> int -> unit
+val is_target : t -> int -> bool
+val mark_source : t -> int -> unit
+val is_source : t -> int -> bool
+
+(** {2 Shared priority queue (instrumented)} *)
+
+val push : t -> prio:int -> int -> unit
+val pop : t -> (int * int) option
+
+(** {2 Bounded-search visit entries}
+
+    Entries live in a flat pool; a slot id is [cell * max_visits + k] with
+    [k < entry_count cell]. The workspace stores mechanism only — dedup and
+    simple-path policy stay in {!Bounded_astar}. *)
+
+val entry_count : t -> int -> int
+(** Entries recorded for a cell this epoch. *)
+
+val entry_slot : t -> cell:int -> int -> int
+(** [entry_slot t ~cell k] is the slot id of the cell's [k]-th entry. *)
+
+val entry_cell : t -> int -> int
+(** The cell a slot belongs to. *)
+
+val entry_g : t -> int -> int
+val entry_parent : t -> int -> int
+(** Parent slot id, [-1] for the search root. *)
+
+val append_entry : t -> cell:int -> g:int -> parent:int -> int
+(** Unchecked append (caller enforces [entry_count < max_visits_per_cell]);
+    returns the new slot id. *)

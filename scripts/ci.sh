@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification: build, full test suite, and a bench smoke run.
+# Used by CI and as the local pre-merge gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke =="
+./_build/default/bench/main.exe --smoke
+
+echo "ci: OK"

@@ -37,6 +37,33 @@ let test_pqueue_duplicates () =
    | _ -> Alcotest.fail "expected c first");
   Alcotest.(check int) "two left" 2 (Pqueue.size q)
 
+(* Interleaved push/pop/clear across the grow boundary: [size]/[is_empty]
+   must stay consistent and ordering must survive a clear-and-reuse (the
+   sentinel retention fix rewrites vacated slots — this pins down that the
+   rewrite never corrupts the live prefix). *)
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~prio:p p) [ 9; 3; 7; 1 ];
+  Alcotest.(check int) "size after pushes" 4 (Pqueue.size q);
+  Alcotest.(check bool) "pop min" true (Pqueue.pop q = Some (1, 1));
+  Alcotest.(check bool) "pop next" true (Pqueue.pop q = Some (3, 3));
+  Alcotest.(check int) "size after pops" 2 (Pqueue.size q);
+  Alcotest.(check bool) "not empty" false (Pqueue.is_empty q);
+  (* Push past the initial capacity while partially drained. *)
+  List.iter (fun p -> Pqueue.push q ~prio:p p) (List.init 40 (fun i -> 100 - i));
+  Alcotest.(check int) "size after growth" 42 (Pqueue.size q);
+  Alcotest.(check bool) "old min still first" true (Pqueue.pop q = Some (7, 7));
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q);
+  Alcotest.(check int) "size zero" 0 (Pqueue.size q);
+  Alcotest.(check bool) "pop on cleared" true (Pqueue.pop q = None);
+  (* Reuse after clear: ordering still correct. *)
+  List.iter (fun p -> Pqueue.push q ~prio:p p) [ 5; 2; 8 ];
+  Alcotest.(check bool) "reuse min" true (Pqueue.pop q = Some (2, 2));
+  Alcotest.(check bool) "reuse next" true (Pqueue.pop q = Some (5, 5));
+  Alcotest.(check bool) "reuse last" true (Pqueue.pop q = Some (8, 8));
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
 (* ---------- Union-find ---------- *)
 
 let test_union_find () =
@@ -292,7 +319,8 @@ let () =
     [ ( "pqueue",
         [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "empty/peek/clear" `Quick test_pqueue_empty;
-          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates ] );
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "interleaved push/pop/clear" `Quick test_pqueue_interleaved ] );
       ("union_find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
       ( "mst",
         [ Alcotest.test_case "prim vs brute force" `Slow test_prim_matches_brute_force;

@@ -423,6 +423,114 @@ let prop_rsmt_between_bounds =
     Steiner.half_perimeter terminals <= t.length
     && t.length <= Steiner.mst_length terminals)
 
+(* Regression for the best-iteration tie-break: negotiation must keep an
+   iteration that routes the {e same} number of edges on shorter total
+   wirelength. Two crossing edges contend for the cells around (1..3, 5);
+   iteration 1 routes edge 0 straight and shoves edge 1 onto a long wrap,
+   and history costs later settle both on short paths. A third, walled-in
+   edge keeps the loop iterating (success never happens), so the
+   best-tracking is what decides the outcome. *)
+let test_negotiation_keeps_shorter_tie () =
+  let obstacles =
+    [ Rect.make ~x0:0 ~y0:7 ~x1:2 ~y1:7;    (* pen around edge 2's endpoints *)
+      Rect.make ~x0:1 ~y0:8 ~x1:1 ~y1:8;
+      Rect.make ~x0:3 ~y0:5 ~x1:3 ~y1:5;    (* scatter forcing the iteration-1
+                                               ordering onto long detours *)
+      Rect.make ~x0:0 ~y0:3 ~x1:0 ~y1:4;
+      Rect.make ~x0:10 ~y0:3 ~x1:10 ~y1:4 ]
+  in
+  let g = grid ~obstacles 11 9 in
+  let edges =
+    [ { Negotiation.edge_id = 2; ends = (Point.make 0 8, Point.make 2 8) };
+      { Negotiation.edge_id = 0; ends = (Point.make 6 5, Point.make 0 5) };
+      { Negotiation.edge_id = 1; ends = (Point.make 3 2, Point.make 1 6) } ]
+  in
+  let run gamma =
+    Negotiation.route
+      ~config:{ Negotiation.default_config with gamma }
+      ~grid:g ~obstacles:(Routing_grid.fresh_work_map g) edges
+  in
+  let total out =
+    List.fold_left (fun acc (_, p) -> acc + Path.length p) 0 out.Negotiation.paths
+  in
+  let first = run 1 and negotiated = run 8 in
+  Alcotest.(check int) "iteration 1 routes both" 2 (List.length first.paths);
+  Alcotest.(check int) "negotiated routes both" 2 (List.length negotiated.paths);
+  Alcotest.(check bool) "walled edge keeps failing" false negotiated.success;
+  Alcotest.(check bool)
+    (Printf.sprintf "negotiated total %d < first-iteration total %d" (total negotiated)
+       (total first))
+    true
+    (total negotiated < total first)
+
+(* Entry-pool saturation: adjacent source/target with a bound of 3. The
+   wrap-around path exists (down, across, up), but finding it needs cells
+   near the target to hold more than one G value — with
+   [max_visits_per_cell = 1] the first (too-short) visit saturates its
+   cell's pool slot and the search must give up cleanly; the default
+   visit budget finds the exact-length path. *)
+let test_bounded_saturation () =
+  let g = grid 9 9 in
+  let usable _ = true in
+  let source = Point.make 4 4 and target = Point.make 4 5 in
+  (match
+     Bounded_astar.search ~grid:g ~usable ~max_visits_per_cell:1 ~source ~target
+       ~min_length:1 ()
+   with
+   | Some p -> Alcotest.(check int) "direct step within one visit" 1 (Path.length p)
+   | None -> Alcotest.fail "expected direct step");
+  Alcotest.(check bool) "longer bound saturates one visit" true
+    (Bounded_astar.search ~grid:g ~usable ~max_visits_per_cell:1 ~source ~target
+       ~min_length:3 ()
+     = None);
+  (match Bounded_astar.search ~grid:g ~usable ~source ~target ~min_length:3 () with
+   | Some p -> Alcotest.(check int) "default visits meet the bound" 3 (Path.length p)
+   | None -> Alcotest.fail "expected bounded path with default visits")
+
+(* ---------- Workspace ---------- *)
+
+(* One workspace reused across many searches must do its grid-sized array
+   allocations once: the grid_allocs counter stays flat from the first
+   search on (the tentpole's core claim — O(1) epoch reset, no per-search
+   allocation). *)
+let test_workspace_allocs_monotonic () =
+  let stats = Search_stats.create () in
+  let ws = Workspace.create ~stats () in
+  let g = grid 20 20 in
+  let spec = free_spec (Routing_grid.fresh_work_map g) in
+  let search i =
+    Astar.search ~workspace:ws ~grid:g ~spec
+      ~sources:[ Point.make (i mod 10) 1 ]
+      ~targets:[ Point.make (19 - (i mod 10)) 18 ]
+      ()
+  in
+  (match search 0 with None -> Alcotest.fail "first search failed" | Some _ -> ());
+  let allocs_after_first = (Search_stats.snapshot stats).Search_stats.grid_allocs in
+  for i = 1 to 50 do
+    match search i with
+    | None -> Alcotest.fail "reused search failed"
+    | Some _ -> ()
+  done;
+  let snap = Search_stats.snapshot stats in
+  Alcotest.(check int) "no grid allocations after warm-up" allocs_after_first
+    snap.Search_stats.grid_allocs;
+  Alcotest.(check int) "every search counted" 51 snap.Search_stats.searches;
+  (* Bounded searches on the same workspace likewise stop allocating once
+     the entry pool fits. *)
+  let bounded () =
+    Bounded_astar.search ~workspace:ws ~grid:g ~usable:(fun _ -> true)
+      ~source:(Point.make 2 2) ~target:(Point.make 10 2) ~min_length:12 ()
+  in
+  (match bounded () with None -> Alcotest.fail "bounded failed" | Some _ -> ());
+  let after_bounded = (Search_stats.snapshot stats).Search_stats.grid_allocs in
+  for _ = 1 to 10 do
+    match bounded () with
+    | None -> Alcotest.fail "reused bounded failed"
+    | Some _ -> ()
+  done;
+  Alcotest.(check int) "bounded pool allocated once" after_bounded
+    (Search_stats.snapshot stats).Search_stats.grid_allocs
+
 (* ---------- QCheck ---------- *)
 
 let arb_grid_points =
@@ -466,10 +574,62 @@ let prop_lengthen_parity =
        | Some p -> (Path.length p - len) mod 2 = 0 && Path.length p >= len + extra
        | None -> false)
 
+(* Random searches on one long-lived workspace must agree exactly with
+   fresh-arrays searches: stale epoch state may never leak into a result. *)
+let arb_search_instance =
+  QCheck.make
+    QCheck.Gen.(
+      let* sx = int_range 0 11 and* sy = int_range 0 11 in
+      let* tx = int_range 0 11 and* ty = int_range 0 11 in
+      let* obstacles = list_size (int_range 0 25) (pair (int_range 0 11) (int_range 0 11)) in
+      return ((sx, sy), (tx, ty), obstacles))
+
+let shared_workspace = Workspace.create ()
+
+let prop_workspace_equals_fresh =
+  QCheck.Test.make ~name:"workspace search = fresh search" ~count:200
+    arb_search_instance (fun ((sx, sy), (tx, ty), obstacles) ->
+      let g = grid 12 12 in
+      let obs = Routing_grid.fresh_work_map g in
+      List.iter (fun (x, y) -> Obstacle_map.block obs (Point.make x y)) obstacles;
+      let spec = free_spec obs in
+      let source = Point.make sx sy and target = Point.make tx ty in
+      let run workspace =
+        Astar.search ?workspace ~grid:g ~spec ~sources:[ source ] ~targets:[ target ] ()
+      in
+      (* The shared workspace carries whatever epoch state the previous
+         random instance left behind — exactly the leak being tested. *)
+      run (Some shared_workspace) = run None)
+
+let prop_workspace_epoch_isolation =
+  QCheck.Test.make ~name:"epochs do not leak across searches" ~count:100
+    arb_search_instance (fun ((sx, sy), (tx, ty), _) ->
+      let g = grid 12 12 in
+      let ws = Workspace.create () in
+      let source = Point.make sx sy and target = Point.make tx ty in
+      let search ~workspace obs =
+        Astar.search ?workspace ~grid:g ~spec:(free_spec obs) ~sources:[ source ]
+          ~targets:[ target ] ()
+      in
+      (* Route, block the found path, route again on the same workspace:
+         the second search must match a fresh-workspace search over the
+         same (now partially blocked) grid. *)
+      let obs = Routing_grid.fresh_work_map g in
+      match search ~workspace:(Some ws) obs with
+      | None -> QCheck.Test.fail_report "empty grid must route"
+      | Some p ->
+        List.iter
+          (fun q ->
+             if not (Point.equal q source || Point.equal q target) then
+               Obstacle_map.block obs q)
+          (Path.points p);
+        search ~workspace:(Some ws) obs = search ~workspace:None obs)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_astar_optimal_no_obstacles; prop_mst_router_claims_terminals;
-      prop_lengthen_parity; prop_rsmt_between_bounds ]
+      prop_lengthen_parity; prop_rsmt_between_bounds; prop_workspace_equals_fresh;
+      prop_workspace_epoch_isolation ]
 
 let () =
   Alcotest.run "route"
@@ -489,13 +649,18 @@ let () =
           Alcotest.test_case "many parallel" `Quick test_negotiation_many_parallel;
           Alcotest.test_case "deterministic" `Quick test_negotiation_deterministic;
           Alcotest.test_case "disjointness invariant" `Quick
-            test_negotiation_paths_disjoint_invariant ] );
+            test_negotiation_paths_disjoint_invariant;
+          Alcotest.test_case "keeps shorter tie" `Quick test_negotiation_keeps_shorter_tie ] );
       ( "bounded_astar",
         [ Alcotest.test_case "meets bound" `Quick test_bounded_meets_bound;
           Alcotest.test_case "small bound = shortest" `Quick
             test_bounded_equals_shortest_when_bound_small;
           Alcotest.test_case "respects obstacles" `Quick test_bounded_respects_obstacles;
-          Alcotest.test_case "impossible bound" `Quick test_bounded_impossible_bound ] );
+          Alcotest.test_case "impossible bound" `Quick test_bounded_impossible_bound;
+          Alcotest.test_case "visit saturation" `Quick test_bounded_saturation ] );
+      ( "workspace",
+        [ Alcotest.test_case "allocations stay flat" `Quick
+            test_workspace_allocs_monotonic ] );
       ( "detour",
         [ Alcotest.test_case "lengthen basic" `Quick test_lengthen_basic;
           Alcotest.test_case "already long enough" `Quick test_lengthen_already_long_enough;
