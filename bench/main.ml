@@ -22,6 +22,17 @@ let quick =
 
 let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
+let jobs_scaling_only = Array.exists (String.equal "--jobs-scaling") Sys.argv
+
+let json_out =
+  (* --json-out PATH: also write the jobs-scaling JSON to a file. *)
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if String.equal Sys.argv.(i) "--json-out" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
@@ -365,6 +376,103 @@ let print_scaling () =
   | Error e -> Format.printf "scaling failed: %s@." e
   | Ok samples -> Pacor_designs.Scaling.pp_table Format.std_formatter samples
 
+(* ------------------------------------------------------------------ *)
+(* Jobs scaling: the pacor_par domain pool on the synthetic scaling    *)
+(* designs — the data behind BENCH_parallel.json.                      *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_batch ~steps ~seeds =
+  (* Replicate each scaling spec under [seeds] distinct PRNG seeds so the
+     pool has enough independent instances to shard. *)
+  Pacor_designs.Scaling.family ~steps ()
+  |> List.concat_map (fun (spec : Pacor_designs.Synthetic.spec) ->
+    List.init seeds (fun k ->
+      let spec =
+        { spec with
+          Pacor_designs.Synthetic.name = Printf.sprintf "%s#%d" spec.name k;
+          seed = Int64.add spec.seed (Int64.of_int (97 * k)) }
+      in
+      match Pacor_designs.Synthetic.generate spec with
+      | Ok p -> (spec.Pacor_designs.Synthetic.name, p)
+      | Error e -> failwith (spec.Pacor_designs.Synthetic.name ^ ": " ^ e)))
+
+(* Deterministic digest of a batch's routing results: identical across
+   jobs counts iff the pool preserved sequential semantics. *)
+let batch_fingerprint (s : Pacor_par.Batch.summary) =
+  List.fold_left
+    (fun (matched, total) (i : Pacor_par.Batch.item) ->
+       match i.Pacor_par.Batch.solution with
+       | Error _ -> (matched, total)
+       | Ok sol ->
+         let st = Pacor.Solution.stats sol in
+         ( matched + st.Pacor.Solution.matched_clusters,
+           total + st.Pacor.Solution.total_length ))
+    (0, 0) s.Pacor_par.Batch.items
+
+let print_jobs_scaling ~steps ~seeds ~jobs_list () =
+  Format.printf "@.== Jobs scaling: domain-pool batch routing (pacor_par) ==@.";
+  let named = scaling_batch ~steps ~seeds in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "%d instances, %d core(s) visible to the runtime@."
+    (List.length named) cores;
+  let runs =
+    List.map
+      (fun jobs ->
+         let s = Pacor_par.Batch.run_problems ~jobs named in
+         (jobs, s, batch_fingerprint s))
+      jobs_list
+  in
+  let base_elapsed =
+    match runs with (_, s, _) :: _ -> s.Pacor_par.Batch.elapsed_s | [] -> 0.0
+  in
+  let base_fp = match runs with (_, _, fp) :: _ -> fp | [] -> (0, 0) in
+  Format.printf "%6s %10s %12s %10s %13s@." "jobs" "elapsed" "sequential"
+    "speedup" "deterministic";
+  List.iter
+    (fun (jobs, (s : Pacor_par.Batch.summary), fp) ->
+       Format.printf "%6d %9.2fs %11.2fs %9.2fx %13s@." jobs
+         s.Pacor_par.Batch.elapsed_s s.Pacor_par.Batch.sequential_s
+         (if s.Pacor_par.Batch.elapsed_s > 0.0 then
+            base_elapsed /. s.Pacor_par.Batch.elapsed_s
+          else 1.0)
+         (if fp = base_fp then "yes" else "NO (BUG)"))
+    runs;
+  (* Machine-readable record for the perf trajectory. *)
+  let json =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-jobs-scaling\",\n";
+    Printf.bprintf buf "  \"cores\": %d,\n" cores;
+    Printf.bprintf buf "  \"instances\": %d,\n" (List.length named);
+    Printf.bprintf buf "  \"designs\": [%s],\n"
+      (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "%S" n) named));
+    Printf.bprintf buf "  \"results\": [\n";
+    List.iteri
+      (fun i (jobs, (s : Pacor_par.Batch.summary), fp) ->
+         let matched, total = fp in
+         Printf.bprintf buf
+           "    {\"jobs\": %d, \"elapsed_s\": %.4f, \"sequential_s\": %.4f, \
+            \"speedup_vs_jobs1\": %.3f, \"matched\": %d, \"total_length\": %d, \
+            \"deterministic\": %b}%s\n"
+           jobs s.Pacor_par.Batch.elapsed_s s.Pacor_par.Batch.sequential_s
+           (if s.Pacor_par.Batch.elapsed_s > 0.0 then
+              base_elapsed /. s.Pacor_par.Batch.elapsed_s
+            else 1.0)
+           matched total (fp = base_fp)
+           (if i = List.length runs - 1 then "" else ","))
+      runs;
+    Buffer.add_string buf "  ]\n}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "jobs-scaling JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -386,11 +494,19 @@ let print_flow_search_stats () =
     designs
 
 let () =
-  if smoke then begin
+  if jobs_scaling_only then begin
+    (* Standalone perf-trajectory run: the jobs-scaling batch only, with
+       its JSON record (committed as BENCH_parallel.json). *)
+    Format.printf "PACOR benchmark harness (jobs-scaling only)@.";
+    print_jobs_scaling ~steps:3 ~seeds:4 ~jobs_list:[ 1; 2; 4; 8 ] ();
+    Format.printf "@.done.@."
+  end
+  else if smoke then begin
     (* CI fast path: seconds, not minutes — exercises the workspace bench
-       machinery and one full flow end to end. *)
+       machinery, one full flow, and the domain pool end to end. *)
     Format.printf "PACOR benchmark harness (smoke mode)@.";
     print_flow_search_stats ();
+    print_jobs_scaling ~steps:2 ~seeds:2 ~jobs_list:[ 1; 2 ] ();
     run_micro_benches ~only:bench_astar_workspace ();
     Format.printf "@.done.@."
   end
@@ -403,6 +519,7 @@ let () =
     print_delta_sweep ();
     print_scaling ();
     print_flow_search_stats ();
+    print_jobs_scaling ~steps:3 ~seeds:4 ~jobs_list:[ 1; 2; 4; 8 ] ();
     run_micro_benches ();
     Format.printf "@.done.@."
   end

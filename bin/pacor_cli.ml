@@ -120,17 +120,21 @@ let designs_cmd =
 
 (* ---- table2 ---- *)
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains to route independent instances on (default 1).")
+
 let table2_cmd =
   let designs_arg =
     Arg.(value & opt (list string) Pacor_designs.Table1.names
          & info [ "designs" ] ~docv:"NAMES"
              ~doc:"Comma-separated design names (default: all seven).")
   in
-  let run names =
+  let run names jobs =
     match
       Pacor_designs.Harness.measure_table2
         ~progress:(fun n -> Format.eprintf "measured %s@." n)
-        names
+        ~jobs names
     with
     | Error msg -> `Error (false, msg)
     | Ok rows ->
@@ -153,7 +157,7 @@ let table2_cmd =
     Cmd.info "table2"
       ~doc:"Regenerate the paper's Table 2 self-comparison on the benchmark designs."
   in
-  Cmd.v info Term.(ret (const run $ designs_arg))
+  Cmd.v info Term.(ret (const run $ designs_arg $ jobs_arg))
 
 (* ---- fig3 ---- *)
 
@@ -215,9 +219,9 @@ let sweep_cmd =
     Arg.(value & opt int 4 & info [ "max-delta" ] ~docv:"N"
            ~doc:"Sweep delta over 0..N (default 4).")
   in
-  let run name max_delta =
+  let run name max_delta jobs =
     let deltas = List.init (max_delta + 1) Fun.id in
-    match Pacor_designs.Sweep.run_design ~deltas name with
+    match Pacor_designs.Sweep.run_design ~jobs ~deltas name with
     | Error msg -> `Error (false, msg)
     | Ok samples ->
       Format.printf "delta sweep on %s (PACOR variant):@." name;
@@ -228,9 +232,55 @@ let sweep_cmd =
     Cmd.info "sweep"
       ~doc:"Sweep the length-matching threshold delta and report matched clusters."
   in
-  Cmd.v info Term.(ret (const run $ design $ max_delta))
+  Cmd.v info Term.(ret (const run $ design $ max_delta $ jobs_arg))
 
-(* ---- check: pre-flight analysis without routing ---- *)
+(* ---- batch: route every instance file in a directory on a domain pool ---- *)
+
+let batch_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of *.chip instance files (e.g. corpus/).")
+  in
+  let variant =
+    Arg.(value & opt variant_conv Pacor.Config.Full & info [ "variant"; "v" ]
+           ~docv:"VARIANT" ~doc:"Flow variant: full, wosel or detour-first.")
+  in
+  let run dir variant jobs =
+    match Pacor_par.Batch.load_dir dir with
+    | Error msg -> `Error (false, msg)
+    | Ok named ->
+      let config = Pacor.Config.make ~variant () in
+      let summary = Pacor_par.Batch.run_problems ~jobs ~config named in
+      Format.printf "%a" Pacor_par.Batch.pp_summary summary;
+      (* A batch succeeds only if every instance routed and validated. *)
+      let failures =
+        List.concat_map
+          (fun (i : Pacor_par.Batch.item) ->
+             match i.solution with
+             | Error e -> [ Printf.sprintf "%s: %s" i.name e ]
+             | Ok sol ->
+               (match Pacor.Solution.validate sol with
+                | Ok () -> []
+                | Error es ->
+                  List.map (fun e -> Printf.sprintf "%s: %s" i.name e) es))
+          summary.Pacor_par.Batch.items
+      in
+      (match failures with
+       | [] ->
+         Format.printf "validation: OK (%d instances)@."
+           (List.length summary.Pacor_par.Batch.items);
+         `Ok ()
+       | fs ->
+         List.iter (Format.printf "validation: %s@.") fs;
+         `Error (false, "batch had failures"))
+  in
+  let info =
+    Cmd.info "batch"
+      ~doc:"Route every instance in a directory across a pool of worker domains."
+  in
+  Cmd.v info Term.(ret (const run $ dir $ variant $ jobs_arg))
+
+(* ---- check: pre-flight analysis, then route + validate ---- *)
 
 let check_cmd =
   let design =
@@ -241,7 +291,15 @@ let check_cmd =
     Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
            ~doc:"An instance file.")
   in
-  let run design file =
+  let variant =
+    Arg.(value & opt variant_conv Pacor.Config.Full & info [ "variant"; "v" ]
+           ~docv:"VARIANT" ~doc:"Flow variant: full, wosel or detour-first.")
+  in
+  let static_only =
+    Arg.(value & flag & info [ "static-only" ]
+           ~doc:"Stop after the pre-flight analysis; do not route.")
+  in
+  let run design file variant static_only =
     match load_problem ~design ~file with
     | Error msg -> `Error (false, msg)
     | Ok problem ->
@@ -260,13 +318,31 @@ let check_cmd =
         (fun (c : Pacor_valve.Cluster.t) ->
            Format.printf "  %a@." Pacor_valve.Cluster.pp c)
         problem.Pacor.Problem.lm_clusters;
-      `Ok ()
+      if static_only then `Ok ()
+      else begin
+        (* Route and hold the result to the independent validator — the
+           check fails (non-zero exit) on any design-rule violation. *)
+        match run_solution problem variant false with
+        | Error msg -> `Error (false, msg)
+        | Ok sol ->
+          Format.printf "%s: %a@."
+            (Pacor.Config.variant_name variant)
+            Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
+          (match Pacor.Solution.validate sol with
+           | Ok () ->
+             Format.printf "validation: OK@.";
+             `Ok ()
+           | Error es ->
+             List.iter (Format.printf "validation: %s@.") es;
+             `Error (false, "solution failed validation"))
+      end
   in
   let info =
     Cmd.info "check"
-      ~doc:"Validate an instance and report compatibility/pin-budget analysis (no routing)."
+      ~doc:"Pre-flight compatibility/pin-budget analysis, then route the instance \
+            and run the independent solution validator (non-zero exit on violations)."
   in
-  Cmd.v info Term.(ret (const run $ design $ file))
+  Cmd.v info Term.(ret (const run $ design $ file $ variant $ static_only))
 
 let () =
   let info =
@@ -275,4 +351,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; check_cmd ]))
+       (Cmd.group info
+          [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; batch_cmd;
+            check_cmd ]))

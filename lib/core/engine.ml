@@ -44,19 +44,29 @@ let detour ~workspace ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   in
   Detour_stage.run ~workspace ~grid ~delta ~theta ~blocked routed_list
 
-let run ?(config = Config.default) (problem : Problem.t) =
-  let t0 = Sys.time () in
+let run ?(config = Config.default) ?workspace (problem : Problem.t) =
+  (* Wall-clock (not process CPU) time: with several engine runs in flight
+     on concurrent domains, [Sys.time] charges every domain's work to each
+     run and misreports per-instance runtime and batch speedup. *)
+  let t0 = Unix.gettimeofday () in
   (* One search workspace for the whole problem: every stage's A* /
      bounded-A* calls reuse its arrays (O(1) epoch reset, no grid-sized
-     allocation per search) and accumulate into its counters. *)
-  let workspace = Pacor_route.Workspace.create () in
+     allocation per search) and accumulate into its counters. A caller
+     running many problems (a batch worker) passes its own to keep the
+     warm arrays across instances; it must not share one workspace
+     between concurrent runs. *)
+  let workspace =
+    match workspace with
+    | Some w -> w
+    | None -> Pacor_route.Workspace.create ()
+  in
   let timings = ref [] in
   let stage_search = ref [] in
   let timed label f =
     let s0 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
-    let start = Sys.time () in
+    let start = Unix.gettimeofday () in
     let result = f () in
-    timings := (label, Sys.time () -. start) :: !timings;
+    timings := (label, Unix.gettimeofday () -. start) :: !timings;
     let s1 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
     stage_search := (label, Pacor_route.Search_stats.diff s1 s0) :: !stage_search;
     result
@@ -599,7 +609,7 @@ let run ?(config = Config.default) (problem : Problem.t) =
               { Solution.routed = r; escape; lengths; matched })
            final_routed
        in
-       let runtime_s = Sys.time () -. t0 in
+       let runtime_s = Unix.gettimeofday () -. t0 in
        log config "done in %.2fs" runtime_s;
        Ok
          {

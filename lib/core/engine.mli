@@ -13,8 +13,27 @@ type error = {
   message : string;
 }
 
-val run : ?config:Config.t -> Problem.t -> (Solution.t, error) result
+val run :
+  ?config:Config.t ->
+  ?workspace:Pacor_route.Workspace.t ->
+  Problem.t ->
+  (Solution.t, error) result
 (** Routes the instance. Structural failures (malformed escape inputs)
     surface as [Error]; congestion never does — unrouted valves and
     unmatched clusters simply show up in the solution's statistics and in
-    {!Solution.validate}. *)
+    {!Solution.validate}.
+
+    Pass [workspace] to reuse one search workspace (and its warm arrays)
+    across many runs — the batch runner gives each worker domain its own.
+
+    {b Re-entrancy:} [run] keeps all mutable state local — the search
+    workspace, rip-up hashtables and work obstacle maps are created per
+    call (or owned by the caller via [workspace]), and no module in the
+    flow holds module-level mutable state. Concurrent [run] calls from
+    several domains are therefore safe, and may even share the (immutable)
+    [Problem.t], provided each call uses a distinct workspace. Timing
+    ([Solution.runtime_s], [stage_seconds]) is wall-clock monotone-enough
+    [Unix.gettimeofday], not process CPU time, so per-run figures stay
+    truthful when other domains are busy. The result is a deterministic
+    function of [(config, problem)] — independent of [workspace] warmth
+    and of how runs are scheduled across domains. *)

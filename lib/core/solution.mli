@@ -22,7 +22,7 @@ type t = {
           initial valve-clustering stage *)
   runtime_s : float;
   stage_seconds : (string * float) list;
-      (** per-stage CPU time, in flow order (clustering, lm-routing,
+      (** per-stage wall-clock time, in flow order (clustering, lm-routing,
           plain-routing, escape, detour, rematch) *)
   stage_search : (string * Pacor_route.Search_stats.snapshot) list;
       (** per-stage search-workspace counters, same order and labels as

@@ -1,10 +1,10 @@
-let run_variant problem variant =
-  let config = Pacor.Config.make ~variant () in
-  match Pacor.Engine.run ~config problem with
+let variants =
+  [ Pacor.Config.Without_selection; Pacor.Config.Detour_first; Pacor.Config.Full ]
+
+let checked_stats ~variant (solution : (Pacor.Solution.t, string) result) =
+  match solution with
   | Error e ->
-    Error
-      (Printf.sprintf "%s failed at %s: %s" (Pacor.Config.variant_name variant) e.stage
-         e.message)
+    Error (Printf.sprintf "%s failed: %s" (Pacor.Config.variant_name variant) e)
   | Ok sol ->
     (match Pacor.Solution.validate sol with
      | Ok () -> Ok (Pacor.Solution.stats sol)
@@ -14,33 +14,66 @@ let run_variant problem variant =
             (Pacor.Config.variant_name variant)
             (String.concat "; " es)))
 
-let measure_problem problem =
-  match run_variant problem Pacor.Config.Without_selection with
-  | Error _ as e -> e
-  | Ok without_sel ->
-    (match run_variant problem Pacor.Config.Detour_first with
-     | Error _ as e -> e
-     | Ok detour_first ->
-       (match run_variant problem Pacor.Config.Full with
-        | Error _ as e -> e
-        | Ok pacor ->
-          Ok
-            (Pacor.Report.row_of_stats ~design:problem.Pacor.Problem.name ~without_sel
-               ~detour_first ~pacor)))
+(* One batch job per (design, variant): Table 2's whole grid of runs is
+   embarrassingly parallel, and routing each variant independently on the
+   pool leaves every row identical to the sequential harness. *)
+let measure_problems ?(progress = fun _ -> ()) ?(jobs = 1) problems =
+  let job_of (problem : Pacor.Problem.t) variant =
+    Pacor_par.Batch.job
+      ~config:(Pacor.Config.make ~variant ())
+      ~name:
+        (Printf.sprintf "%s/%s" problem.Pacor.Problem.name
+           (Pacor.Config.variant_name variant))
+      problem
+  in
+  let summary =
+    Pacor_par.Batch.run ~jobs
+      (List.concat_map (fun p -> List.map (job_of p) variants) problems)
+  in
+  (* Items come back in job order: three consecutive per design. *)
+  let rec rows acc problems (items : Pacor_par.Batch.item list) =
+    match problems, items with
+    | [], [] -> Ok (List.rev acc)
+    | (p : Pacor.Problem.t) :: prest, wosel :: detour :: pacor :: irest ->
+      let stats variant (i : Pacor_par.Batch.item) =
+        checked_stats ~variant i.Pacor_par.Batch.solution
+      in
+      (match
+         stats Pacor.Config.Without_selection wosel,
+         stats Pacor.Config.Detour_first detour,
+         stats Pacor.Config.Full pacor
+       with
+       | Ok without_sel, Ok detour_first, Ok pacor ->
+         let row =
+           Pacor.Report.row_of_stats ~design:p.Pacor.Problem.name ~without_sel
+             ~detour_first ~pacor
+         in
+         progress p.Pacor.Problem.name;
+         rows (row :: acc) prest irest
+       | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+    | _ -> Error "harness: batch returned a different number of items"
+  in
+  rows [] problems summary.Pacor_par.Batch.items
 
-let measure_design name =
+let measure_problem ?jobs problem =
+  match measure_problems ?jobs [ problem ] with
+  | Error _ as e -> e
+  | Ok [ row ] -> Ok row
+  | Ok _ -> Error "harness: expected exactly one row"
+
+let measure_design ?jobs name =
   match Table1.load name with
   | Error _ as e -> e
-  | Ok problem -> measure_problem problem
+  | Ok problem -> measure_problem ?jobs problem
 
-let measure_table2 ?(progress = fun _ -> ()) names =
-  let rec go acc = function
+let measure_table2 ?progress ?jobs names =
+  let rec load acc = function
     | [] -> Ok (List.rev acc)
     | n :: rest ->
-      (match measure_design n with
+      (match Table1.load n with
        | Error _ as e -> e
-       | Ok row ->
-         progress n;
-         go (row :: acc) rest)
+       | Ok problem -> load (problem :: acc) rest)
   in
-  go [] names
+  match load [] names with
+  | Error _ as e -> e
+  | Ok problems -> measure_problems ?progress ?jobs problems

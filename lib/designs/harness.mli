@@ -1,13 +1,30 @@
 (** Shared experiment harness: run the three Table 2 flow variants on a
-    design and collect a report row. Used by both the CLI and the bench. *)
+    design and collect a report row. Used by both the CLI and the bench.
 
-val measure_problem : Pacor.Problem.t -> (Pacor.Report.row, string) result
+    Every measurement routes each (design, variant) pair as an independent
+    job on a {!Pacor_par.Batch} pool; [jobs] (default 1) sets the number
+    of worker domains. Rows and stats are identical whatever [jobs] is —
+    only wall-clock changes. *)
+
+val measure_problem : ?jobs:int -> Pacor.Problem.t -> (Pacor.Report.row, string) result
 (** Runs "w/o Sel", "Detour First" and PACOR on the instance, validating
     each solution; any validation failure is an error. *)
 
-val measure_design : string -> (Pacor.Report.row, string) result
+val measure_design : ?jobs:int -> string -> (Pacor.Report.row, string) result
 (** [measure_design name] loads a Table 1 design and measures it. *)
 
+val measure_problems :
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  Pacor.Problem.t list ->
+  (Pacor.Report.row list, string) result
+(** Measure several already-loaded instances; [progress] fires once per
+    design, in input order, as its row is assembled. *)
+
 val measure_table2 :
-  ?progress:(string -> unit) -> string list -> (Pacor.Report.row list, string) result
-(** Measure several designs, reporting progress through [progress]. *)
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  string list ->
+  (Pacor.Report.row list, string) result
+(** Measure several designs by name, reporting progress through
+    [progress]. *)

@@ -6,35 +6,55 @@ type sample = {
   completion : float;
 }
 
-let run ?(variant = Pacor.Config.Full) ~deltas problem =
+let run ?(variant = Pacor.Config.Full) ?(jobs = 1) ~deltas problem =
   let config = Pacor.Config.make ~variant () in
-  let rec go acc = function
+  (* Re-threshold the instance once per point up front; every point is
+     then an independent routing job for the domain pool. *)
+  let rec prepare acc = function
     | [] -> Ok (List.rev acc)
     | delta :: rest ->
       (match Pacor.Problem.with_delta problem delta with
        | Error _ as e -> e
-       | Ok p ->
-         (match Pacor.Engine.run ~config p with
-          | Error e -> Error (Printf.sprintf "delta=%d: %s" delta e.message)
-          | Ok sol ->
-            let stats = Pacor.Solution.stats sol in
-            let sample =
-              {
-                delta;
-                matched = stats.matched_clusters;
-                clusters = stats.clusters;
-                total_length = stats.total_length;
-                completion = stats.completion;
-              }
-            in
-            go (sample :: acc) rest))
+       | Ok p -> prepare ((delta, p) :: acc) rest)
   in
-  go [] deltas
+  match prepare [] deltas with
+  | Error e -> Error e
+  | Ok points ->
+    let summary =
+      Pacor_par.Batch.run ~jobs
+        (List.map
+           (fun (delta, p) ->
+              Pacor_par.Batch.job ~config
+                ~name:(Printf.sprintf "delta=%d" delta)
+                p)
+           points)
+    in
+    let rec collect acc points (items : Pacor_par.Batch.item list) =
+      match points, items with
+      | [], [] -> Ok (List.rev acc)
+      | (delta, _) :: prest, item :: irest ->
+        (match item.Pacor_par.Batch.solution with
+         | Error e -> Error (Printf.sprintf "delta=%d: %s" delta e)
+         | Ok sol ->
+           let stats = Pacor.Solution.stats sol in
+           let sample =
+             {
+               delta;
+               matched = stats.matched_clusters;
+               clusters = stats.clusters;
+               total_length = stats.total_length;
+               completion = stats.completion;
+             }
+           in
+           collect (sample :: acc) prest irest)
+      | _ -> Error "sweep: batch returned a different number of items"
+    in
+    collect [] points summary.Pacor_par.Batch.items
 
-let run_design ?variant ~deltas name =
+let run_design ?variant ?jobs ~deltas name =
   match Table1.load name with
   | Error _ as e -> e
-  | Ok problem -> run ?variant ~deltas problem
+  | Ok problem -> run ?variant ?jobs ~deltas problem
 
 let pp_table ppf samples =
   Format.fprintf ppf "%6s %10s %12s %12s@." "delta" "matched" "total_len" "completion";

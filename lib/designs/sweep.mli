@@ -16,13 +16,17 @@ type sample = {
 
 val run :
   ?variant:Pacor.Config.variant ->
+  ?jobs:int ->
   deltas:int list ->
   Pacor.Problem.t ->
   (sample list, string) result
-(** Route the instance once per threshold. Deterministic. *)
+(** Route the instance once per threshold. Deterministic: the sweep points
+    are independent routing jobs, so [jobs > 1] shards them across a
+    {!Pacor_par.Pool} without changing any sample (default 1). *)
 
 val run_design :
   ?variant:Pacor.Config.variant ->
+  ?jobs:int ->
   deltas:int list ->
   string ->
   (sample list, string) result

@@ -1,0 +1,112 @@
+type job = {
+  name : string;
+  problem : Pacor.Problem.t;
+  config : Pacor.Config.t;
+}
+
+let job ?(config = Pacor.Config.default) ~name problem = { name; problem; config }
+
+type item = {
+  name : string;
+  solution : (Pacor.Solution.t, string) result;
+  elapsed_s : float;
+}
+
+type summary = {
+  items : item list;
+  jobs : int;
+  elapsed_s : float;
+  sequential_s : float;
+  search : Pacor_route.Search_stats.snapshot;
+}
+
+let speedup s = if s.elapsed_s > 0.0 then s.sequential_s /. s.elapsed_s else 1.0
+
+let route_one (w : Pool.worker) (j : job) =
+  let t0 = Unix.gettimeofday () in
+  let solution =
+    match
+      Pacor.Engine.run ~config:j.config ~workspace:(Pool.worker_workspace w)
+        j.problem
+    with
+    | Ok sol -> Ok sol
+    | Error (e : Pacor.Engine.error) ->
+      Error (Printf.sprintf "%s: %s" e.stage e.message)
+  in
+  { name = j.name; solution; elapsed_s = Unix.gettimeofday () -. t0 }
+
+let solution_search (sol : Pacor.Solution.t) =
+  List.fold_left
+    (fun acc (_, snap) -> Pacor_route.Search_stats.add acc snap)
+    Pacor_route.Search_stats.zero sol.Pacor.Solution.stage_search
+
+let summarize ~jobs ~elapsed_s items =
+  {
+    items;
+    jobs;
+    elapsed_s;
+    sequential_s =
+      List.fold_left (fun acc (i : item) -> acc +. i.elapsed_s) 0.0 items;
+    (* Summing the solutions' own per-stage snapshots (rather than the
+       workers' live counters) keeps the aggregate deterministic and
+       independent of pool reuse. *)
+    search =
+      List.fold_left
+        (fun acc i ->
+           match i.solution with
+           | Ok sol -> Pacor_route.Search_stats.add acc (solution_search sol)
+           | Error _ -> acc)
+        Pacor_route.Search_stats.zero items;
+  }
+
+let run_on pool jobs_list =
+  let t0 = Unix.gettimeofday () in
+  let items = Pool.map_ctx pool route_one jobs_list in
+  summarize ~jobs:(Pool.jobs pool) ~elapsed_s:(Unix.gettimeofday () -. t0) items
+
+let run ?(jobs = 1) jobs_list =
+  Pool.with_pool ~jobs (fun pool -> run_on pool jobs_list)
+
+let run_problems ?jobs ?config named =
+  run ?jobs (List.map (fun (name, problem) -> job ?config ~name problem) named)
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | entries ->
+    let chips =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".chip")
+      |> List.sort String.compare
+    in
+    if chips = [] then Error (Printf.sprintf "no *.chip files in %s" dir)
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest ->
+          let path = Filename.concat dir f in
+          (match Pacor.Problem_io.load ~path with
+           | Error e -> Error (Printf.sprintf "%s: %s" path e)
+           | Ok p -> go ((Filename.chop_suffix f ".chip", p) :: acc) rest)
+      in
+      go [] chips
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%-22s %10s %10s %11s %8s@." "instance" "matched" "total_len"
+    "completion" "time";
+  List.iter
+    (fun i ->
+       match i.solution with
+       | Error e -> Format.fprintf ppf "%-22s FAILED: %s@." i.name e
+       | Ok sol ->
+         let st = Pacor.Solution.stats sol in
+         Format.fprintf ppf "%-22s %6d/%-3d %10d %10.0f%% %7.2fs@." i.name
+           st.Pacor.Solution.matched_clusters st.Pacor.Solution.clusters
+           st.Pacor.Solution.total_length
+           (100.0 *. st.Pacor.Solution.completion)
+           i.elapsed_s)
+    s.items;
+  Format.fprintf ppf
+    "batch: %d instances on %d domains in %.2fs (sequential %.2fs, speedup %.2fx)@."
+    (List.length s.items) s.jobs s.elapsed_s s.sequential_s (speedup s);
+  Format.fprintf ppf "search: %a@." Pacor_route.Search_stats.pp s.search

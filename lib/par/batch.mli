@@ -1,0 +1,77 @@
+(** Sharded batch routing: route a list of named problem instances across
+    a {!Pool} of domains and report per-instance solutions plus aggregate
+    throughput figures.
+
+    This is the batch shape of the paper's whole evaluation — Table 2 is
+    seven designs under three flow variants, the delta sweep re-routes one
+    instance per threshold, and a corpus directory is one job per file —
+    so every job carries its own [config] and the runner is agnostic to
+    where the problems came from.
+
+    Determinism contract: {!run} returns items in input order, and each
+    item's solution is byte-identical to what a sequential
+    [Pacor.Engine.run] on the same [(config, problem)] produces (the
+    engine is deterministic and re-entrant; workers never share mutable
+    state). Only the timing fields ([elapsed_s], and the solutions' own
+    [runtime_s]/[stage_seconds]) vary between runs. *)
+
+type job = {
+  name : string;
+  problem : Pacor.Problem.t;
+  config : Pacor.Config.t;
+}
+
+val job : ?config:Pacor.Config.t -> name:string -> Pacor.Problem.t -> job
+(** [config] defaults to {!Pacor.Config.default} (the full PACOR flow). *)
+
+type item = {
+  name : string;
+  solution : (Pacor.Solution.t, string) result;
+      (** [Error] carries ["<stage>: <message>"] for structural engine
+          failures; congestion shows up in the solution stats instead. *)
+  elapsed_s : float;  (** wall-clock time this instance took on its worker *)
+}
+
+type summary = {
+  items : item list;        (** input order, independent of scheduling *)
+  jobs : int;               (** worker domains used *)
+  elapsed_s : float;        (** wall-clock time for the whole batch *)
+  sequential_s : float;
+      (** sum of per-item [elapsed_s]: the single-worker wall-clock
+          estimate that {!speedup} compares against *)
+  search : Pacor_route.Search_stats.snapshot;
+      (** per-stage search counters summed over every solution in the
+          batch — a deterministic measure of total routing work, except
+          [grid_allocs], which counts workspace warm-up allocation events
+          and so depends on how instances land on (warm or cold) workers *)
+}
+
+val speedup : summary -> float
+(** [sequential_s /. elapsed_s]; bounded by the number of cores the OS
+    actually grants, whatever [jobs] says. *)
+
+val run : ?jobs:int -> job list -> summary
+(** Routes every job on a fresh pool of [jobs] domains (default 1) and
+    tears the pool down. Exceptions escaping the engine propagate with
+    the earliest failing job's backtrace. *)
+
+val run_on : Pool.t -> job list -> summary
+(** Like {!run} on an existing pool (its workers keep their warm
+    workspaces across calls). *)
+
+val run_problems :
+  ?jobs:int ->
+  ?config:Pacor.Config.t ->
+  (string * Pacor.Problem.t) list ->
+  summary
+(** Convenience: every instance under one shared config. *)
+
+val load_dir : string -> ((string * Pacor.Problem.t) list, string) result
+(** Loads every [*.chip] problem file in a directory, sorted by file name
+    (instance name = base name without extension). Errors on an unreadable
+    directory, an unparsable file, or a directory with no [*.chip] files. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Per-instance table (name, matched/clusters, total length, completion,
+    time) followed by the aggregate line with elapsed, speedup and the
+    summed search counters. *)

@@ -1,0 +1,115 @@
+type worker = {
+  index : int;
+  workspace : Pacor_route.Workspace.t;
+}
+
+type t = {
+  n : int;
+  queue : (worker -> unit) Queue.t;  (* tasks never raise: wrapped by map_ctx *)
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+  workers : worker array;
+  mutable domains : unit Domain.t array;
+}
+
+let worker_workspace w = w.workspace
+let worker_index w = w.index
+let jobs t = t.n
+
+(* Workers block on [work_available]; a closed pool with a drained queue
+   is the only exit. The task body runs outside the lock. *)
+let rec worker_loop t (w : worker) =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task w;
+    worker_loop t w
+  end
+
+let create ~jobs:n =
+  if n < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      n;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      closed = false;
+      workers =
+        Array.init n (fun index ->
+          { index; workspace = Pacor_route.Workspace.create () });
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers;
+  t
+
+let map_ctx t f xs =
+  if t.closed then invalid_arg "Pool.map_ctx: pool has been shut down";
+  match xs with
+  | [] -> []
+  | xs ->
+    let inputs = Array.of_list xs in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    let task i (w : worker) =
+      (match f w inputs.(i) with
+       | r -> results.(i) <- Some r
+       | exception e ->
+         failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    while !remaining > 0 do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* Deterministic failure reporting: the earliest-indexed exception
+       wins, whatever order the workers actually hit theirs in. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.to_list (Array.map Option.get results)
+
+let search_stats t =
+  Array.fold_left
+    (fun acc (w : worker) ->
+       Pacor_route.Search_stats.add acc
+         (Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats w.workspace)))
+    Pacor_route.Search_stats.zero t.workers
+
+let shutdown t =
+  let was_closed =
+    Mutex.lock t.mutex;
+    let c = t.closed in
+    t.closed <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    c
+  in
+  if not was_closed then Array.iter Domain.join t.domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ~jobs f xs = with_pool ~jobs (fun t -> map_ctx t (fun _ x -> f x) xs)

@@ -1,0 +1,62 @@
+(** Fixed-size domain worker pool for batch routing.
+
+    A pool spawns [jobs] OCaml 5 domains over one [Mutex]/[Condition]
+    task queue. Each worker owns its private routing context — a
+    {!Pacor_route.Workspace.t} (and the {!Pacor_route.Search_stats.t}
+    implicit in it) — satisfying the workspace's single-search-at-a-time
+    contract without any locking on the hot path: tasks running on
+    different domains never share a workspace, and a worker's warm arrays
+    persist across the tasks it executes.
+
+    Determinism contract: {!map} and {!map_ctx} return results in input
+    order, regardless of which worker ran which task or in what order
+    tasks finished. A task that raises has its exception (with backtrace)
+    captured and re-raised at the join point — the exception of the
+    earliest-indexed failing task wins, so failure reporting is
+    deterministic too. The remaining tasks still run to completion; a
+    failing task never wedges the pool.
+
+    The pool is quiescent between [map] calls; {!shutdown} closes the
+    queue and joins every domain. All operations must be called from the
+    owning (spawning) domain. *)
+
+type t
+
+type worker
+(** The per-domain routing context handed to {!map_ctx} callbacks. *)
+
+val worker_workspace : worker -> Pacor_route.Workspace.t
+(** The calling worker's private search workspace. Valid only inside the
+    task callback running on that worker. *)
+
+val worker_index : worker -> int
+(** Stable index in [0, jobs): which worker is executing the task. *)
+
+val create : jobs:int -> t
+(** Spawns [jobs] worker domains (plus their workspaces).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map_ctx : t -> (worker -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_ctx pool f xs] runs [f worker x] for every element on the pool
+    and blocks until all are done. Results come back in input order.
+    Raises the earliest-indexed task exception, if any, after all tasks
+    have settled.
+    @raise Invalid_argument on a pool that has been shut down. *)
+
+val search_stats : t -> Pacor_route.Search_stats.snapshot
+(** Sum of every worker's workspace counters since [create]. Only
+    meaningful while the pool is quiescent (no [map_ctx] in flight). *)
+
+val shutdown : t -> unit
+(** Closes the queue and joins all worker domains. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'b) -> 'b
+(** [with_pool ~jobs f] brackets [create]/[shutdown] around [f]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ~jobs] around a [map_ctx] that
+    ignores the worker context. [map ~jobs:1] still routes the work
+    through a single worker domain, preserving the exception and
+    ordering semantics of the parallel path. *)

@@ -10,7 +10,10 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke =="
+echo "== batch smoke (domain pool, --jobs 2) =="
+./_build/default/bin/pacor_cli.exe batch corpus --jobs 2
+
+echo "== bench smoke (incl. jobs-scaling case) =="
 ./_build/default/bench/main.exe --smoke
 
 echo "ci: OK"

@@ -1,0 +1,199 @@
+(* The domain-parallel batch-routing subsystem (pacor_par).
+
+   The load-bearing property is the determinism contract: routing a batch
+   on N worker domains must produce solutions byte-identical to sequential
+   [Engine.run] calls — same paths, same stats, same per-stage search
+   counters — with only wall-clock fields free to differ. The pool's own
+   order-preservation and exception semantics are tested below it. *)
+
+let corpus_dir =
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | Some root -> Filename.concat root "corpus"
+  | None -> Filename.concat (Sys.getcwd ()) "../../../corpus"
+
+let corpus_names =
+  [ "corpus-bigcluster"; "corpus-dense"; "corpus-obstacles"; "corpus-pairs" ]
+
+let load name =
+  let path = Filename.concat corpus_dir (name ^ ".chip") in
+  match Pacor.Problem_io.load ~path with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "cannot load %s: %s" path e
+
+(* Search counters minus [grid_allocs]: allocation events measure workspace
+   *warmth* (a batch worker's second instance reuses warm arrays and
+   reports 0), so they are the one counter legitimately dependent on
+   scheduling. Everything else is a pure function of (config, problem). *)
+let pp_work ppf (s : Pacor_route.Search_stats.snapshot) =
+  Format.fprintf ppf "searches=%d pops=%d pushes=%d relax=%d resets=%d"
+    s.Pacor_route.Search_stats.searches s.Pacor_route.Search_stats.pops
+    s.Pacor_route.Search_stats.pushes s.Pacor_route.Search_stats.relaxations
+    s.Pacor_route.Search_stats.resets
+
+(* Everything deterministic about a solution, as one string: the rendered
+   routing (paths and escapes, cell by cell), the Table-2 statistics, the
+   per-cluster matched lengths, and the per-stage search-work counters.
+   Only runtime_s / stage_seconds / grid_allocs are excluded. *)
+let fingerprint (sol : Pacor.Solution.t) =
+  let st = Pacor.Solution.stats sol in
+  Format.asprintf "%s|clusters=%d matched=%d matched_len=%d total=%d compl=%.9f|%a|%a"
+    (Pacor.Render.solution sol)
+    st.Pacor.Solution.clusters st.Pacor.Solution.matched_clusters
+    st.Pacor.Solution.matched_length st.Pacor.Solution.total_length
+    st.Pacor.Solution.completion
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf (c : Pacor.Solution.routed_cluster) ->
+          Format.fprintf ppf "%d:%b:[%s]"
+            c.Pacor.Solution.routed.Pacor.Routed.cluster.Pacor_valve.Cluster.id
+            c.Pacor.Solution.matched
+            (String.concat ","
+               (List.map
+                  (fun (vid, l) -> Printf.sprintf "%d=%d" vid l)
+                  c.Pacor.Solution.lengths))))
+    sol.Pacor.Solution.clusters
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf (label, snap) -> Format.fprintf ppf "%s:%a" label pp_work snap))
+    sol.Pacor.Solution.stage_search
+
+(* (a) Parallel equals sequential on the committed corpus. *)
+
+let test_corpus_parallel_equals_sequential () =
+  let named = List.map (fun n -> (n, load n)) corpus_names in
+  let sequential =
+    List.map
+      (fun (n, p) ->
+         match Pacor.Engine.run p with
+         | Ok sol -> (n, sol)
+         | Error e -> Alcotest.failf "sequential %s failed: %s" n e.message)
+      named
+  in
+  let summary = Pacor_par.Batch.run_problems ~jobs:4 named in
+  Alcotest.(check int) "one item per instance" (List.length named)
+    (List.length summary.Pacor_par.Batch.items);
+  Alcotest.(check (list string)) "input order preserved"
+    (List.map fst named)
+    (List.map (fun (i : Pacor_par.Batch.item) -> i.name) summary.Pacor_par.Batch.items);
+  List.iter2
+    (fun (n, seq_sol) (item : Pacor_par.Batch.item) ->
+       match item.solution with
+       | Error e -> Alcotest.failf "batch %s failed: %s" n e
+       | Ok par_sol ->
+         (match Pacor.Solution.validate par_sol with
+          | Ok () -> ()
+          | Error es ->
+            Alcotest.failf "batch %s invalid: %s" n (String.concat "; " es));
+         Alcotest.(check string)
+           (n ^ " parallel solution is byte-identical to sequential")
+           (fingerprint seq_sol) (fingerprint par_sol))
+    sequential summary.Pacor_par.Batch.items;
+  (* The aggregated search counters are the sum of the sequential runs'
+     per-stage snapshots — scheduling-independent. *)
+  let seq_total =
+    List.fold_left
+      (fun acc (_, sol) ->
+         List.fold_left
+           (fun acc (_, snap) -> Pacor_route.Search_stats.add acc snap)
+           acc sol.Pacor.Solution.stage_search)
+      Pacor_route.Search_stats.zero sequential
+  in
+  Alcotest.(check string) "aggregated search-work counters match sequential"
+    (Format.asprintf "%a" pp_work seq_total)
+    (Format.asprintf "%a" pp_work summary.Pacor_par.Batch.search)
+
+let test_sweep_parallel_equals_sequential () =
+  (* The delta-sweep wiring: same samples whatever the jobs count. *)
+  let problem = load "corpus-bigcluster" in
+  let deltas = [ 0; 1; 2; 3 ] in
+  match
+    Pacor_designs.Sweep.run ~jobs:1 ~deltas problem,
+    Pacor_designs.Sweep.run ~jobs:3 ~deltas problem
+  with
+  | Ok seq, Ok par ->
+    Alcotest.(check int) "same number of samples" (List.length seq) (List.length par);
+    List.iter2
+      (fun (a : Pacor_designs.Sweep.sample) (b : Pacor_designs.Sweep.sample) ->
+         Alcotest.(check int) "delta" a.delta b.delta;
+         Alcotest.(check int) "matched" a.matched b.matched;
+         Alcotest.(check int) "total_length" a.total_length b.total_length)
+      seq par
+  | Error e, _ | _, Error e -> Alcotest.failf "sweep failed: %s" e
+
+(* (b) Pool order preservation and exception propagation. *)
+
+let test_pool_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "map ~jobs:4 = List.map"
+    (List.map (fun x -> (x * x) + 1) xs)
+    (Pacor_par.Pool.map ~jobs:4 (fun x -> (x * x) + 1) xs)
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  let xs = List.init 50 Fun.id in
+  match
+    Pacor_par.Pool.map ~jobs:4
+      (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+      xs
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom x ->
+    (* Deterministic join: the earliest-indexed failure wins even though a
+       later-indexed task may raise first in wall-clock order. *)
+    Alcotest.(check int) "earliest failing task reported" 3 x
+
+let test_pool_shutdown_semantics () =
+  let pool = Pacor_par.Pool.create ~jobs:2 in
+  Alcotest.(check int) "jobs" 2 (Pacor_par.Pool.jobs pool);
+  let r1 = Pacor_par.Pool.map_ctx pool (fun _ x -> x + 1) [ 1; 2; 3 ] in
+  let indices =
+    Pacor_par.Pool.map_ctx pool
+      (fun w _ -> Pacor_par.Pool.worker_index w)
+      (List.init 8 Fun.id)
+  in
+  List.iter
+    (fun i ->
+       if i < 0 || i >= 2 then Alcotest.failf "worker index %d out of range" i)
+    indices;
+  Alcotest.(check (list int)) "pool reusable across map_ctx calls" [ 2; 3; 4 ] r1;
+  Pacor_par.Pool.shutdown pool;
+  Pacor_par.Pool.shutdown pool;  (* idempotent *)
+  (match Pacor_par.Pool.map_ctx pool (fun _ x -> x) [ 1 ] with
+   | _ -> Alcotest.fail "map_ctx after shutdown should raise"
+   | exception Invalid_argument _ -> ())
+
+(* (c) Stress: many tiny tasks, jobs > tasks, arbitrary shapes. *)
+
+let prop_pool_map_is_map =
+  QCheck.Test.make ~name:"Pool.map = List.map (any jobs, incl. jobs > tasks)"
+    ~count:60
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) ->
+       Pacor_par.Pool.map ~jobs (fun x -> (2 * x) - 1) xs
+       = List.map (fun x -> (2 * x) - 1) xs)
+
+let prop_pool_many_tiny_tasks =
+  QCheck.Test.make ~name:"many tiny tasks drain completely" ~count:10
+    QCheck.(int_range 1 8)
+    (fun jobs ->
+       let n = 500 in
+       let xs = List.init n Fun.id in
+       let sum = List.fold_left ( + ) 0 (Pacor_par.Pool.map ~jobs succ xs) in
+       sum = n * (n + 1) / 2)
+
+let () =
+  Alcotest.run "par"
+    [ ( "batch determinism",
+        [ Alcotest.test_case "corpus: parallel = sequential (byte-identical)" `Slow
+            test_corpus_parallel_equals_sequential;
+          Alcotest.test_case "sweep: jobs=3 = jobs=1" `Slow
+            test_sweep_parallel_equals_sequential ] );
+      ( "pool semantics",
+        [ Alcotest.test_case "order preservation" `Quick test_pool_preserves_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "reuse and shutdown" `Quick test_pool_shutdown_semantics ] );
+      ( "stress",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pool_map_is_map; prop_pool_many_tiny_tasks ] ) ]
