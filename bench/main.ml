@@ -24,14 +24,28 @@ let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 let jobs_scaling_only = Array.exists (String.equal "--jobs-scaling") Sys.argv
 
-let json_out =
-  (* --json-out PATH: also write the jobs-scaling JSON to a file. *)
+let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
-    else if String.equal Sys.argv.(i) "--json-out" then Some Sys.argv.(i + 1)
+    else if String.equal Sys.argv.(i) name then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+(* --json-out PATH: also write the jobs-scaling JSON to a file. *)
+let json_out = arg_value "--json-out"
+
+(* --timeout S / --max-expansions N / --retries N: run the batch sections
+   under a search budget, to measure the degradation machinery's overhead
+   and the timeout-vs-quality trade-off (see EXPERIMENTS.md). *)
+let bench_limits =
+  Pacor_route.Budget.limits
+    ?timeout_s:(Option.bind (arg_value "--timeout") float_of_string_opt)
+    ?max_expansions:(Option.bind (arg_value "--max-expansions") int_of_string_opt)
+    ()
+
+let bench_retries =
+  Option.value ~default:0 (Option.bind (arg_value "--retries") int_of_string_opt)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -415,10 +429,16 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
   let cores = Domain.recommended_domain_count () in
   Format.printf "%d instances, %d core(s) visible to the runtime@."
     (List.length named) cores;
+  if not (Pacor_route.Budget.is_no_limits bench_limits) then
+    Format.printf "budget: %a, retries=%d@." Pacor_route.Budget.pp_limits
+      bench_limits bench_retries;
+  let config = { Pacor.Config.default with Pacor.Config.limits = bench_limits } in
   let runs =
     List.map
       (fun jobs ->
-         let s = Pacor_par.Batch.run_problems ~jobs named in
+         let s =
+           Pacor_par.Batch.run_problems ~jobs ~retries:bench_retries ~config named
+         in
          (jobs, s, batch_fingerprint s))
       jobs_list
   in
@@ -426,16 +446,18 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
     match runs with (_, s, _) :: _ -> s.Pacor_par.Batch.elapsed_s | [] -> 0.0
   in
   let base_fp = match runs with (_, _, fp) :: _ -> fp | [] -> (0, 0) in
-  Format.printf "%6s %10s %12s %10s %13s@." "jobs" "elapsed" "sequential"
-    "speedup" "deterministic";
+  Format.printf "%6s %10s %12s %10s %13s %9s %12s@." "jobs" "elapsed" "sequential"
+    "speedup" "deterministic" "degraded" "quarantined";
   List.iter
     (fun (jobs, (s : Pacor_par.Batch.summary), fp) ->
-       Format.printf "%6d %9.2fs %11.2fs %9.2fx %13s@." jobs
+       Format.printf "%6d %9.2fs %11.2fs %9.2fx %13s %9d %12d@." jobs
          s.Pacor_par.Batch.elapsed_s s.Pacor_par.Batch.sequential_s
          (if s.Pacor_par.Batch.elapsed_s > 0.0 then
             base_elapsed /. s.Pacor_par.Batch.elapsed_s
           else 1.0)
-         (if fp = base_fp then "yes" else "NO (BUG)"))
+         (if fp = base_fp then "yes" else "NO (BUG)")
+         s.Pacor_par.Batch.degraded_jobs
+         (List.length s.Pacor_par.Batch.quarantined))
     runs;
   (* Machine-readable record for the perf trajectory. *)
   let json =

@@ -1,7 +1,22 @@
 (* PACOR command-line interface: route instances, list the Table 1
-   designs, regenerate Table 2, and print the Fig. 3 candidate trees. *)
+   designs, regenerate Table 2, and print the Fig. 3 candidate trees.
+
+   Exit codes (documented in README):
+     0  success
+     1  validation violation (solution breaks a design rule) or a batch
+        quarantine containing only validation/budget failures
+     2  parse/load error (instance file, directory, unknown design)
+     3  engine error (structural failure inside the flow), or a batch
+        quarantine containing an engine error / crash
+   Cmdliner reserves 124/125 for CLI usage/internal errors. *)
 
 open Cmdliner
+
+let exit_violation = 1
+let exit_parse = 2
+let exit_engine = 3
+
+let fail code fmt = Format.kasprintf (fun s -> Format.eprintf "pacor: %s@." s; code) fmt
 
 let variant_conv =
   let parse = function
@@ -13,6 +28,22 @@ let variant_conv =
   let print ppf v = Format.fprintf ppf "%s" (Pacor.Config.variant_name v) in
   Arg.conv (parse, print)
 
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let load_problem ~design ~file =
   match design, file with
   | Some d, None -> Pacor_designs.Table1.load d
@@ -20,11 +51,33 @@ let load_problem ~design ~file =
   | Some _, Some _ -> Error "pass either --design or --file, not both"
   | None, None -> Error "pass --design NAME or --file PATH"
 
-let run_solution problem variant verbose =
-  let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.verbose } in
-  match Pacor.Engine.run ~config problem with
-  | Error e -> Error (Printf.sprintf "engine failed at %s: %s" e.stage e.message)
-  | Ok sol -> Ok sol
+(* ---- shared args ---- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains to route independent instances on (default 1).")
+
+let timeout_arg =
+  Arg.(value & opt (some pos_float_conv) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock search budget per engine run; when it expires the flow \
+               degrades gracefully (skipped refinement, unrouted diagnostics) \
+               instead of hanging.")
+
+let max_expansions_arg =
+  Arg.(value & opt (some pos_int_conv) None & info [ "max-expansions" ] ~docv:"N"
+         ~doc:"Cap on total search-queue expansions per engine run; deterministic \
+               alternative to $(b,--timeout).")
+
+let retries_arg =
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-attempts for a failing run under a progressively relaxed config \
+               (doubled budgets, roomier detour/rip-up bounds); default 0.")
+
+let limits_term =
+  let make timeout_s max_expansions =
+    Pacor_route.Budget.limits ?timeout_s ?max_expansions ()
+  in
+  Term.(const make $ timeout_arg $ max_expansions_arg)
 
 (* ---- route ---- *)
 
@@ -57,9 +110,9 @@ let route_cmd =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH"
            ~doc:"Write an SVG drawing of the routed chip.")
   in
-  let run design file variant verbose render skew save svg =
+  let run design file variant verbose render skew save svg limits retries =
     match load_problem ~design ~file with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> fail exit_parse "%s" msg
     | Ok problem ->
       (match save with
        | Some path ->
@@ -67,13 +120,34 @@ let route_cmd =
           | Ok () -> ()
           | Error e -> Format.eprintf "warning: could not save instance: %s@." e)
        | None -> ());
-      (match run_solution problem variant verbose with
-       | Error msg -> `Error (false, msg)
+      (* The single-instance retry mirrors the batch runner: a failing or
+         invalid run re-attempts under a relaxed config. *)
+      let rec attempt config tries_left =
+        match Pacor.Engine.run ~config problem with
+        | Error e when tries_left > 0 ->
+          Format.eprintf "retrying after engine failure at %s: %s@." e.stage e.message;
+          attempt (Pacor.Config.relax config) (tries_left - 1)
+        | Error e -> Error e
+        | Ok sol ->
+          (match Pacor.Solution.validate sol with
+           | Error _ when tries_left > 0 ->
+             Format.eprintf "retrying after validation failure (%a)@."
+               Pacor.Solution.pp_outcomes sol;
+             attempt (Pacor.Config.relax config) (tries_left - 1)
+           | _ -> Ok sol)
+      in
+      let config =
+        { (Pacor.Config.make ~variant ()) with Pacor.Config.verbose; limits }
+      in
+      (match attempt config retries with
+       | Error e -> fail exit_engine "engine failed at %s: %s" e.stage e.message
        | Ok sol ->
          Format.printf "%a@." Pacor.Problem.pp_summary problem;
          Format.printf "%s: %a@."
            (Pacor.Config.variant_name variant)
            Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
+         if Pacor.Solution.degraded sol then
+           Format.printf "budget: %a@." Pacor.Solution.pp_outcomes sol;
          if verbose then begin
            List.iter
              (fun (stage, seconds) -> Format.printf "  stage %-14s %.3fs@." stage seconds)
@@ -92,15 +166,17 @@ let route_cmd =
          (match Pacor.Solution.validate sol with
           | Ok () ->
             Format.printf "validation: OK@.";
-            `Ok ()
+            0
           | Error es ->
             List.iter (Format.printf "validation: %s@.") es;
-            `Error (false, "solution failed validation")))
+            fail exit_violation "solution failed validation"))
   in
   let info =
     Cmd.info "route" ~doc:"Run the PACOR control-layer routing flow on one instance."
   in
-  Cmd.v info Term.(ret (const run $ design $ file $ variant $ verbose $ render $ skew $ save $ svg))
+  Cmd.v info
+    Term.(const run $ design $ file $ variant $ verbose $ render $ skew $ save $ svg
+          $ limits_term $ retries_arg)
 
 (* ---- designs (Table 1) ---- *)
 
@@ -113,16 +189,12 @@ let designs_cmd =
          Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@." r.design r.width r.height
            r.valves r.control_pins r.obstacles r.multi_clusters)
       Pacor_designs.Table1.rows;
-    `Ok ()
+    0
   in
   let info = Cmd.info "designs" ~doc:"Print the benchmark parameters (paper Table 1)." in
-  Cmd.v info Term.(ret (const run $ const ()))
+  Cmd.v info Term.(const run $ const ())
 
 (* ---- table2 ---- *)
-
-let jobs_arg =
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
-         ~doc:"Worker domains to route independent instances on (default 1).")
 
 let table2_cmd =
   let designs_arg =
@@ -130,13 +202,13 @@ let table2_cmd =
          & info [ "designs" ] ~docv:"NAMES"
              ~doc:"Comma-separated design names (default: all seven).")
   in
-  let run names jobs =
+  let run names jobs limits retries =
     match
       Pacor_designs.Harness.measure_table2
         ~progress:(fun n -> Format.eprintf "measured %s@." n)
-        ~jobs names
+        ~jobs ~limits ~retries names
     with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> fail exit_violation "%s" msg
     | Ok rows ->
       Format.printf "Measured (this machine, synthetic stand-ins):@.";
       Pacor.Report.print_table Format.std_formatter rows;
@@ -151,13 +223,13 @@ let table2_cmd =
       List.iter
         (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
         (Pacor.Report.shape_checks ~measured:rows);
-      `Ok ()
+      0
   in
   let info =
     Cmd.info "table2"
       ~doc:"Regenerate the paper's Table 2 self-comparison on the benchmark designs."
   in
-  Cmd.v info Term.(ret (const run $ designs_arg $ jobs_arg))
+  Cmd.v info Term.(const run $ designs_arg $ jobs_arg $ limits_term $ retries_arg)
 
 (* ---- fig3 ---- *)
 
@@ -200,13 +272,13 @@ let fig3_cmd =
          done;
          Format.printf "@.")
       cands;
-    `Ok ()
+    0
   in
   let info =
     Cmd.info "fig3"
       ~doc:"Print several DME candidate Steiner trees for one cluster (paper Fig. 3)."
   in
-  Cmd.v info Term.(ret (const run $ const ()))
+  Cmd.v info Term.(const run $ const ())
 
 (* ---- sweep ---- *)
 
@@ -219,20 +291,20 @@ let sweep_cmd =
     Arg.(value & opt int 4 & info [ "max-delta" ] ~docv:"N"
            ~doc:"Sweep delta over 0..N (default 4).")
   in
-  let run name max_delta jobs =
+  let run name max_delta jobs limits retries =
     let deltas = List.init (max_delta + 1) Fun.id in
-    match Pacor_designs.Sweep.run_design ~jobs ~deltas name with
-    | Error msg -> `Error (false, msg)
+    match Pacor_designs.Sweep.run_design ~jobs ~limits ~retries ~deltas name with
+    | Error msg -> fail exit_violation "%s" msg
     | Ok samples ->
       Format.printf "delta sweep on %s (PACOR variant):@." name;
       Pacor_designs.Sweep.pp_table Format.std_formatter samples;
-      `Ok ()
+      0
   in
   let info =
     Cmd.info "sweep"
       ~doc:"Sweep the length-matching threshold delta and report matched clusters."
   in
-  Cmd.v info Term.(ret (const run $ design $ max_delta $ jobs_arg))
+  Cmd.v info Term.(const run $ design $ max_delta $ jobs_arg $ limits_term $ retries_arg)
 
 (* ---- batch: route every instance file in a directory on a domain pool ---- *)
 
@@ -245,40 +317,44 @@ let batch_cmd =
     Arg.(value & opt variant_conv Pacor.Config.Full & info [ "variant"; "v" ]
            ~docv:"VARIANT" ~doc:"Flow variant: full, wosel or detour-first.")
   in
-  let run dir variant jobs =
+  let run dir variant jobs limits retries =
     match Pacor_par.Batch.load_dir dir with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> fail exit_parse "%s" msg
     | Ok named ->
-      let config = Pacor.Config.make ~variant () in
-      let summary = Pacor_par.Batch.run_problems ~jobs ~config named in
+      let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits } in
+      let summary = Pacor_par.Batch.run_problems ~jobs ~retries ~config named in
       Format.printf "%a" Pacor_par.Batch.pp_summary summary;
-      (* A batch succeeds only if every instance routed and validated. *)
-      let failures =
-        List.concat_map
-          (fun (i : Pacor_par.Batch.item) ->
-             match i.solution with
-             | Error e -> [ Printf.sprintf "%s: %s" i.name e ]
-             | Ok sol ->
-               (match Pacor.Solution.validate sol with
-                | Ok () -> []
-                | Error es ->
-                  List.map (fun e -> Printf.sprintf "%s: %s" i.name e) es))
-          summary.Pacor_par.Batch.items
-      in
-      (match failures with
+      (* Healthy jobs all completed: the exit code reflects the worst
+         quarantined failure — engine errors outrank validation/budget
+         failures. *)
+      (match summary.Pacor_par.Batch.quarantined with
        | [] ->
          Format.printf "validation: OK (%d instances)@."
            (List.length summary.Pacor_par.Batch.items);
-         `Ok ()
-       | fs ->
-         List.iter (Format.printf "validation: %s@.") fs;
-         `Error (false, "batch had failures"))
+         0
+       | q ->
+         let engine_failures =
+           List.filter
+             (fun (i : Pacor_par.Batch.item) ->
+                match i.solution with
+                | Error (Pacor_par.Batch.Engine_error _ | Pacor_par.Batch.Crashed _) ->
+                  true
+                | Error (Pacor_par.Batch.Budget_exhausted _ | Pacor_par.Batch.Invalid _)
+                | Ok _ -> false)
+             q
+         in
+         if engine_failures <> [] then
+           fail exit_engine "batch: %d job(s) failed in the engine" (List.length engine_failures)
+         else
+           fail exit_violation "batch: %d job(s) quarantined" (List.length q))
   in
   let info =
     Cmd.info "batch"
-      ~doc:"Route every instance in a directory across a pool of worker domains."
+      ~doc:"Route every instance in a directory across a pool of worker domains; \
+            failing instances are retried, then quarantined, without aborting the \
+            healthy ones."
   in
-  Cmd.v info Term.(ret (const run $ dir $ variant $ jobs_arg))
+  Cmd.v info Term.(const run $ dir $ variant $ jobs_arg $ limits_term $ retries_arg)
 
 (* ---- check: pre-flight analysis, then route + validate ---- *)
 
@@ -299,9 +375,9 @@ let check_cmd =
     Arg.(value & flag & info [ "static-only" ]
            ~doc:"Stop after the pre-flight analysis; do not route.")
   in
-  let run design file variant static_only =
+  let run design file variant static_only limits =
     match load_problem ~design ~file with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> fail exit_parse "%s" msg
     | Ok problem ->
       Format.printf "%a@." Pacor.Problem.pp_summary problem;
       let graph = Pacor_valve.Compatibility_graph.build problem.Pacor.Problem.valves in
@@ -318,31 +394,36 @@ let check_cmd =
         (fun (c : Pacor_valve.Cluster.t) ->
            Format.printf "  %a@." Pacor_valve.Cluster.pp c)
         problem.Pacor.Problem.lm_clusters;
-      if static_only then `Ok ()
+      if static_only then 0
       else begin
         (* Route and hold the result to the independent validator — the
-           check fails (non-zero exit) on any design-rule violation. *)
-        match run_solution problem variant false with
-        | Error msg -> `Error (false, msg)
+           check fails (exit 1) on any design-rule violation and exit 3
+           on a structural engine failure, naming the failing stage. *)
+        let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits } in
+        match Pacor.Engine.run ~config problem with
+        | Error e -> fail exit_engine "engine failed at stage %s: %s" e.stage e.message
         | Ok sol ->
           Format.printf "%s: %a@."
             (Pacor.Config.variant_name variant)
             Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
+          if Pacor.Solution.degraded sol then
+            Format.printf "budget: %a@." Pacor.Solution.pp_outcomes sol;
           (match Pacor.Solution.validate sol with
            | Ok () ->
              Format.printf "validation: OK@.";
-             `Ok ()
+             0
            | Error es ->
              List.iter (Format.printf "validation: %s@.") es;
-             `Error (false, "solution failed validation"))
+             fail exit_violation "solution failed validation")
       end
   in
   let info =
     Cmd.info "check"
       ~doc:"Pre-flight compatibility/pin-budget analysis, then route the instance \
-            and run the independent solution validator (non-zero exit on violations)."
+            and run the independent solution validator. Exit codes: 1 validation \
+            violation, 2 parse/load error, 3 engine error."
   in
-  Cmd.v info Term.(ret (const run $ design $ file $ variant $ static_only))
+  Cmd.v info Term.(const run $ design $ file $ variant $ static_only $ limits_term)
 
 let () =
   let info =
@@ -350,7 +431,7 @@ let () =
       ~doc:"Control-layer routing with length-matching for flow-based biochips (PACOR)."
   in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; batch_cmd;
             check_cmd ]))

@@ -11,6 +11,7 @@ type t = {
   negotiation : Pacor_route.Negotiation.config;
   theta : int;
   max_ripup_rounds : int;
+  limits : Pacor_route.Budget.limits;
   verbose : bool;
 }
 
@@ -23,10 +24,21 @@ let default =
     negotiation = Pacor_route.Negotiation.default_config;
     theta = 10;
     max_ripup_rounds = 10;
+    limits = Pacor_route.Budget.no_limits;
     verbose = false;
   }
 
 let make ?(variant = Full) () = { default with variant }
+
+(* The batch runner's retry policy: everything that bounds search effort
+   gets roomier, nothing that changes the problem itself. *)
+let relax t =
+  {
+    t with
+    limits = Pacor_route.Budget.relax t.limits;
+    theta = 2 * t.theta;
+    max_ripup_rounds = t.max_ripup_rounds + (t.max_ripup_rounds / 2);
+  }
 
 let variant_name = function
   | Full -> "PACOR"

@@ -20,10 +20,20 @@ type t = {
   theta : int;           (** detour-stage iteration bound, default 10 *)
   max_ripup_rounds : int;
       (** escape rip-up / decluster rounds, default 10 *)
+  limits : Pacor_route.Budget.limits;
+      (** search budget per engine run (deadline / expansion cap /
+          negotiation-iteration cap); default {!Pacor_route.Budget.no_limits} *)
   verbose : bool;        (** log stage-by-stage progress *)
 }
 
 val default : t
 val make : ?variant:variant -> unit -> t
+
+val relax : t -> t
+(** One retry step of the batch runner's relaxation policy: budget limits
+    scaled by 2x ({!Pacor_route.Budget.relax}), detour bound [theta]
+    doubled, rip-up rounds x1.5. The problem itself is untouched, so a
+    relaxed retry still answers the same routing question. *)
+
 val variant_name : variant -> string
 val pp : Format.formatter -> t -> unit

@@ -44,31 +44,34 @@ let detour ~workspace ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   in
   Detour_stage.run ~workspace ~grid ~delta ~theta ~blocked routed_list
 
-let run ?(config = Config.default) ?workspace (problem : Problem.t) =
+let route_inner ~config ~workspace ~budget (problem : Problem.t) =
   (* Wall-clock (not process CPU) time: with several engine runs in flight
      on concurrent domains, [Sys.time] charges every domain's work to each
      run and misreports per-instance runtime and batch speedup. *)
   let t0 = Unix.gettimeofday () in
-  (* One search workspace for the whole problem: every stage's A* /
-     bounded-A* calls reuse its arrays (O(1) epoch reset, no grid-sized
-     allocation per search) and accumulate into its counters. A caller
-     running many problems (a batch worker) passes its own to keep the
-     warm arrays across instances; it must not share one workspace
-     between concurrent runs. *)
-  let workspace =
-    match workspace with
-    | Some w -> w
-    | None -> Pacor_route.Workspace.create ()
-  in
   let timings = ref [] in
   let stage_search = ref [] in
+  let stage_outcomes = ref [] in
+  let alive () = Pacor_route.Budget.alive budget in
   let timed label f =
+    let before = Pacor_route.Budget.exhausted budget in
     let s0 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
     let start = Unix.gettimeofday () in
     let result = f () in
     timings := (label, Unix.gettimeofday () -. start) :: !timings;
     let s1 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
     stage_search := (label, Pacor_route.Search_stats.diff s1 s0) :: !stage_search;
+    let outcome =
+      match before, Pacor_route.Budget.exhausted budget with
+      | None, None -> Solution.Completed
+      | None, Some Pacor_route.Budget.Deadline -> Solution.Timed_out
+      | None, Some r -> Solution.Degraded (Pacor_route.Budget.reason_label r)
+      | Some r, _ ->
+        (* Exhausted before the stage even started: it ran in fail-fast
+           mode (or was skipped outright at its gate). *)
+        Solution.Degraded ("skipped: " ^ Pacor_route.Budget.reason_label r)
+    in
+    stage_outcomes := (label, outcome) :: !stage_outcomes;
     result
   in
   let grid = problem.Problem.grid in
@@ -119,13 +122,16 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
     (* Detour-first ablation: match lengths before escape routing. *)
     let lm_routed =
       match config.Config.variant with
-      | Config.Detour_first ->
+      | Config.Detour_first when alive () ->
         let out =
           timed "detour" (fun () ->
             detour ~workspace ~grid ~delta ~theta:config.Config.theta ~valve_cells
               ~escapes:[] lm_out.Cluster_route.routed)
         in
         out.Detour_stage.updated
+      | Config.Detour_first ->
+        (* Budget already exhausted: detouring is pure refinement, skip it. *)
+        timed "detour" (fun () -> lm_out.Cluster_route.routed)
       | Config.Full | Config.Without_selection -> lm_out.Cluster_route.routed
     in
     (* Stage 3: MST routing for ordinary and demoted clusters. *)
@@ -174,11 +180,30 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
           Cluster_route.route_single ~workspace ~config ~grid ~obstacles r.cluster cand
         end
     in
+    (* Unrouted-with-diagnostics: what the escape stage reports when the
+       budget dies before it can run — every cluster pinless, so stats and
+       [Solution.validate] name exactly what is missing. *)
+    let unrouted_escape routed_list =
+      {
+        Escape_stage.assignments =
+          List.map (fun r -> { Escape_stage.routed = r; escape = None }) routed_list;
+        failed_clusters =
+          List.map (fun (r : Routed.t) -> r.cluster.Cluster.id) routed_list;
+        escape_length = 0;
+      }
+    in
     let rec escape_loop round routed_list =
-      match Escape_stage.run ~grid ~pins:problem.Problem.pins routed_list with
+      if not (alive ()) then Ok (routed_list, unrouted_escape routed_list)
+      else
+      match Escape_stage.run ~alive ~grid ~pins:problem.Problem.pins routed_list with
       | Error message -> Error { stage = "escape"; message }
       | Ok out ->
+        (* The budget is also polled inside the flow solve (once per
+           augmentation round) and re-checked between rip-up rounds; a
+           dead budget keeps the current partial assignment rather than
+           ripping further. *)
         if out.Escape_stage.failed_clusters = [] || round >= config.Config.max_ripup_rounds
+           || not (alive ())
         then Ok (routed_list, out)
         else begin
           log config "escape round %d: %d clusters unrouted, ripping up" round
@@ -343,13 +368,15 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
          match config.Config.variant with
          | Config.Detour_first -> routed_list
          | Config.Full | Config.Without_selection ->
-           let escapes = List.map escape_of routed_list in
-           let out =
-             timed "detour" (fun () ->
-               detour ~workspace ~grid ~delta ~theta:config.Config.theta ~valve_cells
-                 ~escapes routed_list)
-           in
-           out.Detour_stage.updated
+           if not (alive ()) then timed "detour" (fun () -> routed_list)
+           else
+             let escapes = List.map escape_of routed_list in
+             let out =
+               timed "detour" (fun () ->
+                 detour ~workspace ~grid ~delta ~theta:config.Config.theta ~valve_cells
+                   ~escapes routed_list)
+             in
+             out.Detour_stage.updated
        in
        (* Per-cluster escape assignments, mutable so the rematch pass can
           replace them. *)
@@ -499,7 +526,7 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
                       both
                   in
                   (match
-                     Pacor_flow.Escape.route ~grid
+                     Pacor_flow.Escape.route ~alive ~grid
                        ~claimed:(Point.Set.union forbidden2 claims_both)
                        ~pins:(pins_available rest) requests
                    with
@@ -559,6 +586,11 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
        let final_routed =
          match config.Config.variant with
          | Config.Detour_first -> final_routed
+         | _ when not (alive ()) ->
+           (* Rematch is the most expensive refinement; a dead budget skips
+              it and the solution keeps whatever matching escape + detour
+              achieved. *)
+           timed "rematch" (fun () -> final_routed)
          | Config.Full | Config.Without_selection ->
            timed "rematch" (fun () ->
              let apply current replacements =
@@ -620,4 +652,33 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
            runtime_s;
            stage_seconds = List.rev !timings;
            stage_search = List.rev !stage_search;
+           stage_outcomes = List.rev !stage_outcomes;
+           budget_exhausted = Pacor_route.Budget.exhausted budget;
          })
+
+let run ?(config = Config.default) ?workspace (problem : Problem.t) =
+  (* One search workspace for the whole problem: every stage's A* /
+     bounded-A* calls reuse its arrays (O(1) epoch reset, no grid-sized
+     allocation per search) and accumulate into its counters. A caller
+     running many problems (a batch worker) passes its own to keep the
+     warm arrays across instances; it must not share one workspace
+     between concurrent runs. *)
+  let workspace =
+    match workspace with
+    | Some w -> w
+    | None -> Pacor_route.Workspace.create ()
+  in
+  (* The budget rides on the workspace so every search this run performs —
+     and nothing outside it — is charged; the caller's budget (normally
+     unlimited) is restored on every exit path. *)
+  let budget = Pacor_route.Budget.create config.Config.limits in
+  let saved = Pacor_route.Workspace.budget workspace in
+  Pacor_route.Workspace.set_budget workspace budget;
+  Pacor_route.Budget.arm budget;
+  Fun.protect
+    ~finally:(fun () -> Pacor_route.Workspace.set_budget workspace saved)
+    (fun () ->
+      try route_inner ~config ~workspace ~budget problem with
+      | Stack_overflow ->
+        Error { stage = "internal"; message = "stack overflow" }
+      | exn -> Error { stage = "internal"; message = Printexc.to_string exn })

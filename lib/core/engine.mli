@@ -23,6 +23,23 @@ val run :
     unmatched clusters simply show up in the solution's statistics and in
     {!Solution.validate}.
 
+    {b Totality:} [run] never raises. Any exception escaping the flow is
+    caught and returned as [Error { stage = "internal"; _ }].
+
+    {b Budgets and degradation:} [config.limits] installs a
+    {!Pacor_route.Budget.t} on the workspace for the duration of the run
+    (the previous budget is restored on every exit path). When a limit
+    trips, the flow degrades instead of failing: in-flight searches fail
+    fast (their callers demote length-matched clusters to ordinary routes
+    and decluster ordinary ones to singletons), the escape rip-up loop
+    stops at the current assignment — or, if the budget died before escape
+    ran, every cluster is reported pinless — and the detour / rematch
+    refinement stages are skipped. The chain is therefore: negotiated LM
+    routing -> plain MST routing -> unrouted-with-diagnostics, with each
+    stage's outcome recorded in [Solution.stage_outcomes] and the tripped
+    limit in [Solution.budget_exhausted]; budget exhaustion never becomes
+    an [Error].
+
     Pass [workspace] to reuse one search workspace (and its warm arrays)
     across many runs — the batch runner gives each worker domain its own.
 
@@ -36,4 +53,6 @@ val run :
     [Unix.gettimeofday], not process CPU time, so per-run figures stay
     truthful when other domains are busy. The result is a deterministic
     function of [(config, problem)] — independent of [workspace] warmth
-    and of how runs are scheduled across domains. *)
+    and of how runs are scheduled across domains — except under a
+    wall-clock deadline, which by nature trips at a scheduling-dependent
+    point; expansion and iteration caps remain deterministic. *)

@@ -16,12 +16,16 @@ type outcome = {
 }
 
 val run :
+  ?alive:(unit -> bool) ->
   grid:Routing_grid.t ->
   pins:Point.t list ->
   Routed.t list ->
   (outcome, string) result
 (** Claims of all routed clusters become non-transit cells; each cluster's
-    start cells follow Sec. 5's three cases (see {!Routed.start_cells}). *)
+    start cells follow Sec. 5's three cases (see {!Routed.start_cells}).
+    [alive] is polled between flow augmentations (see
+    {!Pacor_flow.Escape.route}); a cancelled solve reports the clusters
+    escaped so far and lists the rest in [failed_clusters]. *)
 
 val single :
   ?workspace:Pacor_route.Workspace.t ->

@@ -26,6 +26,10 @@ let to_string (p : Problem.t) =
   List.iter (fun (pt : Point.t) -> add "pin %d %d" pt.x pt.y) p.pins;
   Buffer.contents buf
 
+(* 16M cells (~2^24): far above any realistic chip, far below what makes
+   grid allocation or block-filling a denial-of-service vector. *)
+let max_grid_cells = 16_777_216
+
 type accum = {
   mutable name : string;
   mutable dims : (int * int) option;
@@ -36,7 +40,7 @@ type accum = {
   mutable pins : Point.t list;
 }
 
-let of_string text =
+let parse text =
   let acc =
     { name = "unnamed"; dims = None; delta = 1; obstacles = []; valves = [];
       clusters = []; pins = [] }
@@ -123,12 +127,38 @@ let of_string text =
   | Ok () ->
     (match acc.dims with
      | None -> Error "missing 'grid' directive"
+     | Some (width, height) when width <= 0 || height <= 0 ->
+       Error (Printf.sprintf "grid %dx%d: dimensions must be positive" width height)
+     | Some (width, height) when width > max_grid_cells / height ->
+       (* An attacker-sized grid would otherwise allocate (and block-fill)
+          width*height cells before any semantic validation runs. *)
+       Error
+         (Printf.sprintf "grid %dx%d: exceeds the %d-cell limit" width height
+            max_grid_cells)
      | Some (width, height) ->
+       (* Clamp obstacle rectangles to the grid: [block_rect] iterates the
+          whole rectangle, so an out-of-range corner must not control the
+          loop bounds. Fully off-grid rectangles block nothing. *)
+       let clamp (r : Rect.t) =
+         if r.Rect.x1 < 0 || r.Rect.y1 < 0 || r.Rect.x0 >= width
+            || r.Rect.y0 >= height
+         then None
+         else
+           Some
+             (Rect.make ~x0:(max 0 r.Rect.x0) ~y0:(max 0 r.Rect.y0)
+                ~x1:(min (width - 1) r.Rect.x1) ~y1:(min (height - 1) r.Rect.y1))
+       in
        let grid =
-         Routing_grid.create ~width ~height ~obstacles:(List.rev acc.obstacles) ()
+         Routing_grid.create ~width ~height
+           ~obstacles:(List.filter_map clamp (List.rev acc.obstacles)) ()
        in
        let valves = List.rev acc.valves in
        let find_valve id = List.find_opt (fun (v : Valve.t) -> v.id = id) valves in
+       let rec dup_cluster_id seen = function
+         | [] -> None
+         | (id, _) :: rest ->
+           if List.mem id seen then Some id else dup_cluster_id (id :: seen) rest
+       in
        let rec build_clusters = function
          | [] -> Ok []
          | (id, members) :: rest ->
@@ -143,11 +173,22 @@ let of_string text =
                  | Ok cs -> Ok (c :: cs)
                  | Error _ as e -> e))
        in
-       (match build_clusters (List.rev acc.clusters) with
-        | Error _ as e -> e
-        | Ok lm_clusters ->
-          Problem.create ~name:acc.name ~grid ~valves ~lm_clusters
-            ~pins:(List.rev acc.pins) ~delta:acc.delta ()))
+       (match dup_cluster_id [] (List.rev acc.clusters) with
+        | Some id -> Error (Printf.sprintf "duplicate cluster id %d" id)
+        | None ->
+          (match build_clusters (List.rev acc.clusters) with
+           | Error _ as e -> e
+           | Ok lm_clusters ->
+             Problem.create ~name:acc.name ~grid ~valves ~lm_clusters
+               ~pins:(List.rev acc.pins) ~delta:acc.delta ())))
+
+(* Totality backstop: every anticipated failure above already returns
+   [Error], so anything escaping here is a parser bug — still reported as
+   a value, never as an exception, because untrusted input must not be
+   able to crash a batch worker. *)
+let of_string text =
+  try parse text
+  with exn -> Error ("parser: uncaught exception: " ^ Printexc.to_string exn)
 
 let save p ~path =
   try
@@ -164,4 +205,6 @@ let load ~path =
     let s = really_input_string ic n in
     close_in ic;
     of_string s
-  with Sys_error e -> Error e
+  with
+  | Sys_error e -> Error e
+  | exn -> Error (Printexc.to_string exn)

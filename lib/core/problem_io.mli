@@ -14,7 +14,16 @@
     v} *)
 
 val to_string : Problem.t -> string
+
 val of_string : string -> (Problem.t, string) result
+(** Total: never raises, whatever the input. Malformed integers, unknown
+    directives, non-positive or oversized grids (> 16M cells), duplicate
+    valve or cluster ids, out-of-grid valves or pins, and clusters
+    referencing unknown valves all come back as [Error]. Obstacle
+    rectangles are clamped to the grid (fully off-grid ones block
+    nothing). *)
 
 val save : Problem.t -> path:string -> (unit, string) result
+
 val load : path:string -> (Problem.t, string) result
+(** Total like {!of_string}; I/O failures come back as [Error] too. *)

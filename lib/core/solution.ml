@@ -9,6 +9,11 @@ type routed_cluster = {
   matched : bool;
 }
 
+type stage_outcome =
+  | Completed
+  | Degraded of string
+  | Timed_out
+
 type t = {
   problem : Problem.t;
   config : Config.t;
@@ -17,7 +22,29 @@ type t = {
   runtime_s : float;
   stage_seconds : (string * float) list;
   stage_search : (string * Pacor_route.Search_stats.snapshot) list;
+  stage_outcomes : (string * stage_outcome) list;
+  budget_exhausted : Pacor_route.Budget.reason option;
 }
+
+let degraded t =
+  List.exists (fun (_, o) -> o <> Completed) t.stage_outcomes
+
+let pp_stage_outcome ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Degraded r -> Format.fprintf ppf "degraded (%s)" r
+  | Timed_out -> Format.pp_print_string ppf "timed out"
+
+let pp_outcomes ppf t =
+  match t.budget_exhausted with
+  | None -> Format.pp_print_string ppf "all stages completed"
+  | Some reason ->
+    Format.fprintf ppf "budget exhausted (%s): %a"
+      (Pacor_route.Budget.reason_label reason)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (label, o) ->
+            Format.fprintf ppf "%s %a" label pp_stage_outcome o))
+      (List.filter (fun (_, o) -> o <> Completed) t.stage_outcomes)
 
 type stats = {
   clusters : int;

@@ -13,6 +13,13 @@ type routed_cluster = {
                         ordinary routes) *)
 }
 
+type stage_outcome =
+  | Completed      (** the stage ran to its normal fixpoint *)
+  | Degraded of string
+      (** the stage fell back or stopped early; the string names the cause
+          (e.g. ["expansions"], ["iterations"], ["skipped: deadline"]) *)
+  | Timed_out      (** the wall-clock deadline expired during this stage *)
+
 type t = {
   problem : Problem.t;
   config : Config.t;
@@ -28,6 +35,13 @@ type t = {
       (** per-stage search-workspace counters, same order and labels as
           [stage_seconds]; zero snapshots for stages that run no grid
           search (e.g. clustering) *)
+  stage_outcomes : (string * stage_outcome) list;
+      (** same order and labels as [stage_seconds]; anything other than
+          [Completed] means the configured {!Config.t.limits} tripped, so
+          budget exhaustion stays distinguishable from both structural
+          [Error]s and plain congestion *)
+  budget_exhausted : Pacor_route.Budget.reason option;
+      (** the first budget limit that tripped during the run, if any *)
 }
 
 type stats = {
@@ -52,5 +66,14 @@ val validate : t -> (unit, string list) result
       string, not an exception, since congested instances may fail;
     - every cluster marked [matched] really has length spread <= delta;
     - valves sharing a pin are pairwise compatible. *)
+
+val degraded : t -> bool
+(** True when any stage outcome is not [Completed]. *)
+
+val pp_stage_outcome : Format.formatter -> stage_outcome -> unit
+
+val pp_outcomes : Format.formatter -> t -> unit
+(** One line: either "all stages completed" or the exhaustion reason plus
+    the non-completed stages. *)
 
 val pp_stats : Format.formatter -> stats -> unit

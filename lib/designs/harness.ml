@@ -1,33 +1,33 @@
 let variants =
   [ Pacor.Config.Without_selection; Pacor.Config.Detour_first; Pacor.Config.Full ]
 
-let checked_stats ~variant (solution : (Pacor.Solution.t, string) result) =
+(* Batch jobs come back pre-validated: an [Ok] item passed
+   [Solution.validate] inside the runner, so only the error arm needs
+   translation here. *)
+let checked_stats ~variant
+    (solution : (Pacor.Solution.t, Pacor_par.Batch.job_error) result) =
   match solution with
   | Error e ->
-    Error (Printf.sprintf "%s failed: %s" (Pacor.Config.variant_name variant) e)
-  | Ok sol ->
-    (match Pacor.Solution.validate sol with
-     | Ok () -> Ok (Pacor.Solution.stats sol)
-     | Error es ->
-       Error
-         (Printf.sprintf "%s produced an invalid solution: %s"
-            (Pacor.Config.variant_name variant)
-            (String.concat "; " es)))
+    Error
+      (Printf.sprintf "%s failed: %s" (Pacor.Config.variant_name variant)
+         (Pacor_par.Batch.error_to_string e))
+  | Ok sol -> Ok (Pacor.Solution.stats sol)
 
 (* One batch job per (design, variant): Table 2's whole grid of runs is
    embarrassingly parallel, and routing each variant independently on the
    pool leaves every row identical to the sequential harness. *)
-let measure_problems ?(progress = fun _ -> ()) ?(jobs = 1) problems =
+let measure_problems ?(progress = fun _ -> ()) ?(jobs = 1)
+    ?(limits = Pacor_route.Budget.no_limits) ?retries problems =
   let job_of (problem : Pacor.Problem.t) variant =
     Pacor_par.Batch.job
-      ~config:(Pacor.Config.make ~variant ())
+      ~config:{ (Pacor.Config.make ~variant ()) with limits }
       ~name:
         (Printf.sprintf "%s/%s" problem.Pacor.Problem.name
            (Pacor.Config.variant_name variant))
       problem
   in
   let summary =
-    Pacor_par.Batch.run ~jobs
+    Pacor_par.Batch.run ~jobs ?retries
       (List.concat_map (fun p -> List.map (job_of p) variants) problems)
   in
   (* Items come back in job order: three consecutive per design. *)
@@ -55,18 +55,18 @@ let measure_problems ?(progress = fun _ -> ()) ?(jobs = 1) problems =
   in
   rows [] problems summary.Pacor_par.Batch.items
 
-let measure_problem ?jobs problem =
-  match measure_problems ?jobs [ problem ] with
+let measure_problem ?jobs ?limits ?retries problem =
+  match measure_problems ?jobs ?limits ?retries [ problem ] with
   | Error _ as e -> e
   | Ok [ row ] -> Ok row
   | Ok _ -> Error "harness: expected exactly one row"
 
-let measure_design ?jobs name =
+let measure_design ?jobs ?limits ?retries name =
   match Table1.load name with
   | Error _ as e -> e
-  | Ok problem -> measure_problem ?jobs problem
+  | Ok problem -> measure_problem ?jobs ?limits ?retries problem
 
-let measure_table2 ?progress ?jobs names =
+let measure_table2 ?progress ?jobs ?limits ?retries names =
   let rec load acc = function
     | [] -> Ok (List.rev acc)
     | n :: rest ->
@@ -76,4 +76,4 @@ let measure_table2 ?progress ?jobs names =
   in
   match load [] names with
   | Error _ as e -> e
-  | Ok problems -> measure_problems ?progress ?jobs problems
+  | Ok problems -> measure_problems ?progress ?jobs ?limits ?retries problems

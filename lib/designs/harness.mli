@@ -4,18 +4,36 @@
     Every measurement routes each (design, variant) pair as an independent
     job on a {!Pacor_par.Batch} pool; [jobs] (default 1) sets the number
     of worker domains. Rows and stats are identical whatever [jobs] is —
-    only wall-clock changes. *)
+    only wall-clock changes.
 
-val measure_problem : ?jobs:int -> Pacor.Problem.t -> (Pacor.Report.row, string) result
+    [limits] (default {!Pacor_route.Budget.no_limits}) installs a search
+    budget on every run, and [retries] (default 0) lets the batch runner
+    re-attempt failing (design, variant) jobs under a relaxed config —
+    a permanently failing job still fails the whole measurement, since a
+    Table 2 row with holes is meaningless. *)
+
+val measure_problem :
+  ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
+  Pacor.Problem.t ->
+  (Pacor.Report.row, string) result
 (** Runs "w/o Sel", "Detour First" and PACOR on the instance, validating
     each solution; any validation failure is an error. *)
 
-val measure_design : ?jobs:int -> string -> (Pacor.Report.row, string) result
+val measure_design :
+  ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
+  string ->
+  (Pacor.Report.row, string) result
 (** [measure_design name] loads a Table 1 design and measures it. *)
 
 val measure_problems :
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
   Pacor.Problem.t list ->
   (Pacor.Report.row list, string) result
 (** Measure several already-loaded instances; [progress] fires once per
@@ -24,6 +42,8 @@ val measure_problems :
 val measure_table2 :
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
   string list ->
   (Pacor.Report.row list, string) result
 (** Measure several designs by name, reporting progress through

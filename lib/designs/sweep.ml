@@ -6,8 +6,9 @@ type sample = {
   completion : float;
 }
 
-let run ?(variant = Pacor.Config.Full) ?(jobs = 1) ~deltas problem =
-  let config = Pacor.Config.make ~variant () in
+let run ?(variant = Pacor.Config.Full) ?(jobs = 1)
+    ?(limits = Pacor_route.Budget.no_limits) ?retries ~deltas problem =
+  let config = { (Pacor.Config.make ~variant ()) with limits } in
   (* Re-threshold the instance once per point up front; every point is
      then an independent routing job for the domain pool. *)
   let rec prepare acc = function
@@ -21,7 +22,7 @@ let run ?(variant = Pacor.Config.Full) ?(jobs = 1) ~deltas problem =
   | Error e -> Error e
   | Ok points ->
     let summary =
-      Pacor_par.Batch.run ~jobs
+      Pacor_par.Batch.run ~jobs ?retries
         (List.map
            (fun (delta, p) ->
               Pacor_par.Batch.job ~config
@@ -34,7 +35,10 @@ let run ?(variant = Pacor.Config.Full) ?(jobs = 1) ~deltas problem =
       | [], [] -> Ok (List.rev acc)
       | (delta, _) :: prest, item :: irest ->
         (match item.Pacor_par.Batch.solution with
-         | Error e -> Error (Printf.sprintf "delta=%d: %s" delta e)
+         | Error e ->
+           Error
+             (Printf.sprintf "delta=%d: %s" delta
+                (Pacor_par.Batch.error_to_string e))
          | Ok sol ->
            let stats = Pacor.Solution.stats sol in
            let sample =
@@ -51,10 +55,10 @@ let run ?(variant = Pacor.Config.Full) ?(jobs = 1) ~deltas problem =
     in
     collect [] points summary.Pacor_par.Batch.items
 
-let run_design ?variant ?jobs ~deltas name =
+let run_design ?variant ?jobs ?limits ?retries ~deltas name =
   match Table1.load name with
   | Error _ as e -> e
-  | Ok problem -> run ?variant ?jobs ~deltas problem
+  | Ok problem -> run ?variant ?jobs ?limits ?retries ~deltas problem
 
 let pp_table ppf samples =
   Format.fprintf ppf "%6s %10s %12s %12s@." "delta" "matched" "total_len" "completion";

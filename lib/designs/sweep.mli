@@ -17,16 +17,23 @@ type sample = {
 val run :
   ?variant:Pacor.Config.variant ->
   ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
   deltas:int list ->
   Pacor.Problem.t ->
   (sample list, string) result
 (** Route the instance once per threshold. Deterministic: the sweep points
     are independent routing jobs, so [jobs > 1] shards them across a
-    {!Pacor_par.Pool} without changing any sample (default 1). *)
+    {!Pacor_par.Pool} without changing any sample (default 1). [limits]
+    budgets each point's run and [retries] re-attempts failing points
+    under a relaxed config; a point that fails every attempt fails the
+    sweep. *)
 
 val run_design :
   ?variant:Pacor.Config.variant ->
   ?jobs:int ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?retries:int ->
   deltas:int list ->
   string ->
   (sample list, string) result

@@ -116,7 +116,7 @@ let feasibility_bound ~grid ~claimed ~pins requests =
     assert (n_nodes = n);
     Maxflow.max_flow network ~source ~sink
 
-let route ~grid ~claimed ~pins requests =
+let route ?(alive = fun () -> true) ~grid ~claimed ~pins requests =
   match validate ~grid ~pins requests with
   | Error _ as e -> e
   | Ok () ->
@@ -133,7 +133,7 @@ let route ~grid ~claimed ~pins requests =
        threshold: augment while a path still costs less than beta, which is
        larger than any possible augmenting-path cost — so the flow first
        maximises the number of routed clusters, then total length. *)
-    let _outcome = Mcmf.solve ~stop_when_cost_reaches:beta net ~source ~sink in
+    let _outcome = Mcmf.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink in
     let node_paths = Mcmf.decompose_paths net ~source ~sink in
     (* Map each unit path back to its request (second node is the cluster
        node) and to grid points (in/out pairs collapse). *)

@@ -33,12 +33,18 @@ type outcome = {
 }
 
 val route :
+  ?alive:(unit -> bool) ->
   grid:Routing_grid.t ->
   claimed:Point.Set.t ->
   pins:Point.t list ->
   request list ->
   (outcome, string) result
 (** [route ~grid ~claimed ~pins requests]:
+
+    [alive] (default always true) is a cooperative cancellation hook
+    polled between flow augmentations; when it turns false the solve
+    stops with the clusters escaped so far and lists the rest in
+    [failed] — the same shape as a congested instance.
 
     - [claimed] are the cells of {e all} routed cluster channels; escape
       paths may start on their own cluster's cells but never traverse a

@@ -90,7 +90,8 @@ let initial_potentials t ~source =
   if !changed then failwith "Mcmf: negative cycle in network";
   Array.map (fun d -> if d >= infinity_cost then 0 else d) dist
 
-let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
+let solve ?(alive = fun () -> true) ?(flow_target = max_int)
+    ?stop_when_cost_reaches t ~source ~sink =
   if t.solved then invalid_arg "Mcmf.solve: already solved";
   t.solved <- true;
   (* Bellman-Ford is only needed when negative costs exist. *)
@@ -103,7 +104,7 @@ let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
   let parent_edge = Array.make t.n (-1) in
   let total_flow = ref 0 and total_cost = ref 0 in
   let continue = ref true in
-  while !continue && !total_flow < flow_target do
+  while !continue && !total_flow < flow_target && alive () do
     (* Dijkstra on reduced costs. *)
     Array.fill dist 0 t.n infinity_cost;
     Array.fill parent_edge 0 t.n (-1);

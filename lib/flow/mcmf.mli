@@ -25,6 +25,7 @@ type outcome = {
 }
 
 val solve :
+  ?alive:(unit -> bool) ->
   ?flow_target:int ->
   ?stop_when_cost_reaches:int ->
   t ->
@@ -33,7 +34,11 @@ val solve :
   outcome
 (** Augments along successively shortest paths. Stops when the target is
     met, no augmenting path exists, or the cheapest augmenting path costs at
-    least [stop_when_cost_reaches] (when given). Because augmenting-path
+    least [stop_when_cost_reaches] (when given). [alive] (default always
+    true) is polled once per augmentation round: when it turns false the
+    solve stops early with the flow pushed so far, which is a valid (if
+    partial) integral flow — {!decompose_paths} still works. Cancellation
+    granularity is one round, i.e. one Dijkstra over the network. Because augmenting-path
     costs are non-decreasing under successive shortest paths, the threshold
     variant computes the min-cost flow of the implicit objective
     [sum cost - threshold * flow] — the paper's [-beta] reward for each

@@ -51,10 +51,14 @@ let create ~jobs:n =
     Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers;
   t
 
-let map_ctx t f xs =
-  if t.closed then invalid_arg "Pool.map_ctx: pool has been shut down";
+(* The shared scatter/gather core: every task settles (result or captured
+   exception) before this returns, so a raising task can neither wedge the
+   queue nor leak a domain — the callers only differ in how they report
+   the captured exceptions. *)
+let run_tasks t label f xs =
+  if t.closed then invalid_arg (label ^ ": pool has been shut down");
   match xs with
-  | [] -> []
+  | [] -> ([||], [||])
   | xs ->
     let inputs = Array.of_list xs in
     let n = Array.length inputs in
@@ -81,14 +85,25 @@ let map_ctx t f xs =
       Condition.wait all_done t.mutex
     done;
     Mutex.unlock t.mutex;
-    (* Deterministic failure reporting: the earliest-indexed exception
-       wins, whatever order the workers actually hit theirs in. *)
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      failures;
-    Array.to_list (Array.map Option.get results)
+    (results, failures)
+
+let map_ctx t f xs =
+  let results, failures = run_tasks t "Pool.map_ctx" f xs in
+  (* Deterministic failure reporting: the earliest-indexed exception
+     wins, whatever order the workers actually hit theirs in. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    failures;
+  Array.to_list (Array.map Option.get results)
+
+let try_map_ctx t f xs =
+  let results, failures = run_tasks t "Pool.try_map_ctx" f xs in
+  List.init (Array.length results) (fun i ->
+      match failures.(i) with
+      | Some (e, _) -> Error e
+      | None -> Ok (Option.get results.(i)))
 
 let search_stats t =
   Array.fold_left

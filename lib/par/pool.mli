@@ -45,6 +45,13 @@ val map_ctx : t -> (worker -> 'a -> 'b) -> 'a list -> 'b list
     have settled.
     @raise Invalid_argument on a pool that has been shut down. *)
 
+val try_map_ctx : t -> (worker -> 'a -> 'b) -> 'a list -> ('b, exn) result list
+(** Fault-isolated {!map_ctx}: a raising task yields [Error exn] in its
+    input-order slot instead of poisoning the whole call, and every other
+    task still runs to completion. The pool stays healthy — no domain is
+    lost, and [shutdown] joins normally afterwards.
+    @raise Invalid_argument on a pool that has been shut down. *)
+
 val search_stats : t -> Pacor_route.Search_stats.snapshot
 (** Sum of every worker's workspace counters since [create]. Only
     meaningful while the pool is quiescent (no [map_ctx] in flight). *)

@@ -55,7 +55,11 @@ let route ?workspace ?(config = default_config) ~grid ~obstacles edges =
       (Path.points path)
   in
   let rec iterate r order best =
-    if r >= config.gamma then { best with iterations = r }
+    (* A negotiation round is the unit the iteration budget charges for;
+       when the budget dies mid-negotiation we keep the best iteration so
+       far, exactly as if gamma had been reached. *)
+    if r >= config.gamma || not (Budget.note_iteration (Workspace.budget ws))
+    then { best with iterations = r }
     else begin
       let work = Obstacle_map.copy obstacles in
       let routed = ref [] and failed = ref [] in

@@ -49,4 +49,10 @@ val route :
     other clusters' valves). On [success = false], [paths] holds the best
     subset found across rounds — most edges routed, total wirelength as the
     tie-break. Pass [workspace] to reuse one search state across the
-    O(gamma x edges) inner A* calls. *)
+    O(gamma x edges) inner A* calls.
+
+    Each round charges one iteration against the workspace's
+    {!Budget.t} ({!Budget.note_iteration}); an exhausted budget ends
+    negotiation early with the best subset so far, exactly as if [gamma]
+    had been reached, and the per-edge A* calls inside a round fail fast
+    through the budget-checked {!Workspace.pop}. *)

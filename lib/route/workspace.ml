@@ -18,6 +18,7 @@ type t = {
   mutable epoch : int;
   pq : int Pacor_graphs.Pqueue.t;
   stats : Search_stats.t;
+  mutable budget : Budget.t;
 }
 
 let create ?stats () =
@@ -39,9 +40,12 @@ let create ?stats () =
     epoch = 1;
     pq = Pacor_graphs.Pqueue.create ();
     stats;
+    budget = Budget.unlimited ();
   }
 
 let stats t = t.stats
+let budget t = t.budget
+let set_budget t b = t.budget <- b
 
 let reserve_cells t n =
   if t.cap < n then begin
@@ -112,12 +116,17 @@ let push t ~prio i =
   Search_stats.pushed t.stats;
   Pacor_graphs.Pqueue.push t.pq ~prio i
 
+(* A budget-exhausted workspace reports an empty queue: searches fail
+   fast along their ordinary no-route paths, which is exactly the
+   degradation chain the engine already knows how to handle. *)
 let pop t =
-  match Pacor_graphs.Pqueue.pop t.pq with
-  | None -> None
-  | Some _ as r ->
-    Search_stats.popped t.stats;
-    r
+  if not (Budget.tick t.budget) then None
+  else
+    match Pacor_graphs.Pqueue.pop t.pq with
+    | None -> None
+    | Some _ as r ->
+      Search_stats.popped t.stats;
+      r
 
 let entry_count t i = if t.fill_stamp.(i) = t.epoch then t.fill.(i) else 0
 let entry_slot t ~cell k = (cell * t.stride) + k

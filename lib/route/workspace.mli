@@ -27,6 +27,16 @@ val create : ?stats:Search_stats.t -> unit -> t
 val stats : t -> Search_stats.t
 (** The counter set every search on this workspace accumulates into. *)
 
+val budget : t -> Budget.t
+(** The budget every search on this workspace is charged against.
+    Defaults to {!Budget.unlimited}. *)
+
+val set_budget : t -> Budget.t -> unit
+(** Attach a budget for subsequent searches. The engine installs one per
+    run and restores the previous budget on exit; once the budget is
+    exhausted, {!pop} reports an empty queue so every in-flight and
+    future search fails fast along its ordinary no-route path. *)
+
 val begin_search : t -> cells:int -> unit
 (** Start a plain A* search over a [cells]-cell grid: ensures capacity,
     bumps the epoch (invalidating all per-cell state), clears the queue. *)
@@ -58,7 +68,10 @@ val is_source : t -> int -> bool
 (** {2 Shared priority queue (instrumented)} *)
 
 val push : t -> prio:int -> int -> unit
+
 val pop : t -> (int * int) option
+(** [None] when the queue is empty {e or} the attached budget is
+    exhausted — callers cannot (and need not) tell the difference. *)
 
 (** {2 Bounded-search visit entries}
 

@@ -7,11 +7,43 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (hard 15-minute timeout) =="
+# A hang here (a lost pool worker, an unbudgeted search loop) should fail
+# the gate, not wedge it.
+timeout 900 dune runtest
 
 echo "== batch smoke (domain pool, --jobs 2) =="
 ./_build/default/bin/pacor_cli.exe batch corpus --jobs 2
+
+echo "== fuzz smoke: parser rejects garbage without crashing (exit 2) =="
+fuzzdir=$(mktemp -d)
+trap 'rm -rf "$fuzzdir"' EXIT
+head -c 4096 /dev/urandom > "$fuzzdir/random.chip"
+printf 'grid 999999999 999999999\nvalve 0 -1 -1 01\n' > "$fuzzdir/adversarial.chip"
+printf 'name truncated\ngrid 8 8\nvalve 0 3' > "$fuzzdir/truncated.chip"
+for f in "$fuzzdir"/*.chip; do
+  rc=0
+  ./_build/default/bin/pacor_cli.exe check -f "$f" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "fuzz smoke: expected parse failure (exit 2) on $f, got $rc" >&2
+    exit 1
+  fi
+done
+
+echo "== fuzz smoke: degenerate batch quarantines exactly the infeasible job =="
+rc=0
+out=$(./_build/default/bin/pacor_cli.exe batch corpus/degenerate \
+        --timeout 2 --retries 1 2>&1) || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "degenerate batch: expected exit 1 (quarantine), got $rc" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "$out" | grep -q "quarantine: 1 job(s) permanently failed" || {
+  echo "degenerate batch: expected exactly one quarantined job" >&2
+  echo "$out" >&2
+  exit 1
+}
 
 echo "== bench smoke (incl. jobs-scaling case) =="
 ./_build/default/bench/main.exe --smoke

@@ -64,6 +64,54 @@ let test_roundtrip_stability () =
        | Error e -> Alcotest.failf "%s reparse: %s" name e)
     [ "corpus-dense"; "corpus-pairs"; "corpus-obstacles"; "corpus-bigcluster" ]
 
+let load_degenerate name =
+  let path =
+    Filename.concat (Filename.concat corpus_dir "degenerate") (name ^ ".chip")
+  in
+  match Pacor.Problem_io.load ~path with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "cannot load %s: %s" path e
+
+let test_empty_clusters () =
+  (* Zero LM clusters is a valid (if degenerate) instance: the LM stage
+     has nothing to do but the flow still routes every valve to a pin. *)
+  let problem = load_degenerate "corpus-empty-clusters" in
+  Alcotest.(check int) "no lm clusters" 0
+    (List.length problem.Pacor.Problem.lm_clusters);
+  let sol = route problem in
+  Alcotest.(check (float 1e-9)) "completion" 1.0
+    (Pacor.Solution.stats sol).completion;
+  (match Pacor.Solution.validate sol with
+   | Ok () -> ()
+   | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
+
+let test_infeasible () =
+  (* A walled-in valve has no escape path. The engine must degrade to a
+     diagnosable partial solution — Ok with a validation failure naming
+     the pinless cluster — and must not raise or return a hard error. *)
+  let problem = load_degenerate "corpus-infeasible" in
+  match Pacor.Engine.run problem with
+  | Error e ->
+    Alcotest.failf "engine should degrade, not fail hard: %s/%s" e.stage
+      e.message
+  | Ok sol ->
+    let stats = Pacor.Solution.stats sol in
+    Alcotest.(check bool) "incomplete" true (stats.completion < 1.0);
+    (match Pacor.Solution.validate sol with
+     | Ok () -> Alcotest.fail "walled-in valve should fail validation"
+     | Error es ->
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+         in
+         go 0
+       in
+       let mentions_pin =
+         List.exists (fun e -> contains e "no control pin") es
+       in
+       Alcotest.(check bool) "diagnoses missing pin" true mentions_pin)
+
 let test_variants_on_corpus () =
   (* Every flow variant completes and validates on every corpus file. *)
   List.iter
@@ -95,4 +143,6 @@ let () =
           Alcotest.test_case "heavy obstacles" `Quick test_obstacles;
           Alcotest.test_case "large clusters, delta 2" `Quick test_bigcluster;
           Alcotest.test_case "serialisation fixpoint" `Quick test_roundtrip_stability;
+          Alcotest.test_case "zero lm clusters" `Quick test_empty_clusters;
+          Alcotest.test_case "walled-in valve degrades" `Quick test_infeasible;
           Alcotest.test_case "all variants route" `Slow test_variants_on_corpus ] ) ]

@@ -78,7 +78,9 @@ let test_corpus_parallel_equals_sequential () =
   List.iter2
     (fun (n, seq_sol) (item : Pacor_par.Batch.item) ->
        match item.solution with
-       | Error e -> Alcotest.failf "batch %s failed: %s" n e
+       | Error e ->
+         Alcotest.failf "batch %s failed: %s" n
+           (Pacor_par.Batch.error_to_string e)
        | Ok par_sol ->
          (match Pacor.Solution.validate par_sol with
           | Ok () -> ()
@@ -163,7 +165,117 @@ let test_pool_shutdown_semantics () =
    | _ -> Alcotest.fail "map_ctx after shutdown should raise"
    | exception Invalid_argument _ -> ())
 
-(* (c) Stress: many tiny tasks, jobs > tasks, arbitrary shapes. *)
+(* (c) Fault isolation: a poisoned batch quarantines exactly the bad
+   jobs, healthy jobs stay byte-identical to their sequential runs, and a
+   raising worker task neither leaks domains nor poisons the pool. *)
+
+let load_degenerate name =
+  let path =
+    Filename.concat (Filename.concat corpus_dir "degenerate") (name ^ ".chip")
+  in
+  match Pacor.Problem_io.load ~path with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "cannot load %s: %s" path e
+
+let test_batch_quarantines_infeasible () =
+  let named =
+    List.map (fun n -> (n, load n)) corpus_names
+    @ [ ("corpus-infeasible", load_degenerate "corpus-infeasible") ]
+  in
+  let seq = Pacor_par.Batch.run_problems ~jobs:1 named in
+  let par = Pacor_par.Batch.run_problems ~jobs:4 named in
+  List.iter
+    (fun (summary : Pacor_par.Batch.summary) ->
+       Alcotest.(check int) "one item per job" (List.length named)
+         (List.length summary.items);
+       Alcotest.(check (list string)) "exactly the infeasible job quarantined"
+         [ "corpus-infeasible" ]
+         (List.map
+            (fun (i : Pacor_par.Batch.item) -> i.name)
+            summary.quarantined);
+       List.iter
+         (fun (i : Pacor_par.Batch.item) ->
+            match i.solution with
+            | Ok sol ->
+              (match Pacor.Solution.validate sol with
+               | Ok () -> ()
+               | Error es ->
+                 Alcotest.failf "healthy job %s invalid: %s" i.name
+                   (String.concat "; " es))
+            | Error (Pacor_par.Batch.Invalid violations) ->
+              Alcotest.(check string) "infeasible job named" "corpus-infeasible"
+                i.name;
+              Alcotest.(check bool) "violations reported" true
+                (violations <> [])
+            | Error e ->
+              Alcotest.failf "unexpected error class for %s: %s" i.name
+                (Pacor_par.Batch.error_to_string e))
+         summary.items)
+    [ seq; par ];
+  (* Healthy jobs are untouched by the poisoned neighbour: byte-identical
+     between sequential and 4-way parallel runs. *)
+  List.iter2
+    (fun (a : Pacor_par.Batch.item) (b : Pacor_par.Batch.item) ->
+       Alcotest.(check string) "same job" a.name b.name;
+       match a.solution, b.solution with
+       | Ok sa, Ok sb ->
+         Alcotest.(check string)
+           (a.name ^ " healthy job byte-identical under parallelism")
+           (fingerprint sa) (fingerprint sb)
+       | _ -> ())
+    seq.Pacor_par.Batch.items par.Pacor_par.Batch.items
+
+let test_batch_budget_exhaustion_and_retry () =
+  (* A one-expansion budget deterministically starves every search; the
+     degraded solution cannot validate, so the job is classified as
+     budget exhaustion, retried once under a relaxed (doubled) budget —
+     still hopeless — and quarantined with both attempts on record. *)
+  let config =
+    { Pacor.Config.default with
+      limits = Pacor_route.Budget.limits ~max_expansions:1 () }
+  in
+  let summary =
+    Pacor_par.Batch.run_problems ~retries:1 ~config
+      [ ("corpus-dense", load "corpus-dense") ]
+  in
+  Alcotest.(check int) "retried" 1 summary.Pacor_par.Batch.retried_jobs;
+  match summary.Pacor_par.Batch.quarantined with
+  | [ item ] ->
+    Alcotest.(check int) "both attempts made" 2 item.attempts;
+    (match item.solution with
+     | Error (Pacor_par.Batch.Budget_exhausted { reason; _ }) ->
+       Alcotest.(check string) "expansion cap tripped" "expansions" reason
+     | Error e ->
+       Alcotest.failf "expected Budget_exhausted, got %s"
+         (Pacor_par.Batch.error_to_string e)
+     | Ok _ -> Alcotest.fail "expected quarantined item to carry an error")
+  | items ->
+    Alcotest.failf "expected one quarantined item, got %d" (List.length items)
+
+let test_pool_worker_death_isolated () =
+  let pool = Pacor_par.Pool.create ~jobs:2 in
+  let xs = List.init 20 Fun.id in
+  let results =
+    Pacor_par.Pool.try_map_ctx pool
+      (fun _ x -> if x mod 5 = 2 then raise (Boom x) else x * 10)
+      xs
+  in
+  Alcotest.(check int) "one slot per task" 20 (List.length results);
+  List.iteri
+    (fun i r ->
+       match r with
+       | Ok v -> Alcotest.(check int) "healthy task result" (i * 10) v
+       | Error (Boom x) ->
+         Alcotest.(check bool) "only poisoned tasks fail" true (x mod 5 = 2);
+         Alcotest.(check int) "error in its own slot" i x
+       | Error e -> Alcotest.failf "unexpected exception: %s" (Printexc.to_string e))
+    results;
+  (* The pool survives worker-task death: same pool, ordinary map. *)
+  Alcotest.(check (list int)) "pool usable after task exceptions" [ 2; 4; 6 ]
+    (Pacor_par.Pool.map_ctx pool (fun _ x -> 2 * x) [ 1; 2; 3 ]);
+  Pacor_par.Pool.shutdown pool
+
+(* (d) Stress: many tiny tasks, jobs > tasks, arbitrary shapes. *)
 
 let prop_pool_map_is_map =
   QCheck.Test.make ~name:"Pool.map = List.map (any jobs, incl. jobs > tasks)"
@@ -194,6 +306,13 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_pool_propagates_exception;
           Alcotest.test_case "reuse and shutdown" `Quick test_pool_shutdown_semantics ] );
+      ( "fault isolation",
+        [ Alcotest.test_case "infeasible job quarantined, healthy jobs identical"
+            `Slow test_batch_quarantines_infeasible;
+          Alcotest.test_case "budget exhaustion classified and retried" `Quick
+            test_batch_budget_exhaustion_and_retry;
+          Alcotest.test_case "worker death isolated, pool survives" `Quick
+            test_pool_worker_death_isolated ] );
       ( "stress",
         List.map QCheck_alcotest.to_alcotest
           [ prop_pool_map_is_map; prop_pool_many_tiny_tasks ] ) ]
