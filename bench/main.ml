@@ -24,6 +24,8 @@ let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 let jobs_scaling_only = Array.exists (String.equal "--jobs-scaling") Sys.argv
 
+let route_bench_only = Array.exists (String.equal "--route-bench") Sys.argv
+
 let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
@@ -166,7 +168,9 @@ let bench_ablation_detour =
       Test.make ~name:"bounded-astar"
         (Staged.stage (fun () ->
            ignore
-             (Pacor_route.Bounded_astar.search ~grid ~usable
+             (Pacor_route.Bounded_astar.search ~grid
+                ~usable:(fun i ->
+                  usable (Pacor_grid.Routing_grid.point_of_index grid i))
                 ~source:(Pacor_geom.Point.make 4 10) ~target:(Pacor_geom.Point.make 10 10)
                 ~min_length:14 ()))) ]
 
@@ -226,10 +230,7 @@ let bench_astar_workspace =
       |> List.iter (Pacor_grid.Obstacle_map.block obstacles)
     done
   in
-  let spec =
-    { Pacor_route.Astar.usable = (fun p -> Pacor_grid.Obstacle_map.free obstacles p);
-      extra_cost = (fun _ -> 0) }
-  in
+  let spec = Pacor_route.Astar.obstacle_spec obstacles in
   let endpoints i =
     Pacor_geom.(Point.make (1 + (i mod 8)) 1, Point.make (62 - (i mod 8)) 62)
   in
@@ -495,6 +496,244 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
     close_out oc;
     Format.printf "jobs-scaling JSON written to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Route bench: conflict-driven incremental negotiation vs the paper's *)
+(* full-reroute loop, plus the escape-stage min-cost-flow solver race. *)
+(* The JSON record is committed as BENCH_route.json; its deterministic *)
+(* "fingerprint" fields (routed counts, lengths, expansion counts) are *)
+(* what CI checks for drift — wall-clock and allocation words are      *)
+(* machine-dependent and excluded.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A conflict-then-converge family with three ingredients, sized so the
+   final routing puts every net at its Manhattan-ideal length (which lets
+   the incremental engine's optimality certificate skip the baseline
+   fallback):
+
+   - a sealed two-row "tube" (rows 2-3, walls above and below) crossed by
+     one long diagonal spine net (0,2)->(size-1,3). The greedy first
+     round steps the spine onto row 3 immediately and claims it end to
+     end;
+   - [g] walled pockets opening off the tube ceiling. Each pocket net's
+     unique shortest path runs along row 3 into its shaft, so every
+     pocket net fails round 1; conflict analysis rips the spine, the
+     pockets route ideally, and the spine re-routes along row 2 with a
+     late step up — all at ideal length, in two rounds;
+   - a block of tightly packed diagonal filler nets (adjacent one-row
+     bands, listed top-down so round 1 resolves them disjointly at ideal
+     length). The incremental engine never touches them again; the
+     full-reroute loop rips, bumps and displaces them every round, which
+     cascades into fresh conflicts and — at the larger sizes — livelocks
+     until gamma. *)
+let negotiation_instance size =
+  let open Pacor_geom in
+  let grid = Pacor_grid.Routing_grid.create ~width:size ~height:size () in
+  let walls = ref [] in
+  let wall x y = walls := Point.make x y :: !walls in
+  let g = max 1 ((size - 12) / 6) in
+  let mxs = List.init g (fun j -> 4 + (6 * j)) in
+  for x = 0 to size - 1 do
+    wall x 1;
+    if not (List.mem x mxs) then wall x 4
+  done;
+  List.iter
+    (fun mx ->
+       wall (mx - 1) 4;
+       wall (mx + 1) 4;
+       wall (mx - 1) 5;
+       wall (mx + 1) 5;
+       wall mx 6)
+    mxs;
+  let base = 8 and top = size - 2 in
+  let fillers =
+    List.init (top - base) (fun i ->
+      (Point.make 1 (top - 1 - i), Point.make (size - 2) (top - i)))
+  in
+  let spine = (Point.make 0 2, Point.make (size - 1) 3) in
+  let pockets = List.map (fun mx -> (Point.make (mx - 2) 3, Point.make mx 5)) mxs in
+  let edges =
+    List.mapi
+      (fun i ends -> { Pacor_route.Negotiation.edge_id = i; ends })
+      (fillers @ [ spine ] @ pockets)
+  in
+  (grid, !walls, edges)
+
+type mode_sample = {
+  routed : int;
+  length : int;
+  rounds : int;
+  pops : int;          (* A* expansions *)
+  touched : int;
+  searches : int;
+  wall_s : float;
+  minor_words : float;
+}
+
+let run_negotiation_mode mode ~grid ~walls ~edges =
+  let stats = Pacor_route.Search_stats.create () in
+  let ws = Pacor_route.Workspace.create ~stats () in
+  let obstacles = Pacor_grid.Routing_grid.fresh_work_map grid in
+  List.iter (Pacor_grid.Obstacle_map.block obstacles) walls;
+  let config = { Pacor_route.Negotiation.default_config with mode } in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let out = Pacor_route.Negotiation.route ~workspace:ws ~config ~grid ~obstacles edges in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  let s = Pacor_route.Search_stats.snapshot stats in
+  let length =
+    List.fold_left
+      (fun acc (_, p) -> acc + Pacor_grid.Path.length p)
+      0 out.Pacor_route.Negotiation.paths
+  in
+  { routed = List.length out.Pacor_route.Negotiation.paths;
+    length;
+    rounds = out.Pacor_route.Negotiation.iterations;
+    pops = s.Pacor_route.Search_stats.pops;
+    touched = s.Pacor_route.Search_stats.touched;
+    searches = s.Pacor_route.Search_stats.searches;
+    wall_s;
+    minor_words }
+
+(* Escape-stage instance: pins across the top boundary, cluster start
+   cells spread across a low row — the same network shape the engine's
+   escape stage builds, at a controllable size. *)
+let escape_instance size =
+  let grid = Pacor_grid.Routing_grid.create ~width:size ~height:size () in
+  let pins =
+    List.init ((size - 2) / 2) (fun i -> Pacor_geom.Point.make (1 + (2 * i)) 0)
+  in
+  let nreq = size / 4 in
+  let requests =
+    List.init nreq (fun i ->
+      { Pacor_flow.Escape.cluster_idx = i;
+        start_cells = [ Pacor_geom.Point.make (2 + (3 * i)) (size - 3) ] })
+  in
+  (grid, pins, requests)
+
+let run_escape_solver solver ~grid ~pins ~requests =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pacor_flow.Escape.route ~solver ~grid ~claimed:Pacor_geom.Point.Set.empty ~pins
+      requests
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  match result with
+  | Error e -> failwith ("route-bench escape instance invalid: " ^ e)
+  | Ok out ->
+    (List.length out.Pacor_flow.Escape.routed, out.Pacor_flow.Escape.total_length, wall_s)
+
+let print_route_bench () =
+  Format.printf "@.== Route bench: incremental negotiation vs full reroute ==@.";
+  let sizes = if smoke || quick then [ 16; 24 ] else [ 16; 24; 32; 48 ] in
+  let neg_rows =
+    List.map
+      (fun size ->
+         let grid, walls, edges = negotiation_instance size in
+         let full =
+           run_negotiation_mode Pacor_route.Negotiation.Full_reroute ~grid ~walls ~edges
+         in
+         let inc =
+           run_negotiation_mode Pacor_route.Negotiation.Incremental ~grid ~walls ~edges
+         in
+         (size, List.length edges, full, inc))
+      sizes
+  in
+  Format.printf "%5s %6s | %18s %8s %7s | %18s %8s %7s | %6s %9s@." "size" "edges"
+    "full (routed,len)" "pops" "rounds" "inc (routed,len)" "pops" "rounds" "ratio"
+    "no-worse";
+  List.iter
+    (fun (size, nedges, full, inc) ->
+       let ratio =
+         if inc.pops > 0 then float_of_int full.pops /. float_of_int inc.pops else 0.0
+       in
+       let no_worse =
+         inc.routed > full.routed
+         || (inc.routed = full.routed && inc.length <= full.length)
+       in
+       Format.printf "%5d %6d | (%6d,%8d) %8d %7d | (%6d,%8d) %8d %7d | %5.2fx %9s@."
+         size nedges full.routed full.length full.pops full.rounds inc.routed inc.length
+         inc.pops inc.rounds ratio
+         (if no_worse then "yes" else "NO (BUG)"))
+    neg_rows;
+  let total_full = List.fold_left (fun a (_, _, f, _) -> a + f.pops) 0 neg_rows in
+  let total_inc = List.fold_left (fun a (_, _, _, i) -> a + i.pops) 0 neg_rows in
+  Format.printf "total expansions: full=%d incremental=%d (%.2fx reduction)@."
+    total_full total_inc
+    (if total_inc > 0 then float_of_int total_full /. float_of_int total_inc else 0.0);
+  Format.printf "@.== Route bench: escape min-cost-flow solver race ==@.";
+  let esc_sizes = if smoke || quick then [ 16; 24 ] else [ 16; 24; 32 ] in
+  let esc_rows =
+    List.map
+      (fun size ->
+         let grid, pins, requests = escape_instance size in
+         let d_routed, d_len, d_wall = run_escape_solver Pacor_flow.Escape.Dijkstra ~grid ~pins ~requests in
+         let s_routed, s_len, s_wall = run_escape_solver Pacor_flow.Escape.Spfa ~grid ~pins ~requests in
+         (size, List.length requests, (d_routed, d_len, d_wall), (s_routed, s_len, s_wall)))
+      esc_sizes
+  in
+  Format.printf "%5s %9s | %15s %10s | %15s %10s | %6s@." "size" "requests"
+    "dijkstra (r,len)" "wall" "spfa (r,len)" "wall" "agree";
+  List.iter
+    (fun (size, nreq, (dr, dl, dw), (sr, sl, sw)) ->
+       Format.printf "%5d %9d | (%5d,%8d) %9.4fs | (%5d,%8d) %9.4fs | %6s@." size nreq
+         dr dl dw sr sl sw
+         (if dr = sr && dl = sl then "yes" else "NO (BUG)"))
+    esc_rows;
+  (* Machine-readable record. *)
+  let json =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-route-bench\",\n";
+    Printf.bprintf buf "  \"negotiation\": [\n";
+    List.iteri
+      (fun i (size, nedges, full, inc) ->
+         let mode_json (m : mode_sample) =
+           Printf.sprintf
+             "{\"routed\": %d, \"length\": %d, \"rounds\": %d, \"pops\": %d, \
+              \"touched\": %d, \"searches\": %d, \"wall_s\": %.6f, \"minor_words\": %.0f}"
+             m.routed m.length m.rounds m.pops m.touched m.searches m.wall_s
+             m.minor_words
+         in
+         Printf.bprintf buf
+           "    {\"size\": %d, \"edges\": %d,\n     \"full\": %s,\n     \"incremental\": %s,\n\
+            \     \"expansion_ratio\": %.3f, \"no_worse\": %b,\n\
+            \     \"fingerprint\": \"neg size=%d routed=%d/%d len=%d/%d pops=%d/%d\"}%s\n"
+           size nedges (mode_json full) (mode_json inc)
+           (if inc.pops > 0 then float_of_int full.pops /. float_of_int inc.pops else 0.0)
+           (inc.routed > full.routed
+            || (inc.routed = full.routed && inc.length <= full.length))
+           size full.routed inc.routed full.length inc.length full.pops inc.pops
+           (if i = List.length neg_rows - 1 then "" else ","))
+      neg_rows;
+    Printf.bprintf buf "  ],\n";
+    Printf.bprintf buf
+      "  \"totals\": {\"full_pops\": %d, \"incremental_pops\": %d, \
+       \"expansion_ratio\": %.3f},\n"
+      total_full total_inc
+      (if total_inc > 0 then float_of_int total_full /. float_of_int total_inc else 0.0);
+    Printf.bprintf buf "  \"escape\": [\n";
+    List.iteri
+      (fun i (size, nreq, (dr, dl, dw), (sr, sl, sw)) ->
+         Printf.bprintf buf
+           "    {\"size\": %d, \"requests\": %d, \"dijkstra_wall_s\": %.6f, \
+            \"spfa_wall_s\": %.6f,\n\
+            \     \"fingerprint\": \"esc size=%d routed=%d/%d len=%d/%d\"}%s\n"
+           size nreq dw sw size dr sr dl sl
+           (if i = List.length esc_rows - 1 then "" else ","))
+      esc_rows;
+    Printf.bprintf buf "  ]\n}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "route-bench JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -516,7 +755,16 @@ let print_flow_search_stats () =
     designs
 
 let () =
-  if jobs_scaling_only then begin
+  if route_bench_only then begin
+    (* Routing perf trajectory: negotiation modes + flow-solver race, with
+       the JSON record (committed as BENCH_route.json). --smoke restricts
+       to the small sizes for CI. *)
+    Format.printf "PACOR benchmark harness (route-bench only%s)@."
+      (if smoke then ", smoke" else "");
+    print_route_bench ();
+    Format.printf "@.done.@."
+  end
+  else if jobs_scaling_only then begin
     (* Standalone perf-trajectory run: the jobs-scaling batch only, with
        its JSON record (committed as BENCH_parallel.json). *)
     Format.printf "PACOR benchmark harness (jobs-scaling only)@.";

@@ -42,7 +42,8 @@ let detour_tree ?workspace ~grid ~usable_base ~delta ~theta (original : Routed.t
             search budget is capped — an uncapped budget dominates the
             whole stage's runtime on large chips. *)
          (match
-            Pacor_route.Bounded_astar.search ?workspace ~grid ~usable
+            Pacor_route.Bounded_astar.search ?workspace ~grid
+              ~usable:(fun i -> usable (Routing_grid.point_of_index grid i))
               ~pop_budget:20_000
               ~source:(Path.source leg) ~target:(Path.target leg) ~min_length:target ()
           with

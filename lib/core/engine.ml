@@ -298,11 +298,7 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
                 Point.Set.iter (Pacor_grid.Obstacle_map.block work) !corridor_cells;
                 Point.Set.iter (Pacor_grid.Obstacle_map.block work)
                   (claims_of (free_keep @ List.filter (fun x -> x != r) failed));
-                let spec =
-                  { Pacor_route.Astar.usable =
-                      (fun p -> Pacor_grid.Obstacle_map.free work p);
-                    extra_cost = (fun _ -> 0) }
-                in
+                let spec = Pacor_route.Astar.obstacle_spec work in
                 Pacor_route.Astar.search ~workspace ~grid ~spec
                   ~sources:(Routed.start_cells r) ~targets:problem.Problem.pins ()
               in

@@ -23,12 +23,12 @@ let single ?workspace ~grid ~claimed ~pins ~start_cells () =
        the path cannot run {e through} one candidate pin on its way to
        another (which a later escape might then be assigned). *)
     let spec =
-      { Pacor_route.Astar.usable =
-          (fun p ->
-             Pacor_grid.Routing_grid.free grid p
-             && (not (Point.Set.mem p claimed))
-             && not (Pacor_grid.Routing_grid.on_boundary grid p));
-        extra_cost = (fun _ -> 0) }
+      Pacor_route.Astar.point_spec ~grid
+        ~usable:(fun p ->
+          Pacor_grid.Routing_grid.free grid p
+          && (not (Point.Set.mem p claimed))
+          && not (Pacor_grid.Routing_grid.on_boundary grid p))
+        ~extra_cost:(fun _ -> 0)
     in
     (match
        Pacor_route.Astar.search ?workspace ~grid ~spec ~sources:start_cells ~targets:pins ()

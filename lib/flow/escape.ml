@@ -116,7 +116,11 @@ let feasibility_bound ~grid ~claimed ~pins requests =
     assert (n_nodes = n);
     Maxflow.max_flow network ~source ~sink
 
-let route ?(alive = fun () -> true) ~grid ~claimed ~pins requests =
+type solver =
+  | Dijkstra
+  | Spfa
+
+let route ?(alive = fun () -> true) ?(solver = Spfa) ~grid ~claimed ~pins requests =
   match validate ~grid ~pins requests with
   | Error _ as e -> e
   | Ok () ->
@@ -124,17 +128,34 @@ let route ?(alive = fun () -> true) ~grid ~claimed ~pins requests =
     let cells = w * h in
     let nreq = List.length requests in
     let n = (2 * cells) + nreq + 2 in
-    let net = Mcmf.create n in
     let beta = (4 * cells) + 16 in
-    let emit src dst cost = Mcmf.add_edge net ~src ~dst ~cap:1 ~cost in
-    let n_nodes, source, sink, _ = build_network ~grid ~claimed ~pins requests ~emit in
-    assert (n_nodes = n);
     (* The paper's [-beta] reward per routed path is realised as a stopping
        threshold: augment while a path still costs less than beta, which is
        larger than any possible augmenting-path cost — so the flow first
        maximises the number of routed clusters, then total length. *)
-    let _outcome = Mcmf.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink in
-    let node_paths = Mcmf.decompose_paths net ~source ~sink in
+    let node_paths =
+      match solver with
+      | Dijkstra ->
+        let net = Mcmf.create n in
+        let emit src dst cost = Mcmf.add_edge net ~src ~dst ~cap:1 ~cost in
+        let n_nodes, source, sink, _ =
+          build_network ~grid ~claimed ~pins requests ~emit
+        in
+        assert (n_nodes = n);
+        let _outcome = Mcmf.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink in
+        Mcmf.decompose_paths net ~source ~sink
+      | Spfa ->
+        let net = Mcmf_spfa.create n in
+        let emit src dst cost = Mcmf_spfa.add_edge net ~src ~dst ~cap:1 ~cost in
+        let n_nodes, source, sink, _ =
+          build_network ~grid ~claimed ~pins requests ~emit
+        in
+        assert (n_nodes = n);
+        let _outcome =
+          Mcmf_spfa.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink
+        in
+        Mcmf_spfa.decompose_paths net ~source ~sink
+    in
     (* Map each unit path back to its request (second node is the cluster
        node) and to grid points (in/out pairs collapse). *)
     let request_arr = Array.of_list requests in

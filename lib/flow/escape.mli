@@ -32,8 +32,13 @@ type outcome = {
   total_length : int;          (** sum of escape path lengths (edges) *)
 }
 
+type solver =
+  | Dijkstra  (** {!Mcmf}: Dijkstra with potentials *)
+  | Spfa      (** {!Mcmf_spfa}: Bellman–Ford queue augmentation *)
+
 val route :
   ?alive:(unit -> bool) ->
+  ?solver:solver ->
   grid:Routing_grid.t ->
   claimed:Point.Set.t ->
   pins:Point.t list ->
@@ -45,6 +50,13 @@ val route :
     polled between flow augmentations; when it turns false the solve
     stops with the clusters escaped so far and lists the rest in
     [failed] — the same shape as a congested instance.
+
+    [solver] picks the min-cost-flow engine; the default is [Spfa],
+    which the escape-instance benchmark in [bench --route-bench] measures
+    as consistently faster than [Dijkstra] on these unit-capacity escape
+    networks (see EXPERIMENTS.md). Both produce cost-optimal flows with
+    identical (routed, length) outcomes — the benchmark asserts the
+    agreement — and [Dijkstra] is retained as an independent cross-check.
 
     - [claimed] are the cells of {e all} routed cluster channels; escape
       paths may start on their own cluster's cells but never traverse a

@@ -59,7 +59,8 @@ type outcome = { flow : int; cost : int }
 
 let infinity_cost = max_int / 4
 
-let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
+let solve ?(alive = fun () -> true) ?(flow_target = max_int) ?stop_when_cost_reaches t
+    ~source ~sink =
   if t.solved then invalid_arg "Mcmf_spfa.solve: already solved";
   t.solved <- true;
   let dist = Array.make t.n infinity_cost in
@@ -67,7 +68,7 @@ let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
   let parent_edge = Array.make t.n (-1) in
   let total_flow = ref 0 and total_cost = ref 0 in
   let continue = ref true in
-  while !continue && !total_flow < flow_target do
+  while !continue && !total_flow < flow_target && alive () do
     Array.fill dist 0 t.n infinity_cost;
     Array.fill parent_edge 0 t.n (-1);
     Array.fill in_queue 0 t.n false;
@@ -125,3 +126,54 @@ let solve ?(flow_target = max_int) ?stop_when_cost_reaches t ~source ~sink =
     end
   done;
   { flow = !total_flow; cost = !total_cost }
+
+(* Flow accessors and decomposition, mirroring [Mcmf] — the two solvers
+   share the paired-edge representation (reverse of edge i is [i lxor 1],
+   forward edges at even indices), so the escape stage can decode paths
+   from either interchangeably. *)
+
+let edge_flow t i = t.cap.(i lxor 1)
+
+let flow_on t ~src ~dst =
+  let total = ref 0 in
+  let e = ref t.head.(src) in
+  while !e >= 0 do
+    let i = !e in
+    if i land 1 = 0 && t.dst.(i) = dst then total := !total + edge_flow t i;
+    e := t.next_edge.(i)
+  done;
+  !total
+
+let decompose_paths t ~source ~sink =
+  let paths = ref [] in
+  let rec walk v acc =
+    if v = sink then List.rev (v :: acc)
+    else begin
+      let rec find e =
+        if e < 0 then failwith "Mcmf_spfa.decompose_paths: flow dead-ends"
+        else if e land 1 = 0 && edge_flow t e > 0 then e
+        else find t.next_edge.(e)
+      in
+      let i = find t.head.(v) in
+      t.cap.(i lxor 1) <- t.cap.(i lxor 1) - 1;
+      t.cap.(i) <- t.cap.(i) + 1;
+      walk t.dst.(i) (v :: acc)
+    end
+  in
+  let rec next_unit () =
+    let remaining =
+      let any = ref false in
+      let e = ref t.head.(source) in
+      while !e >= 0 do
+        if !e land 1 = 0 && edge_flow t !e > 0 then any := true;
+        e := t.next_edge.(!e)
+      done;
+      !any
+    in
+    if remaining then begin
+      paths := walk source [] :: !paths;
+      next_unit ()
+    end
+  in
+  next_unit ();
+  List.rev !paths

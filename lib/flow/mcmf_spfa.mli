@@ -16,5 +16,23 @@ type outcome = {
   cost : int;
 }
 
-val solve : ?flow_target:int -> ?stop_when_cost_reaches:int -> t -> source:int -> sink:int -> outcome
-(** Same contract as {!Mcmf.solve}. *)
+val solve :
+  ?alive:(unit -> bool) ->
+  ?flow_target:int ->
+  ?stop_when_cost_reaches:int ->
+  t ->
+  source:int ->
+  sink:int ->
+  outcome
+(** Same contract as {!Mcmf.solve}, including the cooperative [alive]
+    cancellation hook polled between augmentations. *)
+
+val flow_on : t -> src:int -> dst:int -> int
+(** After [solve]: total flow on forward edges [src -> dst]
+    (same contract as {!Mcmf.flow_on}). *)
+
+val decompose_paths : t -> source:int -> sink:int -> int list list
+(** After [solve]: split the flow into unit source-to-sink node paths,
+    consuming it (same contract as {!Mcmf.decompose_paths}) — this makes
+    the two solvers interchangeable behind {!Escape.route}'s solver
+    switch. *)

@@ -75,6 +75,22 @@ let pop t =
     Some (prio, x)
   end
 
+(* Allocation-free variant for the search inner loops: no option/tuple
+   box per pop. Callers check [is_empty] first. *)
+let pop_top t =
+  if t.len = 0 then invalid_arg "Pqueue.pop_top: empty queue"
+  else begin
+    let x = t.elems.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.prios.(0) <- t.prios.(t.len);
+      t.elems.(0) <- t.elems.(t.len)
+    end;
+    t.elems.(t.len) <- t.sentinel.(0);
+    if t.len > 0 then sift_down t 0;
+    x
+  end
+
 let peek t = if t.len = 0 then None else Some (t.prios.(0), t.elems.(0))
 
 (* Same retention concern as [pop]: blank the live prefix. *)

@@ -15,6 +15,11 @@ val pop : 'a t -> (int * 'a) option
 (** Smallest priority first; ties popped in unspecified (but deterministic
     for a fixed push sequence) order. *)
 
+val pop_top : 'a t -> 'a
+(** Like {!pop} but returns the element alone, without allocating the
+    option/tuple box — the searchers' hot path. Raises [Invalid_argument]
+    on an empty queue; guard with {!is_empty}. *)
+
 val peek : 'a t -> (int * 'a) option
 
 val clear : 'a t -> unit

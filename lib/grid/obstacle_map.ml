@@ -26,6 +26,12 @@ let set_bit t i b =
 let blocked t p = (not (in_bounds t p)) || get_bit t (index t p)
 let free t p = not (blocked t p)
 
+(* Index variants for the routers' allocation-free inner loops: the caller
+   guarantees [i] is a valid dense index (the index-based neighbour
+   iteration only produces in-bounds cells). *)
+let blocked_i t i = get_bit t i
+let free_i t i = not (get_bit t i)
+
 let block t p =
   if in_bounds t p then begin
     let i = index t p in

@@ -20,6 +20,15 @@ val blocked : t -> Point.t -> bool
 
 val free : t -> Point.t -> bool
 
+val blocked_i : t -> int -> bool
+(** [blocked_i t i] reads cell [i] of the dense row-major index space
+    ([y * width + x], the same layout as {!Routing_grid.index}). Unlike
+    {!blocked} the index must be valid — the routers' index-based
+    neighbour iteration never produces an out-of-bounds cell. *)
+
+val free_i : t -> int -> bool
+(** [not (blocked_i t i)]. *)
+
 val block : t -> Point.t -> unit
 (** No-op out of bounds. *)
 

@@ -65,3 +65,17 @@ let nearest_free t p =
 
 let index t (p : Point.t) = (p.y * t.width) + p.x
 let point_of_index t i = Point.make (i mod t.width) (i / t.width)
+let free_i t i = Obstacle_map.free_i t.obstacles i
+
+(* Row-stride neighbour iteration for the search inner loops: no
+   intermediate [Point.t] list, only in-bounds cells, and the emission
+   order matches [Point.neighbours4] ([x+1; x-1; y+1; y-1]) so that
+   heap push order — and therefore deterministic tie-breaking — is
+   unchanged relative to the point-based loop. *)
+let[@inline] iter_neighbours4 t i f =
+  let w = t.width in
+  let x = i mod w in
+  if x + 1 < w then f (i + 1);
+  if x > 0 then f (i - 1);
+  if i + w < w * t.height then f (i + w);
+  if i >= w then f (i - w)

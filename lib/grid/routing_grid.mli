@@ -42,3 +42,13 @@ val index : t -> Point.t -> int
 (** Dense index in [0, cells)] for array-backed router state. *)
 
 val point_of_index : t -> int -> Point.t
+
+val free_i : t -> int -> bool
+(** {!free} by dense index; the index must be valid. *)
+
+val iter_neighbours4 : t -> int -> (int -> unit) -> unit
+(** [iter_neighbours4 t i f] applies [f] to the dense indices of the
+    in-bounds 4-neighbours of cell [i], by row-stride arithmetic — no
+    intermediate point list. Emission order matches {!Point.neighbours4}
+    ([x+1], [x-1], [y+1], [y-1]) so search tie-breaking is identical to a
+    point-based loop. *)

@@ -1,4 +1,3 @@
-open Pacor_geom
 open Pacor_grid
 
 (* Per-cell visit entries: G value and parent slot, drawn from the
@@ -7,7 +6,11 @@ open Pacor_grid
    array per visit, O(k^2) per cell). Every stored entry's parent chain is
    a simple path (checked at insertion), so reconstruction never fails. G
    strictly decreases along parents, so chains terminate. Dedup on G scans
-   the cell's fill count, which is capped at [max_visits_per_cell]. *)
+   the cell's fill count, which is capped at [max_visits_per_cell].
+
+   Like [Astar], the inner loop works on dense cell indices: row-stride
+   neighbour iteration, index-based [usable], and a Manhattan heuristic
+   computed from index arithmetic. *)
 
 let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source
     ~target ~min_length () =
@@ -18,20 +21,20 @@ let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0)
   else begin
     let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
     let cells = Routing_grid.cells grid in
+    let width = Routing_grid.width grid in
     let budget = if pop_budget > 0 then pop_budget else 50 * cells in
     Workspace.begin_bounded ws ~cells ~max_visits_per_cell;
-    let idx p = Routing_grid.index grid p in
+    let source_i = Routing_grid.index grid source in
+    let target_i = Routing_grid.index grid target in
+    let tx = target_i mod width and ty = target_i / width in
     (* Priority: estimated total when feasible, otherwise mirrored around
        the bound so that longer prefixes come first (the paper's penalty
        for estimates below the bound). *)
-    let prio g p =
-      let est = g + Point.manhattan p target in
+    let prio g i =
+      let est = g + abs ((i mod width) - tx) + abs ((i / width) - ty) in
       if est >= min_length then est else (2 * min_length) - est
     in
-    let enterable p =
-      Routing_grid.in_bounds grid p
-      && (usable p || Point.equal p source || Point.equal p target)
-    in
+    let enterable i = usable i || i = source_i || i = target_i in
     (* Does cell index [i] already appear in the parent chain of [slot]? *)
     let rec on_chain i slot =
       i = Workspace.entry_cell ws slot
@@ -40,16 +43,15 @@ let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0)
       | -1 -> false
       | parent -> on_chain i parent
     in
-    let add_entry p g parent =
-      let i = idx p in
+    let add_entry i g parent =
       let count = Workspace.entry_count ws i in
       let rec dup k =
         k < count && (Workspace.entry_g ws (Workspace.entry_slot ws ~cell:i k) = g || dup (k + 1))
       in
-      if count >= max_visits_per_cell then None
-      else if dup 0 then None
-      else if parent >= 0 && on_chain i parent then None
-      else Some (Workspace.append_entry ws ~cell:i ~g ~parent)
+      if count >= max_visits_per_cell then -1
+      else if dup 0 then -1
+      else if parent >= 0 && on_chain i parent then -1
+      else Workspace.append_entry ws ~cell:i ~g ~parent
     in
     let reconstruct slot =
       let rec go slot acc =
@@ -60,39 +62,45 @@ let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0)
       in
       go slot []
     in
-    (match add_entry source 0 (-1) with
-     | Some slot -> Workspace.push ws ~prio:(prio 0 source) slot
-     | None -> ());
+    (match add_entry source_i 0 (-1) with
+     | -1 -> ()
+     | slot -> Workspace.push ws ~prio:(prio 0 source_i) slot);
+    let stats = Workspace.stats ws in
+    let cur_slot = ref (-1) and cur_g = ref 0 in
+    let relax j =
+      Search_stats.touched stats;
+      if enterable j then begin
+        Search_stats.relaxed stats;
+        let g' = !cur_g + 1 in
+        match add_entry j g' !cur_slot with
+        | -1 -> ()
+        | slot' -> Workspace.push ws ~prio:(prio g' j) slot'
+      end
+    in
     let pops = ref 0 in
     let rec loop () =
       if !pops >= budget then None
-      else
-        match Workspace.pop ws with
-        | None -> None
-        | Some (_, slot) ->
+      else begin
+        let slot = Workspace.pop_cell ws in
+        if slot < 0 then None
+        else begin
           incr pops;
           let i = Workspace.entry_cell ws slot in
           let g = Workspace.entry_g ws slot in
-          let p = Routing_grid.point_of_index grid i in
-          if Point.equal p target && g >= min_length then
+          if i = target_i && g >= min_length then
             Some (Path.of_points (reconstruct slot))
-          else if Point.equal p target then
+          else if i = target_i then
             (* A too-short prefix ending at the target cannot be extended
                into a simple path that returns to the target. *)
             loop ()
           else begin
-            List.iter
-              (fun q ->
-                 Search_stats.relaxed (Workspace.stats ws);
-                 if enterable q then begin
-                   let g' = g + 1 in
-                   match add_entry q g' slot with
-                   | Some slot' -> Workspace.push ws ~prio:(prio g' q) slot'
-                   | None -> ()
-                 end)
-              (Point.neighbours4 p);
+            cur_slot := slot;
+            cur_g := g;
+            Routing_grid.iter_neighbours4 grid i relax;
             loop ()
           end
+        end
+      end
     in
     loop ()
   end

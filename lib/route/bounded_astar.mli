@@ -21,7 +21,7 @@ open Pacor_grid
 val search :
   ?workspace:Workspace.t ->
   grid:Routing_grid.t ->
-  usable:(Point.t -> bool) ->
+  usable:(int -> bool) ->
   ?max_visits_per_cell:int ->
   ?pop_budget:int ->
   source:Point.t ->
@@ -31,7 +31,9 @@ val search :
   Path.t option
 (** A simple path from [source] to [target] of length (edge count)
     [>= min_length], or [None]. [usable] is consulted for interior cells
-    (endpoints exempt). [max_visits_per_cell] (default 8, must be >= 1)
-    bounds how many distinct G values a cell may hold; [pop_budget]
-    (default [50 * cells]) bounds total work. Deterministic. Pass
-    [workspace] to reuse preallocated visit-entry pools across calls. *)
+    by dense row-major index, always in bounds (endpoints exempt) — wrap
+    point predicates with {!Routing_grid.point_of_index} where needed.
+    [max_visits_per_cell] (default 8, must be >= 1) bounds how many
+    distinct G values a cell may hold; [pop_budget] (default [50 * cells])
+    bounds total work. Deterministic. Pass [workspace] to reuse
+    preallocated visit-entry pools across calls. *)

@@ -23,9 +23,7 @@ let route ?workspace ~grid ~obstacles terminals =
     in
     let component = ref Point.Set.empty in
     let add_points pts = List.iter (fun p -> component := Point.Set.add p !component) pts in
-    let spec =
-      { Astar.usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
-    in
+    let spec = Astar.obstacle_spec obstacles in
     let route_edge (e : Pacor_graphs.Mst.edge) =
       let sources = [ terms.(e.b) ] in
       let targets =

@@ -13,7 +13,12 @@ type snapshot = {
   searches : int;     (** A* / bounded-A* searches started *)
   pops : int;         (** priority-queue pops (incl. stale lazy-delete pops) *)
   pushes : int;       (** priority-queue pushes *)
-  relaxations : int;  (** neighbour cells examined *)
+  touched : int;      (** in-bounds neighbour cells examined, whether or not
+                          enterable (the old [relaxations] counted these —
+                          plus out-of-bounds points — as relaxations) *)
+  relaxations : int;  (** touched cells that passed the enterable and
+                          not-yet-closed checks, i.e. actual distance-label
+                          relaxation attempts; always [<= touched] *)
   resets : int;       (** workspace epoch bumps (O(1) lazy resets) *)
   grid_allocs : int;  (** grid-sized array allocation events — stays flat
                           once the workspace has grown to the problem size *)
@@ -25,6 +30,7 @@ val reset : t -> unit
 val started : t -> unit
 val popped : t -> unit
 val pushed : t -> unit
+val touched : t -> unit
 val relaxed : t -> unit
 val reset_noted : t -> unit
 val grid_alloc_noted : t -> unit
@@ -42,4 +48,5 @@ val add : snapshot -> snapshot -> snapshot
 val is_zero : snapshot -> bool
 
 val pp : Format.formatter -> snapshot -> unit
-(** One line: [searches=… pops=… pushes=… relax=… resets=… allocs=…]. *)
+(** One line:
+    [searches=… pops=… pushes=… touched=… relax=… resets=… allocs=…]. *)

@@ -14,6 +14,13 @@ type t = {
   mutable entry_parent_a : int array;
   mutable entry_cap : int;
   mutable stride : int;
+  (* Claim layer: refcounted cell ownership shared by the negotiation
+     rounds. Claims live on their own epoch — [begin_epoch] (one bump per
+     search) must not wipe them, because one negotiation run performs many
+     searches against the same claim state. *)
+  mutable claim_count_a : int array;
+  mutable claim_stamp : int array;
+  mutable claim_epoch : int;
   (* Epoch starts at 1 so freshly zeroed stamp arrays read as stale. *)
   mutable epoch : int;
   pq : int Pacor_graphs.Pqueue.t;
@@ -37,6 +44,9 @@ let create ?stats () =
     entry_parent_a = [||];
     entry_cap = 0;
     stride = 0;
+    claim_count_a = [||];
+    claim_stamp = [||];
+    claim_epoch = 1;
     epoch = 1;
     pq = Pacor_graphs.Pqueue.create ();
     stats;
@@ -58,6 +68,8 @@ let reserve_cells t n =
     t.source_stamp <- Array.make cap 0;
     t.fill <- Array.make cap 0;
     t.fill_stamp <- Array.make cap 0;
+    t.claim_count_a <- Array.make cap 0;
+    t.claim_stamp <- Array.make cap 0;
     t.cap <- cap;
     Search_stats.grid_alloc_noted t.stats
   end
@@ -127,6 +139,43 @@ let pop t =
     | Some _ as r ->
       Search_stats.popped t.stats;
       r
+
+(* Same contract, minus the option/tuple allocation: [-1] means "queue
+   empty or budget exhausted". The searchers never use the popped
+   priority, so it is not returned. *)
+let pop_cell t =
+  if not (Budget.tick t.budget) then -1
+  else if Pacor_graphs.Pqueue.is_empty t.pq then -1
+  else begin
+    Search_stats.popped t.stats;
+    Pacor_graphs.Pqueue.pop_top t.pq
+  end
+
+(* -- Claim layer -------------------------------------------------------- *)
+
+(* Claims replace the negotiation router's per-round [Obstacle_map.copy]:
+   claiming/releasing a path touches O(path) cells, and starting a fresh
+   claim generation is O(1). Counts are refcounts because sibling tree
+   edges legitimately share a branch-point cell. *)
+
+let begin_claims t ~cells =
+  reserve_cells t cells;
+  t.claim_epoch <- t.claim_epoch + 1;
+  Search_stats.reset_noted t.stats
+
+let claim t i =
+  let c = if t.claim_stamp.(i) = t.claim_epoch then t.claim_count_a.(i) else 0 in
+  t.claim_stamp.(i) <- t.claim_epoch;
+  t.claim_count_a.(i) <- c + 1
+
+let release t i =
+  if t.claim_stamp.(i) = t.claim_epoch && t.claim_count_a.(i) > 0 then
+    t.claim_count_a.(i) <- t.claim_count_a.(i) - 1
+
+let claimed t i = t.claim_stamp.(i) = t.claim_epoch && t.claim_count_a.(i) > 0
+
+let claim_count t i =
+  if t.claim_stamp.(i) = t.claim_epoch then t.claim_count_a.(i) else 0
 
 let entry_count t i = if t.fill_stamp.(i) = t.epoch then t.fill.(i) else 0
 let entry_slot t ~cell k = (cell * t.stride) + k

@@ -73,6 +73,37 @@ val pop : t -> (int * int) option
 (** [None] when the queue is empty {e or} the attached budget is
     exhausted — callers cannot (and need not) tell the difference. *)
 
+val pop_cell : t -> int
+(** Allocation-free {!pop}: the popped element alone ([-1] for "empty or
+    budget exhausted" — element ids are always non-negative), without the
+    option/tuple box. The searchers' hot path. *)
+
+(** {2 Claim layer (negotiation's shared cell ownership)}
+
+    A generation-stamped replacement for the negotiation router's per-round
+    [Obstacle_map.copy]: routed paths {!claim} their cells, rip-up
+    {!release}s them, and {!begin_claims} starts a fresh claim generation
+    in O(1). Claims live on their own epoch, so the per-search
+    {!begin_search} reset leaves them untouched — one negotiation run
+    performs many searches against one claim state. Counts are refcounts:
+    sibling tree edges legitimately share a branch-point cell, and the
+    cell stays claimed until every claimant releases it. *)
+
+val begin_claims : t -> cells:int -> unit
+(** Invalidate all claims (O(1)) and ensure capacity for [cells]. Counted
+    as a reset in {!Search_stats}. *)
+
+val claim : t -> int -> unit
+(** Increment the cell's claim count (from 0 if stale). *)
+
+val release : t -> int -> unit
+(** Decrement the cell's claim count; no-op at zero or on a stale cell. *)
+
+val claimed : t -> int -> bool
+(** True iff the cell's current-generation claim count is positive. *)
+
+val claim_count : t -> int -> int
+
 (** {2 Bounded-search visit entries}
 
     Entries live in a flat pool; a slot id is [cell * max_visits + k] with

@@ -48,4 +48,27 @@ echo "$out" | grep -q "quarantine: 1 job(s) permanently failed" || {
 echo "== bench smoke (incl. jobs-scaling case) =="
 ./_build/default/bench/main.exe --smoke
 
+echo "== route-bench smoke + BENCH_route.json drift check =="
+routejson=$(mktemp)
+./_build/default/bench/main.exe --route-bench --smoke --json-out "$routejson" > /dev/null
+# Schema drift: the committed record and the fresh smoke run must both
+# carry the sections CI (and downstream tooling) read.
+for key in '"bench": "pacor-route-bench"' '"negotiation"' '"escape"' '"totals"'; do
+  grep -qF "$key" BENCH_route.json || {
+    echo "BENCH_route.json schema drift: missing $key" >&2; exit 1; }
+  grep -qF "$key" "$routejson" || {
+    echo "route-bench smoke output schema drift: missing $key" >&2; exit 1; }
+done
+# Determinism drift: every fingerprint (routed/length/expansion counts;
+# wall-clock and allocations excluded) produced by the smoke sizes must
+# appear verbatim in the committed record.
+sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$routejson" | while IFS= read -r fp; do
+  grep -qF "\"$fp\"" BENCH_route.json || {
+    echo "route-bench determinism drift: fingerprint not in BENCH_route.json:" >&2
+    echo "  $fp" >&2
+    exit 1
+  }
+done
+rm -f "$routejson"
+
 echo "ci: OK"

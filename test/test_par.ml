@@ -25,10 +25,10 @@ let load name =
    reports 0), so they are the one counter legitimately dependent on
    scheduling. Everything else is a pure function of (config, problem). *)
 let pp_work ppf (s : Pacor_route.Search_stats.snapshot) =
-  Format.fprintf ppf "searches=%d pops=%d pushes=%d relax=%d resets=%d"
+  Format.fprintf ppf "searches=%d pops=%d pushes=%d touched=%d relax=%d resets=%d"
     s.Pacor_route.Search_stats.searches s.Pacor_route.Search_stats.pops
-    s.Pacor_route.Search_stats.pushes s.Pacor_route.Search_stats.relaxations
-    s.Pacor_route.Search_stats.resets
+    s.Pacor_route.Search_stats.pushes s.Pacor_route.Search_stats.touched
+    s.Pacor_route.Search_stats.relaxations s.Pacor_route.Search_stats.resets
 
 (* Everything deterministic about a solution, as one string: the rendered
    routing (paths and escapes, cell by cell), the Table-2 statistics, the

@@ -4,8 +4,7 @@ open Pacor_route
 
 let grid ?(obstacles = []) w h = Routing_grid.create ~width:w ~height:h ~obstacles ()
 
-let free_spec obstacles =
-  { Astar.usable = (fun p -> Obstacle_map.free obstacles p); extra_cost = (fun _ -> 0) }
+let free_spec obstacles = Astar.obstacle_spec obstacles
 
 (* ---------- A* ---------- *)
 
@@ -74,9 +73,10 @@ let test_astar_extra_cost_steers () =
   let g = grid 10 5 in
   let obs = Routing_grid.fresh_work_map g in
   let spec =
-    { Astar.usable = (fun p -> Obstacle_map.free obs p);
-      extra_cost =
-        (fun (p : Point.t) -> if p.y = 2 && p.x >= 2 && p.x <= 7 then 10 * Astar.cost_scale else 0) }
+    Astar.point_spec ~grid:g
+      ~usable:(fun p -> Obstacle_map.free obs p)
+      ~extra_cost:(fun (p : Point.t) ->
+        if p.y = 2 && p.x >= 2 && p.x <= 7 then 10 * Astar.cost_scale else 0)
   in
   match
     Astar.search ~grid:g ~spec ~sources:[ Point.make 0 2 ] ~targets:[ Point.make 9 2 ] ()
@@ -87,6 +87,34 @@ let test_astar_extra_cost_steers () =
       (List.for_all
          (fun (q : Point.t) -> not (q.y = 2 && q.x >= 2 && q.x <= 7))
          (Path.points p))
+
+(* Counter semantics, pinned by hand on a 3x3 grid: [touched] counts every
+   in-bounds neighbour examined, [relaxed] only those passing the
+   enterable/not-closed check — so a blocked or already-closed neighbour
+   is touched but never relaxed. (The old code counted the relax before
+   the check, conflating the two.) Obstacle at (1,0), route (0,0)->(2,0):
+   expansion order is 0,3,4,5 then the target; of the 12 in-bounds
+   neighbour examinations, 5 hit the obstacle or a closed cell. *)
+let test_search_stats_pinned () =
+  let g = grid 3 3 in
+  let obs = Routing_grid.fresh_work_map g in
+  Obstacle_map.block obs (Point.make 1 0);
+  let stats = Search_stats.create () in
+  let ws = Workspace.create ~stats () in
+  (match
+     Astar.search ~workspace:ws ~grid:g ~spec:(free_spec obs)
+       ~sources:[ Point.make 0 0 ] ~targets:[ Point.make 2 0 ] ()
+   with
+   | None -> Alcotest.fail "expected detour path"
+   | Some p -> Alcotest.(check int) "detour length" 4 (Path.length p));
+  let s = Search_stats.snapshot stats in
+  Alcotest.(check int) "searches" 1 s.Search_stats.searches;
+  Alcotest.(check int) "pops" 5 s.Search_stats.pops;
+  Alcotest.(check int) "pushes" 8 s.Search_stats.pushes;
+  Alcotest.(check int) "touched" 12 s.Search_stats.touched;
+  Alcotest.(check int) "relaxed" 7 s.Search_stats.relaxations;
+  Alcotest.(check bool) "relaxed <= touched" true
+    (s.Search_stats.relaxations <= s.Search_stats.touched)
 
 (* ---------- Negotiation ---------- *)
 
@@ -234,7 +262,7 @@ let test_bounded_equals_shortest_when_bound_small () =
 let test_bounded_respects_obstacles () =
   let wall = Rect.make ~x0:0 ~y0:3 ~x1:8 ~y1:3 in
   let g = grid ~obstacles:[ wall ] 10 10 in
-  let usable p = Routing_grid.free g p in
+  let usable i = Routing_grid.free_i g i in
   match
     Bounded_astar.search ~grid:g ~usable ~source:(Point.make 1 1) ~target:(Point.make 5 1)
       ~min_length:8 ()
@@ -625,11 +653,74 @@ let prop_workspace_epoch_isolation =
           (Path.points p);
         search ~workspace:(Some ws) obs = search ~workspace:None obs)
 
+(* Incremental negotiation vs the full-reroute baseline on random congested
+   instances: never worse under the (routed count, total length)
+   lexicographic order, and byte-identical whenever no round fails (the
+   baseline succeeds in one iteration — incremental's first round IS the
+   baseline's first round). Instances derive from an integer seed through a
+   private LCG, so the property is deterministic regardless of qcheck's
+   run-to-run random seed. *)
+let prop_incremental_no_worse =
+  let instance_of_seed seed =
+    let state = ref (seed land 0x3FFFFFFF) in
+    let rand bound =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod bound
+    in
+    let w = 12 + rand 4 and h = 12 + rand 4 in
+    let obstacles =
+      List.init (rand 10) (fun _ -> Point.make (rand w) (rand h))
+    in
+    let nedges = 3 + rand 5 in
+    let edges =
+      List.init nedges (fun i ->
+        { Negotiation.edge_id = i;
+          ends = (Point.make (rand w) (rand h), Point.make (rand w) (rand h)) })
+    in
+    (w, h, obstacles, edges)
+  in
+  QCheck.Test.make ~name:"incremental negotiation >= full-reroute baseline" ~count:220
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+       let w, h, obstacles, edges = instance_of_seed seed in
+       let g = grid w h in
+       let run mode =
+         let obs = Routing_grid.fresh_work_map g in
+         List.iter (Obstacle_map.block obs) obstacles;
+         Negotiation.route
+           ~config:{ Negotiation.default_config with mode }
+           ~grid:g ~obstacles:obs edges
+       in
+       let inc = run Negotiation.Incremental in
+       let full = run Negotiation.Full_reroute in
+       let total out =
+         List.fold_left (fun acc (_, p) -> acc + Path.length p) 0 out.Negotiation.paths
+       in
+       let full_better =
+         let ci = List.length inc.Negotiation.paths
+         and cf = List.length full.Negotiation.paths in
+         cf > ci || (cf = ci && total full < total inc)
+       in
+       if full_better then
+         QCheck.Test.fail_reportf "incremental worse: inc=(%d,%d) full=(%d,%d)"
+           (List.length inc.Negotiation.paths) (total inc)
+           (List.length full.Negotiation.paths) (total full);
+       if full.Negotiation.success && full.Negotiation.iterations = 1 then begin
+         (* No round failed: the two modes must coincide exactly. *)
+         inc.Negotiation.success
+         && inc.Negotiation.iterations = 1
+         && List.length inc.Negotiation.paths = List.length full.Negotiation.paths
+         && List.for_all2
+              (fun (ia, pa) (ib, pb) -> ia = ib && Path.equal pa pb)
+              inc.Negotiation.paths full.Negotiation.paths
+       end
+       else true)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_astar_optimal_no_obstacles; prop_mst_router_claims_terminals;
       prop_lengthen_parity; prop_rsmt_between_bounds; prop_workspace_equals_fresh;
-      prop_workspace_epoch_isolation ]
+      prop_workspace_epoch_isolation; prop_incremental_no_worse ]
 
 let () =
   Alcotest.run "route"
@@ -640,7 +731,8 @@ let () =
           Alcotest.test_case "endpoints exempt" `Quick test_astar_endpoints_exempt;
           Alcotest.test_case "multi source/target" `Quick test_astar_multi_source_target;
           Alcotest.test_case "source is target" `Quick test_astar_source_is_target;
-          Alcotest.test_case "history cost steers" `Quick test_astar_extra_cost_steers ] );
+          Alcotest.test_case "history cost steers" `Quick test_astar_extra_cost_steers;
+          Alcotest.test_case "pinned search counters" `Quick test_search_stats_pinned ] );
       ( "negotiation",
         [ Alcotest.test_case "single edge" `Quick test_negotiation_single_edge;
           Alcotest.test_case "conflicting edges" `Quick test_negotiation_conflicting_edges;
