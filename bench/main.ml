@@ -26,6 +26,8 @@ let jobs_scaling_only = Array.exists (String.equal "--jobs-scaling") Sys.argv
 
 let route_bench_only = Array.exists (String.equal "--route-bench") Sys.argv
 
+let escape_bench_only = Array.exists (String.equal "--escape-bench") Sys.argv
+
 let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
@@ -597,19 +599,22 @@ let run_negotiation_mode mode ~grid ~walls ~edges =
 
 (* Escape-stage instance: pins across the top boundary, cluster start
    cells spread across a low row — the same network shape the engine's
-   escape stage builds, at a controllable size. *)
-let escape_instance size =
-  let grid = Pacor_grid.Routing_grid.create ~width:size ~height:size () in
+   escape stage builds, at a controllable size (and, for the escape-bench
+   race, at Chip1's exact 179x413 footprint). *)
+let escape_instance_rect ~width ~height =
+  let grid = Pacor_grid.Routing_grid.create ~width ~height () in
   let pins =
-    List.init ((size - 2) / 2) (fun i -> Pacor_geom.Point.make (1 + (2 * i)) 0)
+    List.init ((width - 2) / 2) (fun i -> Pacor_geom.Point.make (1 + (2 * i)) 0)
   in
-  let nreq = size / 4 in
+  let nreq = width / 4 in
   let requests =
     List.init nreq (fun i ->
       { Pacor_flow.Escape.cluster_idx = i;
-        start_cells = [ Pacor_geom.Point.make (2 + (3 * i)) (size - 3) ] })
+        start_cells = [ Pacor_geom.Point.make (2 + (3 * i)) (height - 3) ] })
   in
   (grid, pins, requests)
+
+let escape_instance size = escape_instance_rect ~width:size ~height:size
 
 let run_escape_solver solver ~grid ~pins ~requests =
   let t0 = Unix.gettimeofday () in
@@ -734,6 +739,141 @@ let print_route_bench () =
     close_out oc;
     Format.printf "route-bench JSON written to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Escape bench: the three-way min-cost-flow solver race behind        *)
+(* BENCH_escape.json. Grid (CSR + persistent potentials + 0-1-BFS) is  *)
+(* the engine default; Spfa and Dijkstra are the general-purpose       *)
+(* solvers it must match outcome-for-outcome. Fingerprints carry the   *)
+(* per-instance (routed, length) of all three solvers plus the         *)
+(* max-flow feasibility bound, and the full-engine corpus outcomes     *)
+(* under the Grid default — wall-clock is machine-dependent and        *)
+(* excluded.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type escape_sample = {
+  esc_routed : int;
+  esc_length : int;
+  esc_wall : float;
+}
+
+let run_escape_timed solver ~workspace ~grid ~pins ~requests =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match solver with
+    | Pacor_flow.Escape.Grid ->
+      Pacor_flow.Escape.route ~workspace ~solver ~grid
+        ~claimed:Pacor_geom.Point.Set.empty ~pins requests
+    | _ ->
+      Pacor_flow.Escape.route ~solver ~grid ~claimed:Pacor_geom.Point.Set.empty
+        ~pins requests
+  in
+  let esc_wall = Unix.gettimeofday () -. t0 in
+  match result with
+  | Error e -> failwith ("escape-bench instance invalid: " ^ e)
+  | Ok out ->
+    { esc_routed = List.length out.Pacor_flow.Escape.routed;
+      esc_length = out.Pacor_flow.Escape.total_length;
+      esc_wall }
+
+let print_escape_bench () =
+  Format.printf "@.== Escape bench: Grid vs Spfa vs Dijkstra min-cost flow ==@.";
+  (* Smoke sizes are a strict subset of the full run, so every smoke
+     fingerprint must appear verbatim in the committed BENCH_escape.json. *)
+  let dims =
+    if smoke || quick then [ (24, 24); (48, 48) ]
+    else [ (24, 24); (48, 48); (96, 96); (160, 160); (179, 413) ]
+  in
+  let ws = Pacor_route.Workspace.create () in
+  let rows =
+    List.map
+      (fun (width, height) ->
+         let grid, pins, requests = escape_instance_rect ~width ~height in
+         let g = run_escape_timed Pacor_flow.Escape.Grid ~workspace:ws ~grid ~pins ~requests in
+         let s = run_escape_timed Pacor_flow.Escape.Spfa ~workspace:ws ~grid ~pins ~requests in
+         let d = run_escape_timed Pacor_flow.Escape.Dijkstra ~workspace:ws ~grid ~pins ~requests in
+         let bound =
+           Pacor_flow.Escape.feasibility_bound ~workspace:ws ~grid
+             ~claimed:Pacor_geom.Point.Set.empty ~pins requests
+         in
+         (width, height, List.length requests, g, s, d, bound))
+      dims
+  in
+  Format.printf "%9s %4s | %14s %9s | %9s %8s | %9s %8s | %5s %5s@." "size" "req"
+    "grid (r,len)" "wall" "spfa" "vs grid" "dijkstra" "vs grid" "bound" "agree";
+  List.iter
+    (fun (w, h, nreq, g, s, d, bound) ->
+       let agree =
+         g.esc_routed = s.esc_routed && g.esc_routed = d.esc_routed
+         && g.esc_length = s.esc_length && g.esc_length = d.esc_length
+         && bound = g.esc_routed
+       in
+       let ratio x = if g.esc_wall > 0.0 then x /. g.esc_wall else 0.0 in
+       Format.printf
+         "%4dx%-4d %4d | (%4d,%7d) %8.4fs | %8.4fs %7.2fx | %8.4fs %7.2fx | %5d %5s@."
+         w h nreq g.esc_routed g.esc_length g.esc_wall s.esc_wall (ratio s.esc_wall)
+         d.esc_wall (ratio d.esc_wall) bound
+         (if agree then "yes" else "NO (BUG)"))
+    rows;
+  (* Full-engine corpus outcomes under the Grid default: the deterministic
+     fingerprint CI guards against solver regressions. *)
+  Format.printf "@.== Escape bench: corpus engine outcomes (Grid default) ==@.";
+  let corpus =
+    match Pacor_par.Batch.load_dir "corpus" with
+    | Error e -> failwith ("escape-bench: corpus load failed: " ^ e)
+    | Ok named ->
+      List.map
+        (fun (name, problem) ->
+           match Pacor.Engine.run problem with
+           | Error e -> failwith (name ^ ": engine failed: " ^ e.Pacor.Engine.message)
+           | Ok sol ->
+             let st = Pacor.Solution.stats sol in
+             (name, st.Pacor.Solution.matched_clusters, st.Pacor.Solution.total_length))
+        named
+  in
+  List.iter
+    (fun (name, matched, len) ->
+       Format.printf "  %-24s matched=%d total_length=%d@." name matched len)
+    corpus;
+  let json =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-escape-bench\",\n";
+    Printf.bprintf buf "  \"instances\": [\n";
+    List.iteri
+      (fun i (w, h, nreq, g, s, d, bound) ->
+         Printf.bprintf buf
+           "    {\"width\": %d, \"height\": %d, \"requests\": %d,\n\
+            \     \"grid_wall_s\": %.6f, \"spfa_wall_s\": %.6f, \"dijkstra_wall_s\": %.6f,\n\
+            \     \"speedup_vs_spfa\": %.2f, \"speedup_vs_dijkstra\": %.2f,\n\
+            \     \"fingerprint\": \"escb %dx%d grid=%d/%d spfa=%d/%d dijkstra=%d/%d bound=%d\"}%s\n"
+           w h nreq g.esc_wall s.esc_wall d.esc_wall
+           (if g.esc_wall > 0.0 then s.esc_wall /. g.esc_wall else 0.0)
+           (if g.esc_wall > 0.0 then d.esc_wall /. g.esc_wall else 0.0)
+           w h g.esc_routed g.esc_length s.esc_routed s.esc_length d.esc_routed
+           d.esc_length bound
+           (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.bprintf buf "  ],\n";
+    Printf.bprintf buf "  \"corpus\": [\n";
+    List.iteri
+      (fun i (name, matched, len) ->
+         Printf.bprintf buf
+           "    {\"design\": %S, \"fingerprint\": \"corpus %s matched=%d len=%d\"}%s\n"
+           name name matched len
+           (if i = List.length corpus - 1 then "" else ","))
+      corpus;
+    Printf.bprintf buf "  ]\n}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "escape-bench JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -762,6 +902,15 @@ let () =
     Format.printf "PACOR benchmark harness (route-bench only%s)@."
       (if smoke then ", smoke" else "");
     print_route_bench ();
+    Format.printf "@.done.@."
+  end
+  else if escape_bench_only then begin
+    (* Escape-stage perf trajectory: the three-way flow-solver race, with
+       the JSON record (committed as BENCH_escape.json). --smoke restricts
+       to the small sizes for CI. *)
+    Format.printf "PACOR benchmark harness (escape-bench only%s)@."
+      (if smoke then ", smoke" else "");
+    print_escape_bench ();
     Format.printf "@.done.@."
   end
   else if jobs_scaling_only then begin

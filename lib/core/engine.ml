@@ -195,7 +195,7 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
     let rec escape_loop round routed_list =
       if not (alive ()) then Ok (routed_list, unrouted_escape routed_list)
       else
-      match Escape_stage.run ~alive ~grid ~pins:problem.Problem.pins routed_list with
+      match Escape_stage.run ~alive ~workspace ~grid ~pins:problem.Problem.pins routed_list with
       | Error message -> Error { stage = "escape"; message }
       | Ok out ->
         (* The budget is also polled inside the flow solve (once per
@@ -522,7 +522,7 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
                       both
                   in
                   (match
-                     Pacor_flow.Escape.route ~alive ~grid
+                     Pacor_flow.Escape.route ~alive ~workspace ~grid
                        ~claimed:(Point.Set.union forbidden2 claims_both)
                        ~pins:(pins_available rest) requests
                    with

@@ -17,6 +17,7 @@ type outcome = {
 
 val run :
   ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
   grid:Routing_grid.t ->
   pins:Point.t list ->
   Routed.t list ->
@@ -25,7 +26,9 @@ val run :
     start cells follow Sec. 5's three cases (see {!Routed.start_cells}).
     [alive] is polled between flow augmentations (see
     {!Pacor_flow.Escape.route}); a cancelled solve reports the clusters
-    escaped so far and lists the rest in [failed_clusters]. *)
+    escaped so far and lists the rest in [failed_clusters]. [workspace]
+    backs the flow solver's augmentation searches (and charges its
+    budget), like it backs the A* stages. *)
 
 val single :
   ?workspace:Pacor_route.Workspace.t ->

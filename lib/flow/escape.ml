@@ -19,69 +19,88 @@ type outcome = {
   total_length : int;
 }
 
-(* Cell roles in the flow network. *)
-type role =
-  | Excluded          (* obstacle, non-pin boundary, or foreign claimed cell *)
-  | Ordinary          (* free interior transit cell *)
-  | Pin               (* candidate control pin: sink only *)
-  | Start             (* claimed cell usable as some cluster's source *)
+(* Cell roles in the flow network, packed one byte per cell. Precedence
+   (highest wins): blocked > pin > start > claimed > boundary > ordinary. *)
+let role_excluded = '\000'  (* obstacle, non-pin boundary, foreign claim *)
+let role_ordinary = '\001'  (* free interior transit cell *)
+let role_pin = '\002'       (* candidate control pin: sink only *)
+let role_start = '\003'     (* claimed cell usable as some cluster's source *)
 
-(* Shared network layout: node-split grid plus one node per request and a
-   super source/sink. [emit] is called once per arc with (src, dst, cost). *)
-let build_network ~grid ~claimed ~pins requests ~emit =
-  let w = Routing_grid.width grid and h = Routing_grid.height grid in
-  let cells = w * h in
-  let pin_set = Point.Set.of_list pins in
-  let start_set =
-    List.fold_left
-      (fun acc r -> List.fold_left (fun s p -> Point.Set.add p s) acc r.start_cells)
-      Point.Set.empty requests
-  in
-  let role_of p =
-    if Routing_grid.blocked grid p then Excluded
-    else if Point.Set.mem p pin_set then Pin
-    else if Point.Set.mem p start_set then Start
-    else if Point.Set.mem p claimed then Excluded
-    else if Routing_grid.on_boundary grid p then Excluded
-    else Ordinary
-  in
+(* Dense role array indexed by [Routing_grid.index]: the
+   O(log n)-per-probe [Point.Set.mem] lookups of the old builder become
+   one byte read per cell and per neighbour. The overlay order below
+   realises the precedence: later writes win, and the pin/start writes
+   are guarded by [free_i] so a blocked cell stays excluded. *)
+let compute_roles ~grid ~claimed ~pins requests =
+  let roles = Bytes.create (Routing_grid.cells grid) in
+  Routing_grid.fill_interior_free grid roles;
+  Point.Set.iter
+    (fun p ->
+       if Routing_grid.in_bounds grid p then
+         Bytes.set roles (Routing_grid.index grid p) role_excluded)
+    claimed;
+  List.iter
+    (fun r ->
+       List.iter
+         (fun p ->
+            if Routing_grid.in_bounds grid p then begin
+              let i = Routing_grid.index grid p in
+              if Routing_grid.free_i grid i then Bytes.set roles i role_start
+            end)
+         r.start_cells)
+    requests;
+  List.iter
+    (fun p ->
+       if Routing_grid.in_bounds grid p then begin
+         let i = Routing_grid.index grid p in
+         if Routing_grid.free_i grid i then Bytes.set roles i role_pin
+       end)
+    pins;
+  roles
+
+(* Shared network layout: node-split grid (cell i -> nodes 2i / 2i+1) plus
+   one node per request and a super source/sink. [emit] is called once per
+   arc with (src, dst, cost), in a deterministic order — row-major cells,
+   neighbours in [Routing_grid.iter_neighbours4] order, then request arcs
+   in input order — which both the two-pass CSR builder and the
+   decomposition tie-break rely on. *)
+let emit_network ~grid ~roles requests ~emit =
+  let cells = Routing_grid.cells grid in
+  let nreq = List.length requests in
+  let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
+  for i = 0 to cells - 1 do
+    let role = Bytes.unsafe_get roles i in
+    if role <> role_excluded then begin
+      let out_node = (2 * i) + 1 in
+      if role = role_pin then emit (2 * i) sink 0
+      else begin
+        if role = role_ordinary then emit (2 * i) out_node 0;
+        Routing_grid.iter_neighbours4 grid i (fun j ->
+          let rj = Bytes.unsafe_get roles j in
+          if rj = role_ordinary || rj = role_pin then emit out_node (2 * j) 1)
+      end
+    end
+  done;
+  List.iteri
+    (fun k r ->
+       emit source ((2 * cells) + k) 0;
+       List.iter
+         (fun p -> emit ((2 * cells) + k) ((2 * Routing_grid.index grid p) + 1) 0)
+         r.start_cells)
+    requests
+
+let build_grid_network ~grid ~roles requests =
+  let cells = Routing_grid.cells grid in
   let nreq = List.length requests in
   let n = (2 * cells) + nreq + 2 in
   let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
-  let cluster_node i = (2 * cells) + i in
-  let in_node p = 2 * Routing_grid.index grid p in
-  let out_node p = (2 * Routing_grid.index grid p) + 1 in
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      let p = Point.make x y in
-      match role_of p with
-      | Excluded -> ()
-      | Pin -> emit (in_node p) sink 0
-      | Start ->
-        List.iter
-          (fun q ->
-             if Routing_grid.in_bounds grid q then
-               match role_of q with
-               | Ordinary | Pin -> emit (out_node p) (in_node q) 1
-               | Excluded | Start -> ())
-          (Point.neighbours4 p)
-      | Ordinary ->
-        emit (in_node p) (out_node p) 0;
-        List.iter
-          (fun q ->
-             if Routing_grid.in_bounds grid q then
-               match role_of q with
-               | Ordinary | Pin -> emit (out_node p) (in_node q) 1
-               | Excluded | Start -> ())
-          (Point.neighbours4 p)
-    done
-  done;
-  List.iteri
-    (fun i r ->
-       emit source (cluster_node i) 0;
-       List.iter (fun p -> emit (cluster_node i) (out_node p) 0) r.start_cells)
-    requests;
-  (n, source, sink, cells)
+  let net =
+    Mcmf_grid.build ~n ~source ~sink
+      ~emit_arcs:(fun f ->
+        emit_network ~grid ~roles requests
+          ~emit:(fun src dst cost -> f ~src ~dst ~cost))
+  in
+  (net, source, sink)
 
 let validate ~grid ~pins requests =
   let bad_pin =
@@ -101,31 +120,45 @@ let validate ~grid ~pins requests =
      | None ->
        if List.exists (fun r -> r.start_cells = []) requests then
          Error "a request has no start cells"
-       else Ok ())
+       else begin
+         (* Duplicate identifiers used to be dropped silently downstream
+            (last [Hashtbl.replace] won); make the contract explicit. *)
+         let seen = Hashtbl.create 16 in
+         let dup =
+           List.find_opt
+             (fun r ->
+                if Hashtbl.mem seen r.cluster_idx then true
+                else begin
+                  Hashtbl.add seen r.cluster_idx ();
+                  false
+                end)
+             requests
+         in
+         match dup with
+         | Some r ->
+           Error (Printf.sprintf "duplicate cluster_idx %d in requests" r.cluster_idx)
+         | None -> Ok ()
+       end)
 
-let feasibility_bound ~grid ~claimed ~pins requests =
+let feasibility_bound ?workspace ~grid ~claimed ~pins requests =
   match validate ~grid ~pins requests with
   | Error _ -> 0
   | Ok () ->
-    let w = Routing_grid.width grid and h = Routing_grid.height grid in
-    let cells = w * h in
-    let n = (2 * cells) + List.length requests + 2 in
-    let network = Maxflow.create n in
-    let emit src dst _cost = Maxflow.add_edge network ~src ~dst ~cap:1 in
-    let n_nodes, source, sink, _ = build_network ~grid ~claimed ~pins requests ~emit in
-    assert (n_nodes = n);
-    Maxflow.max_flow network ~source ~sink
+    let roles = compute_roles ~grid ~claimed ~pins requests in
+    let net, _source, _sink = build_grid_network ~grid ~roles requests in
+    Mcmf_grid.max_flow ?workspace net
 
 type solver =
   | Dijkstra
   | Spfa
+  | Grid
 
-let route ?(alive = fun () -> true) ?(solver = Spfa) ~grid ~claimed ~pins requests =
+let route ?(alive = fun () -> true) ?workspace ?(solver = Grid) ~grid ~claimed ~pins
+    requests =
   match validate ~grid ~pins requests with
   | Error _ as e -> e
   | Ok () ->
-    let w = Routing_grid.width grid and h = Routing_grid.height grid in
-    let cells = w * h in
+    let cells = Routing_grid.cells grid in
     let nreq = List.length requests in
     let n = (2 * cells) + nreq + 2 in
     let beta = (4 * cells) + 16 in
@@ -133,24 +166,27 @@ let route ?(alive = fun () -> true) ?(solver = Spfa) ~grid ~claimed ~pins reques
        threshold: augment while a path still costs less than beta, which is
        larger than any possible augmenting-path cost — so the flow first
        maximises the number of routed clusters, then total length. *)
+    let roles = compute_roles ~grid ~claimed ~pins requests in
     let node_paths =
       match solver with
+      | Grid ->
+        let net, _source, _sink = build_grid_network ~grid ~roles requests in
+        let (_ : Mcmf_grid.outcome) =
+          Mcmf_grid.solve ~alive ?workspace ~stop_when_cost_reaches:beta net
+        in
+        Mcmf_grid.decompose_paths net
       | Dijkstra ->
         let net = Mcmf.create n in
         let emit src dst cost = Mcmf.add_edge net ~src ~dst ~cap:1 ~cost in
-        let n_nodes, source, sink, _ =
-          build_network ~grid ~claimed ~pins requests ~emit
-        in
-        assert (n_nodes = n);
+        emit_network ~grid ~roles requests ~emit;
+        let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
         let _outcome = Mcmf.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink in
         Mcmf.decompose_paths net ~source ~sink
       | Spfa ->
         let net = Mcmf_spfa.create n in
         let emit src dst cost = Mcmf_spfa.add_edge net ~src ~dst ~cap:1 ~cost in
-        let n_nodes, source, sink, _ =
-          build_network ~grid ~claimed ~pins requests ~emit
-        in
-        assert (n_nodes = n);
+        emit_network ~grid ~roles requests ~emit;
+        let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
         let _outcome =
           Mcmf_spfa.solve ~alive ~stop_when_cost_reaches:beta net ~source ~sink
         in
@@ -172,10 +208,16 @@ let route ?(alive = fun () -> true) ?(solver = Spfa) ~grid ~claimed ~pins reques
                   else None)
                rest
            in
-           let rec collapse = function
-             | a :: b :: tl when Point.equal a b -> collapse (b :: tl)
-             | a :: tl -> a :: collapse tl
-             | [] -> []
+           (* Drop the in/out duplicate of each transit cell; iterative
+              accumulator so Chip1-length escapes cannot overflow the
+              stack. *)
+           let collapse pts =
+             let rec go acc = function
+               | a :: (b :: _ as tl) when Point.equal a b -> go acc tl
+               | a :: tl -> go (a :: acc) tl
+               | [] -> List.rev acc
+             in
+             go [] pts
            in
            let pts = collapse points in
            (match pts with

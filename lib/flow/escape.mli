@@ -35,9 +35,11 @@ type outcome = {
 type solver =
   | Dijkstra  (** {!Mcmf}: Dijkstra with potentials *)
   | Spfa      (** {!Mcmf_spfa}: Bellman–Ford queue augmentation *)
+  | Grid      (** {!Mcmf_grid}: CSR + persistent potentials + 0-1-BFS *)
 
 val route :
   ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
   ?solver:solver ->
   grid:Routing_grid.t ->
   claimed:Point.Set.t ->
@@ -51,12 +53,17 @@ val route :
     stops with the clusters escaped so far and lists the rest in
     [failed] — the same shape as a congested instance.
 
-    [solver] picks the min-cost-flow engine; the default is [Spfa],
-    which the escape-instance benchmark in [bench --route-bench] measures
-    as consistently faster than [Dijkstra] on these unit-capacity escape
-    networks (see EXPERIMENTS.md). Both produce cost-optimal flows with
-    identical (routed, length) outcomes — the benchmark asserts the
-    agreement — and [Dijkstra] is retained as an independent cross-check.
+    [workspace] supplies the reusable search state (and attached
+    {!Pacor_route.Budget}) for the [Grid] solver's augmentation rounds;
+    the other solvers keep private state and ignore it.
+
+    [solver] picks the min-cost-flow engine; the default is [Grid], the
+    escape-specialised CSR solver, which [bench --escape-bench] measures
+    as the fastest by a wide margin at Chip1 scale (see EXPERIMENTS.md).
+    All three produce cost-optimal flows with identical
+    (routed count, total length) outcomes — the benchmark and a qcheck
+    property assert the agreement — and [Spfa]/[Dijkstra] are retained as
+    independent cross-checks.
 
     - [claimed] are the cells of {e all} routed cluster channels; escape
       paths may start on their own cluster's cells but never traverse a
@@ -66,16 +73,20 @@ val route :
     - every start cell must lie in [claimed] or be a free cell.
 
     Errors on malformed inputs (pin off the boundary, blocked pin, start
-    cell on an obstacle). A feasible but congested instance returns
-    [Ok] with the unroutable clusters listed in [failed]. *)
+    cell on an obstacle, duplicate [cluster_idx]). A feasible but
+    congested instance returns [Ok] with the unroutable clusters listed
+    in [failed]. *)
 
 val feasibility_bound :
+  ?workspace:Pacor_route.Workspace.t ->
   grid:Routing_grid.t ->
   claimed:Point.Set.t ->
   pins:Point.t list ->
   request list ->
   int
 (** Maximum number of clusters {e any} escape assignment could route: the
-    max flow of the escape network with costs ignored (computed with the
-    independent Dinic solver). [route] always routes exactly this many,
-    which the tests assert. Returns 0 on malformed inputs. *)
+    max flow of the escape network with costs ignored (BFS augmentation on
+    the same CSR network {!route} solves over; the tests cross-check it
+    against the independent {!Maxflow} Dinic solver). [route] always
+    routes exactly this many, which the tests assert. Returns 0 on
+    malformed inputs. *)

@@ -202,20 +202,26 @@ let outgoing_flow t v =
 
 let decompose_paths t ~source ~sink =
   let paths = ref [] in
-  let rec walk v acc =
-    if v = sink then List.rev (v :: acc)
-    else begin
+  (* Iterative walk with an explicit accumulator: escape paths reach tens
+     of thousands of nodes at Chip1 scale, deep enough to threaten the
+     stack if this recursed without tail calls. *)
+  let walk start =
+    let acc = ref [] in
+    let v = ref start in
+    while !v <> sink do
       (* Follow any forward edge with remaining flow, consuming one unit. *)
       let rec find e =
         if e < 0 then failwith "Mcmf.decompose_paths: flow dead-ends"
         else if e land 1 = 0 && edge_flow t e > 0 then e
         else find t.next_edge.(e)
       in
-      let i = find t.head.(v) in
+      let i = find t.head.(!v) in
       t.cap.(i lxor 1) <- t.cap.(i lxor 1) - 1;
       t.cap.(i) <- t.cap.(i) + 1;
-      walk t.dst.(i) (v :: acc)
-    end
+      acc := !v :: !acc;
+      v := t.dst.(i)
+    done;
+    List.rev (sink :: !acc)
   in
   let rec next_unit () =
     let remaining =
@@ -228,7 +234,7 @@ let decompose_paths t ~source ~sink =
       !any
     in
     if remaining then begin
-      paths := walk source [] :: !paths;
+      paths := walk source :: !paths;
       next_unit ()
     end
   in

@@ -1,0 +1,78 @@
+(** Unit-capacity min-cost max-flow specialised for the escape network.
+
+    The escape graph has unit capacities and arc costs of 0 or 1 only, and
+    its arc set is identical for the feasibility probe and the routing
+    solve. This solver exploits that: the adjacency is a CSR (compressed
+    sparse row) structure with byte-packed costs and residual capacities,
+    built exactly once from a deterministic arc emitter and reusable across
+    solves via {!reset}; augmentation runs successive shortest paths with
+    persistent Johnson potentials, 0-1-BFS while the potentials are all
+    zero and early-exit Dijkstra afterwards, with all per-round state
+    generation-stamped in a {!Pacor_route.Workspace} — allocation-free
+    after warm-up.
+
+    Cross-checked against the general {!Mcmf} (Dijkstra) and {!Mcmf_spfa}
+    solvers by the escape tests and bench: all three produce the same
+    (flow, cost) optimum. *)
+
+type t
+
+type outcome = {
+  flow : int;
+  cost : int;
+  rounds : int;  (** augmentation searches run, including the final one
+                     that found no path (or hit the cost threshold) *)
+}
+
+val build :
+  n:int ->
+  source:int ->
+  sink:int ->
+  emit_arcs:((src:int -> dst:int -> cost:int -> unit) -> unit) ->
+  t
+(** [build ~n ~source ~sink ~emit_arcs] constructs the CSR network.
+    [emit_arcs emit] must call [emit ~src ~dst ~cost] once per forward arc
+    (capacity 1, cost 0 or 1); it is invoked {e twice} — a counting pass
+    and a fill pass — so it must emit the same arcs in the same order both
+    times (a mismatch raises [Invalid_argument]). Arcs keep emission order
+    within each node's CSR row; reverse arcs are interleaved at their own
+    endpoints. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+(** Directed arcs including reverses: twice the emitted count. *)
+
+val solve :
+  ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
+  ?stop_when_cost_reaches:int ->
+  t ->
+  outcome
+(** Min-cost max-flow by successive shortest paths. [alive] is polled
+    between augmentation rounds; [workspace] supplies the reusable
+    dist/parent/queue state (a private one is created when absent) and its
+    attached {!Pacor_route.Budget} is charged one tick per settle, so an
+    exhausted budget stops the solve mid-round with the flow found so far.
+    [stop_when_cost_reaches] stops {e before} augmenting a path whose true
+    cost reaches the threshold. A network solves once; {!reset} re-arms
+    it. *)
+
+val max_flow :
+  ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
+  t ->
+  int
+(** Max flow with costs ignored (plain BFS augmentation): the feasibility
+    probe. Counts as the network's one solve; {!reset} re-arms it. *)
+
+val reset : t -> unit
+(** Restore initial capacities and zero potentials, keeping the CSR
+    structure — so one built network serves the feasibility probe, the
+    solve, and any retry. *)
+
+val decompose_paths : t -> int list list
+(** Split the computed flow into source->sink unit node-paths, consuming
+    it. Deterministic tie-break: at every node the walk follows the
+    lowest-CSR-index forward arc still carrying flow, i.e. the first such
+    arc in emission order. Iterative — safe on paths of any length. *)

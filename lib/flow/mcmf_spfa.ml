@@ -146,19 +146,24 @@ let flow_on t ~src ~dst =
 
 let decompose_paths t ~source ~sink =
   let paths = ref [] in
-  let rec walk v acc =
-    if v = sink then List.rev (v :: acc)
-    else begin
+  (* Iterative walk, mirroring [Mcmf.decompose_paths]: Chip1-length escape
+     paths are deep enough to threaten the stack under plain recursion. *)
+  let walk start =
+    let acc = ref [] in
+    let v = ref start in
+    while !v <> sink do
       let rec find e =
         if e < 0 then failwith "Mcmf_spfa.decompose_paths: flow dead-ends"
         else if e land 1 = 0 && edge_flow t e > 0 then e
         else find t.next_edge.(e)
       in
-      let i = find t.head.(v) in
+      let i = find t.head.(!v) in
       t.cap.(i lxor 1) <- t.cap.(i lxor 1) - 1;
       t.cap.(i) <- t.cap.(i) + 1;
-      walk t.dst.(i) (v :: acc)
-    end
+      acc := !v :: !acc;
+      v := t.dst.(i)
+    done;
+    List.rev (sink :: !acc)
   in
   let rec next_unit () =
     let remaining =
@@ -171,7 +176,7 @@ let decompose_paths t ~source ~sink =
       !any
     in
     if remaining then begin
-      paths := walk source [] :: !paths;
+      paths := walk source :: !paths;
       next_unit ()
     end
   in

@@ -67,6 +67,26 @@ let index t (p : Point.t) = (p.y * t.width) + p.x
 let point_of_index t i = Point.make (i mod t.width) (i / t.width)
 let free_i t i = Obstacle_map.free_i t.obstacles i
 
+let on_boundary_i t i =
+  let x = i mod t.width and y = i / t.width in
+  x = 0 || y = 0 || x = t.width - 1 || y = t.height - 1
+
+(* Baseline transit mask for dense role arrays: byte [i] becomes 1 iff
+   cell [i] is statically free and off the boundary ring, 0 otherwise.
+   Row-wise fill so boundary rows/columns never pay a per-cell test. *)
+let fill_interior_free t b =
+  let w = t.width and h = t.height in
+  if Bytes.length b < w * h then
+    invalid_arg "Routing_grid.fill_interior_free: buffer smaller than the grid";
+  Bytes.fill b 0 (w * h) '\000';
+  for y = 1 to h - 2 do
+    let row = y * w in
+    for x = 1 to w - 2 do
+      if Obstacle_map.free_i t.obstacles (row + x) then
+        Bytes.unsafe_set b (row + x) '\001'
+    done
+  done
+
 (* Row-stride neighbour iteration for the search inner loops: no
    intermediate [Point.t] list, only in-bounds cells, and the emission
    order matches [Point.neighbours4] ([x+1; x-1; y+1; y-1]) so that

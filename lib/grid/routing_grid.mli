@@ -46,6 +46,15 @@ val point_of_index : t -> int -> Point.t
 val free_i : t -> int -> bool
 (** {!free} by dense index; the index must be valid. *)
 
+val on_boundary_i : t -> int -> bool
+(** {!on_boundary} by dense index; the index must be valid. *)
+
+val fill_interior_free : t -> Bytes.t -> unit
+(** [fill_interior_free t b] writes a dense transit mask into [b] (which
+    must hold at least {!cells} bytes): byte [i] is ['\001'] iff cell [i]
+    is statically free {e and} off the boundary ring, ['\000'] otherwise.
+    The baseline for role arrays layered by the flow network builder. *)
+
 val iter_neighbours4 : t -> int -> (int -> unit) -> unit
 (** [iter_neighbours4 t i f] applies [f] to the dense indices of the
     in-bounds 4-neighbours of cell [i], by row-stride arithmetic — no

@@ -78,6 +78,24 @@ val pop_cell : t -> int
     budget exhausted" — element ids are always non-negative), without the
     option/tuple box. The searchers' hot path. *)
 
+(** {2 Shared 0-1-BFS deque (instrumented)}
+
+    A circular int buffer for deque-based searches (the escape flow
+    solver's 0-1-BFS rounds). Reset by {!begin_search} like the priority
+    queue; pushes and pops feed the same {!Search_stats} counters, and
+    {!deque_pop_front} charges the attached {!Budget} exactly like
+    {!pop_cell} — so flow augmentation and A* expansion draw from one
+    budget pool. *)
+
+val deque_push_back : t -> int -> unit
+val deque_push_front : t -> int -> unit
+
+val deque_pop_front : t -> int
+(** [-1] for "empty or budget exhausted" (element ids are always
+    non-negative), mirroring {!pop_cell}. *)
+
+val deque_is_empty : t -> bool
+
 (** {2 Claim layer (negotiation's shared cell ownership)}
 
     A generation-stamped replacement for the negotiation router's per-round

@@ -71,4 +71,25 @@ sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$routejson" | while IFS= read -r
 done
 rm -f "$routejson"
 
+echo "== escape-bench smoke + BENCH_escape.json drift check =="
+escjson=$(mktemp)
+./_build/default/bench/main.exe --escape-bench --smoke --json-out "$escjson" > /dev/null
+for key in '"bench": "pacor-escape-bench"' '"instances"' '"corpus"'; do
+  grep -qF "$key" BENCH_escape.json || {
+    echo "BENCH_escape.json schema drift: missing $key" >&2; exit 1; }
+  grep -qF "$key" "$escjson" || {
+    echo "escape-bench smoke output schema drift: missing $key" >&2; exit 1; }
+done
+# Determinism drift: the smoke sizes are a subset of the committed run, so
+# every fingerprint (per-solver routed/length, feasibility bound, corpus
+# engine outcomes; wall-clock excluded) must appear verbatim.
+sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$escjson" | while IFS= read -r fp; do
+  grep -qF "\"$fp\"" BENCH_escape.json || {
+    echo "escape-bench determinism drift: fingerprint not in BENCH_escape.json:" >&2
+    echo "  $fp" >&2
+    exit 1
+  }
+done
+rm -f "$escjson"
+
 echo "ci: OK"

@@ -333,6 +333,263 @@ let test_escape_matches_feasibility_bound () =
       ([ Point.make 0 2; Point.make 0 4; Point.make 0 6 ],
        [ Point.make 2 2; Point.make 2 4; Point.make 2 6 ]) ]
 
+(* ---------- Mcmf_grid (CSR escape solver) ---------- *)
+
+let emit_list arcs f = List.iter (fun (src, dst, cost) -> f ~src ~dst ~cost) arcs
+
+(* Unit caps, 0/1 costs: max flow 2, min cost 4 (0-1-3 + 0-2-3, or the
+   residual-equivalent 0-1-2-3 + 0-2..). *)
+let diamond_arcs = [ (0, 1, 1); (0, 2, 1); (1, 2, 0); (1, 3, 1); (2, 3, 1) ]
+
+let test_grid_solve_basics () =
+  let net = Mcmf_grid.build ~n:4 ~source:0 ~sink:3 ~emit_arcs:(emit_list diamond_arcs) in
+  Alcotest.(check int) "nodes" 4 (Mcmf_grid.node_count net);
+  Alcotest.(check int) "arcs incl. reverses" 10 (Mcmf_grid.arc_count net);
+  let out = Mcmf_grid.solve net in
+  Alcotest.(check int) "flow" 2 out.Mcmf_grid.flow;
+  Alcotest.(check int) "cost" 4 out.Mcmf_grid.cost;
+  Alcotest.(check int) "rounds = augmentations + final empty" 3 out.Mcmf_grid.rounds;
+  let paths = Mcmf_grid.decompose_paths net in
+  Alcotest.(check int) "two unit paths" 2 (List.length paths);
+  List.iter
+    (fun p ->
+       Alcotest.(check int) "starts at source" 0 (List.hd p);
+       Alcotest.(check int) "ends at sink" 3 (List.nth p (List.length p - 1)))
+    paths
+
+let test_grid_reset_shares_structure () =
+  (* One CSR build serves the feasibility probe, the solve, and a retry:
+     the ISSUE's "built exactly once" contract. *)
+  let net = Mcmf_grid.build ~n:4 ~source:0 ~sink:3 ~emit_arcs:(emit_list diamond_arcs) in
+  Alcotest.(check int) "probe max flow" 2 (Mcmf_grid.max_flow net);
+  Mcmf_grid.reset net;
+  let a = Mcmf_grid.solve net in
+  Mcmf_grid.reset net;
+  let b = Mcmf_grid.solve net in
+  Alcotest.(check int) "flow stable across resets" a.Mcmf_grid.flow b.Mcmf_grid.flow;
+  Alcotest.(check int) "cost stable across resets" a.Mcmf_grid.cost b.Mcmf_grid.cost;
+  Alcotest.check_raises "second solve without reset"
+    (Invalid_argument "Mcmf_grid.solve: already solved") (fun () ->
+      ignore (Mcmf_grid.solve net))
+
+let test_grid_build_validation () =
+  Alcotest.check_raises "bad cost"
+    (Invalid_argument "Mcmf_grid.build: cost must be 0 or 1") (fun () ->
+      ignore (Mcmf_grid.build ~n:2 ~source:0 ~sink:1 ~emit_arcs:(emit_list [ (0, 1, 2) ])));
+  Alcotest.check_raises "bad node" (Invalid_argument "Mcmf_grid.build: bad node")
+    (fun () ->
+       ignore (Mcmf_grid.build ~n:2 ~source:0 ~sink:1 ~emit_arcs:(emit_list [ (0, 5, 1) ])));
+  (* The emitter runs twice (count pass, fill pass); one that emits
+     different arcs per call must be rejected, not silently miswired. *)
+  let calls = ref 0 in
+  let unstable f =
+    incr calls;
+    if !calls = 1 then f ~src:0 ~dst:1 ~cost:1 else f ~src:1 ~dst:2 ~cost:1
+  in
+  Alcotest.check_raises "unstable emitter"
+    (Invalid_argument "Mcmf_grid.build: emit_arcs is not deterministic") (fun () ->
+      ignore (Mcmf_grid.build ~n:3 ~source:0 ~sink:2 ~emit_arcs:unstable))
+
+let test_grid_budget_starvation () =
+  (* An exhausted workspace budget starves the augmentation search: the
+     solve stops with partial (here: zero) flow instead of hanging —
+     the same degradation chain as the A* stages. *)
+  let ws = Pacor_route.Workspace.create () in
+  let budget =
+    Pacor_route.Budget.create
+      (Pacor_route.Budget.limits ~max_expansions:1 ())
+  in
+  Pacor_route.Budget.arm budget;
+  Pacor_route.Workspace.set_budget ws budget;
+  let net = Mcmf_grid.build ~n:4 ~source:0 ~sink:3 ~emit_arcs:(emit_list diamond_arcs) in
+  let out = Mcmf_grid.solve ~workspace:ws net in
+  Alcotest.(check bool) "starved solve finds less than optimum" true
+    (out.Mcmf_grid.flow < 2);
+  Alcotest.(check bool) "budget reports exhaustion" true
+    (Pacor_route.Budget.exhausted budget <> None)
+
+let test_grid_workspace_stats_rounds () =
+  (* Per-round instrumentation: each augmentation round is one workspace
+     search (epoch bump), pops/settles and arc scans land in the shared
+     counters. *)
+  let ws = Pacor_route.Workspace.create () in
+  let s0 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats ws) in
+  let net = Mcmf_grid.build ~n:4 ~source:0 ~sink:3 ~emit_arcs:(emit_list diamond_arcs) in
+  let out = Mcmf_grid.solve ~workspace:ws net in
+  let s1 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats ws) in
+  let d = Pacor_route.Search_stats.diff s1 s0 in
+  Alcotest.(check int) "one search per round" out.Mcmf_grid.rounds
+    d.Pacor_route.Search_stats.searches;
+  Alcotest.(check bool) "settles counted" true (d.Pacor_route.Search_stats.pops > 0);
+  Alcotest.(check bool) "arc scans counted" true (d.Pacor_route.Search_stats.touched > 0)
+
+let unit_cost_network seed =
+  (* [random_network] variant constrained to the grid solver's domain:
+     unit capacities, costs 0 or 1. *)
+  let n, edges = random_network seed in
+  (n, List.map (fun (src, dst, _cap, cost) -> (src, dst, cost mod 2)) edges)
+
+let test_grid_agrees_with_general_solvers () =
+  List.iter
+    (fun seed ->
+       let n, arcs = unit_cost_network seed in
+       let g = Mcmf_grid.build ~n ~source:0 ~sink:(n - 1) ~emit_arcs:(emit_list arcs) in
+       let a = Mcmf.create n and d = Maxflow.create n in
+       List.iter
+         (fun (src, dst, cost) ->
+            Mcmf.add_edge a ~src ~dst ~cap:1 ~cost;
+            Maxflow.add_edge d ~src ~dst ~cap:1)
+         arcs;
+       let og = Mcmf_grid.solve g in
+       let oa = Mcmf.solve a ~source:0 ~sink:(n - 1) in
+       Alcotest.(check int) (Printf.sprintf "flow seed %d" seed) oa.Mcmf.flow
+         og.Mcmf_grid.flow;
+       Alcotest.(check int) (Printf.sprintf "cost seed %d" seed) oa.Mcmf.cost
+         og.Mcmf_grid.cost;
+       (* The costless probe must agree with the independent Dinic solver. *)
+       Mcmf_grid.reset g;
+       let df = Maxflow.max_flow d ~source:0 ~sink:(n - 1) in
+       Alcotest.(check int) (Printf.sprintf "max flow seed %d" seed) df
+         (Mcmf_grid.max_flow g))
+    [ 1; 2; 3; 5; 7; 8; 11; 13; 19; 21; 34; 42; 55; 89; 101; 144; 233; 999 ]
+
+(* ---------- Escape: three-way solver agreement ---------- *)
+
+let solvers = [ ("grid", Escape.Grid); ("spfa", Escape.Spfa); ("dijkstra", Escape.Dijkstra) ]
+
+let route_with solver ~grid ~claimed ~pins reqs =
+  match Escape.route ~solver ~grid ~claimed ~pins reqs with
+  | Error e -> Alcotest.failf "escape failed: %s" e
+  | Ok out -> out
+
+let test_escape_three_way_agreement () =
+  (* Instances whose optimum assignment is unique, so all three solvers
+     must agree on the full outcome, not just its aggregates. *)
+  List.iter
+    (fun (pins, starts) ->
+       let grid = grid10 () in
+       let claimed = Point.Set.of_list starts in
+       let reqs =
+         List.mapi (fun i s -> { Escape.cluster_idx = i; start_cells = [ s ] }) starts
+       in
+       let outs =
+         List.map (fun (name, s) -> (name, route_with s ~grid ~claimed ~pins reqs)) solvers
+       in
+       match outs with
+       | (_, ref_out) :: rest ->
+         List.iter
+           (fun (name, out) ->
+              Alcotest.(check int) (name ^ ": routed count")
+                (List.length ref_out.Escape.routed)
+                (List.length out.Escape.routed);
+              Alcotest.(check (list int)) (name ^ ": failed set") ref_out.Escape.failed
+                out.Escape.failed;
+              Alcotest.(check int) (name ^ ": total length") ref_out.Escape.total_length
+                out.Escape.total_length)
+           rest
+       | [] -> assert false)
+    [ ([ Point.make 0 5; Point.make 9 5 ], [ Point.make 3 3; Point.make 6 6 ]);
+      ([ Point.make 0 3 ], [ Point.make 3 3; Point.make 6 6; Point.make 5 2 ]);
+      ([ Point.make 0 2; Point.make 0 4; Point.make 0 6 ],
+       [ Point.make 2 2; Point.make 2 4; Point.make 2 6 ]) ]
+
+let test_escape_duplicate_idx_rejected () =
+  let grid = grid10 () in
+  let s1 = Point.make 3 3 and s2 = Point.make 6 6 in
+  match
+    Escape.route ~grid ~claimed:(Point.Set.of_list [ s1; s2 ]) ~pins:[ Point.make 0 5 ]
+      [ { Escape.cluster_idx = 7; start_cells = [ s1 ] };
+        { Escape.cluster_idx = 7; start_cells = [ s2 ] } ]
+  with
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "names the duplicate" true
+      (contains e "duplicate cluster_idx 7")
+  | Ok _ -> Alcotest.fail "duplicate cluster_idx accepted"
+
+let test_escape_workspace_reuse () =
+  (* Same instance, fresh vs shared workspace: identical outcomes, and the
+     shared workspace survives for the next solve (epoch isolation). *)
+  let grid = grid10 () in
+  let starts = [ Point.make 3 3; Point.make 6 6 ] in
+  let claimed = Point.Set.of_list starts in
+  let pins = [ Point.make 0 3; Point.make 0 6 ] in
+  let reqs =
+    List.mapi (fun i s -> { Escape.cluster_idx = i; start_cells = [ s ] }) starts
+  in
+  let fresh = route_with Escape.Grid ~grid ~claimed ~pins reqs in
+  let ws = Pacor_route.Workspace.create () in
+  for _ = 1 to 3 do
+    match Escape.route ~workspace:ws ~grid ~claimed ~pins reqs with
+    | Error e -> Alcotest.failf "escape failed: %s" e
+    | Ok out ->
+      Alcotest.(check int) "routed as fresh" (List.length fresh.Escape.routed)
+        (List.length out.Escape.routed);
+      Alcotest.(check int) "length as fresh" fresh.Escape.total_length
+        out.Escape.total_length
+  done
+
+let serpentine_grid size =
+  (* Vertical walls with alternating end gaps: one long corridor snaking
+     through the whole grid. *)
+  let walls = ref [] in
+  let x = ref 2 in
+  while !x <= size - 3 do
+    let r =
+      if !x mod 4 = 2 then Rect.make ~x0:!x ~y0:1 ~x1:!x ~y1:(size - 3)
+      else Rect.make ~x0:!x ~y0:2 ~x1:!x ~y1:(size - 2)
+    in
+    walls := r :: !walls;
+    x := !x + 2
+  done;
+  Routing_grid.create ~width:size ~height:size ~obstacles:!walls ()
+
+let test_escape_long_path_regression () =
+  (* Chip1-scale path length: the old non-tail [collapse] (and a recursive
+     decompose walk) would overflow the stack here. All three solvers must
+     survive and agree. *)
+  let size = 501 in
+  let grid = serpentine_grid size in
+  let start = Point.make 1 1 in
+  let pins = [ Point.make (size - 2) 0 ] in
+  let reqs = [ { Escape.cluster_idx = 0; start_cells = [ start ] } ] in
+  let claimed = Point.Set.singleton start in
+  let outs =
+    List.map (fun (name, s) -> (name, route_with s ~grid ~claimed ~pins reqs)) solvers
+  in
+  List.iter
+    (fun (name, out) ->
+       Alcotest.(check int) (name ^ ": routed") 1 (List.length out.Escape.routed);
+       Alcotest.(check bool) (name ^ ": serpentine-length path") true
+         (out.Escape.total_length > 100_000))
+    outs;
+  match outs with
+  | (_, a) :: rest ->
+    List.iter
+      (fun (name, b) ->
+         Alcotest.(check int) (name ^ ": equal length") a.Escape.total_length
+           b.Escape.total_length)
+      rest
+  | [] -> assert false
+
+let test_mcmf_long_chain_decompose () =
+  (* Deep unit path through the general solver: the decompose walk must be
+     iterative. *)
+  let n = 200_001 in
+  let net = Mcmf.create n in
+  for v = 0 to n - 2 do
+    Mcmf.add_edge net ~src:v ~dst:(v + 1) ~cap:1 ~cost:1
+  done;
+  let out = Mcmf.solve net ~source:0 ~sink:(n - 1) in
+  Alcotest.(check int) "one unit" 1 out.Mcmf.flow;
+  match Mcmf.decompose_paths net ~source:0 ~sink:(n - 1) with
+  | [ path ] -> Alcotest.(check int) "full chain" n (List.length path)
+  | _ -> Alcotest.fail "expected a single path"
+
 (* ---------- QCheck ---------- *)
 
 let prop_mcmf_flow_conservation =
@@ -396,9 +653,121 @@ let prop_escape_routed_equals_bound =
        | Error _ -> false
        | Ok out -> List.length out.routed = bound)
 
+type escape_instance = {
+  gw : int;
+  gh : int;
+  obstacles : Point.t list;
+  claim_extra : Point.t list;
+  gen_pins : Point.t list;
+  gen_reqs : Escape.request list;
+}
+
+let prop_three_solvers_agree =
+  (* Random grids with obstacles, boundary pins, and multi-start requests:
+     Grid, Spfa and Dijkstra must agree on (routed count, total length),
+     and the feasibility bound must equal the routed count. *)
+  let gen =
+    QCheck.Gen.(
+      let* gw = int_range 7 14 and* gh = int_range 7 14 in
+      let interior =
+        let* x = int_range 1 (gw - 2) and* y = int_range 1 (gh - 2) in
+        return (Point.make x y)
+      in
+      let* n_obs = int_range 0 10 in
+      let* obstacles = list_size (return n_obs) interior in
+      let* n_pin = int_range 1 5 in
+      let* pins =
+        list_size (return n_pin)
+          (let* side = int_range 0 3 in
+           let* x = int_range 0 (gw - 1) and* y = int_range 0 (gh - 1) in
+           return
+             (match side with
+              | 0 -> Point.make 0 y
+              | 1 -> Point.make (gw - 1) y
+              | 2 -> Point.make x 0
+              | _ -> Point.make x (gh - 1)))
+      in
+      let* n_req = int_range 1 4 in
+      let* raw_reqs =
+        list_size (return n_req)
+          (let* k = int_range 1 3 in
+           list_size (return k) interior)
+      in
+      let* claim_extra =
+        let* k = int_range 0 5 in
+        list_size (return k) interior
+      in
+      (* Start cells must not sit on obstacles: starts win the collision. *)
+      let start_cells = List.concat raw_reqs in
+      let obstacles =
+        List.filter (fun o -> not (List.exists (Point.equal o) start_cells)) obstacles
+      in
+      let gen_reqs =
+        List.mapi
+          (fun i cells ->
+             { Escape.cluster_idx = i; start_cells = List.sort_uniq Point.compare cells })
+          raw_reqs
+      in
+      return
+        { gw; gh; obstacles;
+          claim_extra;
+          gen_pins = List.sort_uniq Point.compare pins;
+          gen_reqs })
+  in
+  let print inst =
+    Format.asprintf "%dx%d obstacles=[%a] pins=[%a] reqs=[%a] extra=[%a]" inst.gw inst.gh
+      (Format.pp_print_list Point.pp) inst.obstacles
+      (Format.pp_print_list Point.pp) inst.gen_pins
+      (Format.pp_print_list (fun ppf (r : Escape.request) ->
+         Format.fprintf ppf "#%d:%a" r.Escape.cluster_idx
+           (Format.pp_print_list Point.pp) r.Escape.start_cells))
+      inst.gen_reqs
+      (Format.pp_print_list Point.pp) inst.claim_extra
+  in
+  QCheck.Test.make ~name:"Grid/Spfa/Dijkstra escape solvers agree (+bound)" ~count:220
+    (QCheck.make ~print gen) (fun inst ->
+      let grid =
+        Routing_grid.create ~width:inst.gw ~height:inst.gh
+          ~obstacles:(List.map (fun (p : Point.t) ->
+            Rect.make ~x0:p.Point.x ~y0:p.Point.y ~x1:p.Point.x ~y1:p.Point.y)
+            inst.obstacles)
+          ()
+      in
+      let claimed =
+        Point.Set.of_list
+          (List.concat_map (fun (r : Escape.request) -> r.Escape.start_cells) inst.gen_reqs
+           @ inst.claim_extra)
+      in
+      let outcomes =
+        List.map
+          (fun solver ->
+             match
+               Escape.route ~solver ~grid ~claimed ~pins:inst.gen_pins inst.gen_reqs
+             with
+             | Error e -> QCheck.Test.fail_reportf "route error: %s" e
+             | Ok out -> (List.length out.Escape.routed, out.Escape.total_length))
+          [ Escape.Grid; Escape.Spfa; Escape.Dijkstra ]
+      in
+      match outcomes with
+      | [ (gr, gl); (sr, sl); (dr, dl) ] ->
+        let bound =
+          Escape.feasibility_bound ~grid ~claimed ~pins:inst.gen_pins inst.gen_reqs
+        in
+        if not (gr = sr && sr = dr) then
+          QCheck.Test.fail_reportf "routed counts differ: grid=%d spfa=%d dijkstra=%d" gr
+            sr dr
+        else if not (gl = sl && sl = dl) then
+          QCheck.Test.fail_reportf "total lengths differ: grid=%d spfa=%d dijkstra=%d" gl
+            sl dl
+        else if bound <> gr then
+          QCheck.Test.fail_reportf "feasibility bound %d <> routed %d" bound gr
+        else true
+      | _ -> assert false)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_mcmf_flow_conservation; prop_solvers_agree; prop_escape_routed_equals_bound ]
+    [ prop_mcmf_flow_conservation; prop_solvers_agree; prop_escape_routed_equals_bound;
+      prop_three_solvers_agree ]
 
 let () =
   Alcotest.run "flow"
@@ -419,6 +788,16 @@ let () =
       ( "cross_check",
         [ Alcotest.test_case "mcmf = spfa" `Quick test_mcmf_agrees_with_spfa;
           Alcotest.test_case "mcmf flow = dinic" `Quick test_mcmf_flow_equals_dinic ] );
+      ( "mcmf_grid",
+        [ Alcotest.test_case "solve basics" `Quick test_grid_solve_basics;
+          Alcotest.test_case "reset shares structure" `Quick test_grid_reset_shares_structure;
+          Alcotest.test_case "build validation" `Quick test_grid_build_validation;
+          Alcotest.test_case "budget starvation" `Quick test_grid_budget_starvation;
+          Alcotest.test_case "workspace stats per round" `Quick
+            test_grid_workspace_stats_rounds;
+          Alcotest.test_case "grid = mcmf = dinic" `Quick
+            test_grid_agrees_with_general_solvers;
+          Alcotest.test_case "long chain decompose" `Quick test_mcmf_long_chain_decompose ] );
       ( "escape",
         [ Alcotest.test_case "single cluster" `Quick test_escape_single_cluster;
           Alcotest.test_case "two disjoint" `Quick test_escape_two_clusters_disjoint;
@@ -429,5 +808,12 @@ let () =
           Alcotest.test_case "validation" `Quick test_escape_validation;
           Alcotest.test_case "total length" `Quick test_escape_total_length;
           Alcotest.test_case "routed count = max-flow bound" `Quick
-            test_escape_matches_feasibility_bound ] );
+            test_escape_matches_feasibility_bound;
+          Alcotest.test_case "three-way solver agreement" `Quick
+            test_escape_three_way_agreement;
+          Alcotest.test_case "duplicate cluster_idx rejected" `Quick
+            test_escape_duplicate_idx_rejected;
+          Alcotest.test_case "workspace reuse" `Quick test_escape_workspace_reuse;
+          Alcotest.test_case "serpentine long-path regression" `Quick
+            test_escape_long_path_regression ] );
       ("properties", qcheck_cases) ]

@@ -559,6 +559,70 @@ let test_workspace_allocs_monotonic () =
   Alcotest.(check int) "bounded pool allocated once" after_bounded
     (Search_stats.snapshot stats).Search_stats.grid_allocs
 
+(* The shared 0-1-BFS deque honours deque order: push_front items come out
+   before everything pushed at the back, and pops are charged to the same
+   budget/stat counters as heap pops. *)
+let test_workspace_deque_order () =
+  let stats = Search_stats.create () in
+  let ws = Workspace.create ~stats () in
+  Workspace.begin_search ws ~cells:16;
+  Alcotest.(check bool) "fresh deque is empty" true (Workspace.deque_is_empty ws);
+  Workspace.deque_push_back ws 1;
+  Workspace.deque_push_back ws 2;
+  Workspace.deque_push_front ws 3;
+  Workspace.deque_push_back ws 4;
+  Workspace.deque_push_front ws 5;
+  let order = List.init 5 (fun _ -> Workspace.deque_pop_front ws) in
+  Alcotest.(check (list int)) "deque order" [ 5; 3; 1; 2; 4 ] order;
+  Alcotest.(check int) "empty pop returns sentinel" (-1) (Workspace.deque_pop_front ws);
+  let snap = Search_stats.snapshot stats in
+  Alcotest.(check int) "pushes counted" 5 snap.Search_stats.pushes;
+  Alcotest.(check int) "pops counted" 5 snap.Search_stats.pops
+
+(* Growth past the initial capacity preserves FIFO order even when the ring
+   has wrapped (head <> 0 at grow time), and a new epoch discards leftovers. *)
+let test_workspace_deque_growth_and_reset () =
+  let ws = Workspace.create () in
+  Workspace.begin_search ws ~cells:4;
+  (* Wrap the ring: interleave pushes and pops so head advances. *)
+  for i = 0 to 19 do
+    Workspace.deque_push_back ws i;
+    if i mod 3 = 2 then ignore (Workspace.deque_pop_front ws)
+  done;
+  for i = 20 to 299 do
+    Workspace.deque_push_back ws i
+  done;
+  (* The six interleaved pops consumed the then-fronts 0..5. *)
+  let expect = List.init 294 (fun k -> k + 6) in
+  let got = List.map (fun _ -> Workspace.deque_pop_front ws) expect in
+  Alcotest.(check (list int)) "FIFO survives growth and wrap" expect got;
+  Workspace.deque_push_back ws 42;
+  Workspace.begin_search ws ~cells:4;
+  Alcotest.(check bool) "epoch reset clears the deque" true
+    (Workspace.deque_is_empty ws);
+  Alcotest.(check int) "no stale element after reset" (-1)
+    (Workspace.deque_pop_front ws)
+
+(* Deque pops tick the workspace budget exactly like heap pops: once the
+   expansion budget is spent, pops return the sentinel even when elements
+   remain queued. *)
+let test_workspace_deque_budget () =
+  let ws = Workspace.create () in
+  let budget = Budget.create (Budget.limits ~max_expansions:3 ()) in
+  Workspace.set_budget ws budget;
+  Budget.arm budget;
+  Workspace.begin_search ws ~cells:8;
+  for i = 0 to 5 do
+    Workspace.deque_push_back ws i
+  done;
+  let drained = List.init 4 (fun _ -> Workspace.deque_pop_front ws) in
+  Alcotest.(check (list int)) "budget cuts the drain" [ 0; 1; 2; -1 ] drained;
+  Alcotest.(check bool) "elements remain queued" false (Workspace.deque_is_empty ws);
+  (match Budget.exhausted budget with
+   | Some Budget.Expansions -> ()
+   | _ -> Alcotest.fail "expected expansion exhaustion");
+  Workspace.set_budget ws (Budget.unlimited ())
+
 (* ---------- QCheck ---------- *)
 
 let arb_grid_points =
@@ -752,7 +816,13 @@ let () =
           Alcotest.test_case "visit saturation" `Quick test_bounded_saturation ] );
       ( "workspace",
         [ Alcotest.test_case "allocations stay flat" `Quick
-            test_workspace_allocs_monotonic ] );
+            test_workspace_allocs_monotonic;
+          Alcotest.test_case "deque order and counters" `Quick
+            test_workspace_deque_order;
+          Alcotest.test_case "deque growth, wrap and epoch reset" `Quick
+            test_workspace_deque_growth_and_reset;
+          Alcotest.test_case "deque pops charge the budget" `Quick
+            test_workspace_deque_budget ] );
       ( "detour",
         [ Alcotest.test_case "lengthen basic" `Quick test_lengthen_basic;
           Alcotest.test_case "already long enough" `Quick test_lengthen_already_long_enough;
