@@ -28,6 +28,8 @@ let route_bench_only = Array.exists (String.equal "--route-bench") Sys.argv
 
 let escape_bench_only = Array.exists (String.equal "--escape-bench") Sys.argv
 
+let fault_sweep_only = Array.exists (String.equal "--fault-sweep") Sys.argv
+
 let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
@@ -874,6 +876,174 @@ let print_escape_bench () =
     close_out oc;
     Format.printf "escape-bench JSON written to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: online repair (rip-up-around-the-fault) vs a full      *)
+(* re-route of the faulted instance, on the FPVA valve-array family —  *)
+(* the data behind BENCH_fault.json. Fault sets are seeded per (design,*)
+(* rate) case, so fingerprints (fault counts, outcomes, expansion      *)
+(* counts, length delta) are deterministic; wall-clock is printed and  *)
+(* recorded but excluded from fingerprints.                            *)
+(* ------------------------------------------------------------------ *)
+
+type fault_case = {
+  fc_design : string;
+  fc_rate : float;
+  fc_faults : int;
+  fc_repaired : int;
+  fc_degraded : int;
+  fc_unrepairable : int;
+  fc_repair_pops : int;
+  fc_reroute_pops : int;
+  fc_repair_wall : float;
+  fc_reroute_wall : float;
+  fc_len_delta : int;         (* repaired minus ripped channel length *)
+  fc_valid : bool;            (* repaired solution passes Solution.validate *)
+}
+
+let run_fault_case (spec : Pacor_designs.Fpva.spec) rate =
+  let name = spec.Pacor_designs.Fpva.name in
+  let problem = Pacor_designs.Fpva.generate_exn spec in
+  let sol =
+    match Pacor.Engine.run problem with
+    | Ok sol -> sol
+    | Error e -> failwith (name ^ ": baseline route failed: " ^ e.Pacor.Engine.message)
+  in
+  (* Per-case fault seed: a function of the design seed and the rate, so
+     every (design, rate) cell of the sweep is independently reproducible. *)
+  let seed =
+    Int64.add spec.Pacor_designs.Fpva.seed
+      (Int64.of_int (1 + int_of_float (rate *. 1000.)))
+  in
+  let rng = Pacor_designs.Rng.create ~seed in
+  let faults = Pacor_fault.Fault.inject ~rng ~rate sol in
+  (* Repair arm: fresh counters so the expansion count is repair's alone. *)
+  let repair_stats = Pacor_route.Search_stats.create () in
+  let repair_ws = Pacor_route.Workspace.create ~stats:repair_stats () in
+  let rep =
+    match Pacor_fault.Repair.run ~workspace:repair_ws ~faults sol with
+    | Ok rep -> rep
+    | Error e -> failwith (name ^ ": repair failed: " ^ e)
+  in
+  let repair_pops =
+    (Pacor_route.Search_stats.snapshot repair_stats).Pacor_route.Search_stats.pops
+  in
+  (* Full re-route arm: the engine from scratch on the faulted instance. *)
+  let faulted =
+    match Pacor_fault.Fault.apply problem faults with
+    | Ok p -> p
+    | Error e -> failwith (name ^ ": faulted instance invalid: " ^ e)
+  in
+  let reroute_stats = Pacor_route.Search_stats.create () in
+  let reroute_ws = Pacor_route.Workspace.create ~stats:reroute_stats () in
+  let t0 = Unix.gettimeofday () in
+  (match Pacor.Engine.run ~workspace:reroute_ws faulted with
+   | Ok _ -> ()
+   | Error e -> failwith (name ^ ": full re-route failed: " ^ e.Pacor.Engine.message));
+  let reroute_wall = Unix.gettimeofday () -. t0 in
+  let reroute_pops =
+    (Pacor_route.Search_stats.snapshot reroute_stats).Pacor_route.Search_stats.pops
+  in
+  let count p = List.length (List.filter p rep.Pacor_fault.Repair.reports) in
+  {
+    fc_design = name;
+    fc_rate = rate;
+    fc_faults = List.length faults;
+    fc_repaired = count (fun r -> r.Pacor_fault.Repair.outcome = Pacor_fault.Repair.Repaired);
+    fc_degraded =
+      count (fun r ->
+        match r.Pacor_fault.Repair.outcome with
+        | Pacor_fault.Repair.Degraded _ -> true
+        | _ -> false);
+    fc_unrepairable =
+      count (fun r ->
+        match r.Pacor_fault.Repair.outcome with
+        | Pacor_fault.Repair.Unrepairable _ -> true
+        | _ -> false);
+    fc_repair_pops = repair_pops;
+    fc_reroute_pops = reroute_pops;
+    fc_repair_wall = rep.Pacor_fault.Repair.wall_s;
+    fc_reroute_wall = reroute_wall;
+    fc_len_delta =
+      rep.Pacor_fault.Repair.repaired_length - rep.Pacor_fault.Repair.ripped_length;
+    fc_valid =
+      (match Pacor.Solution.validate rep.Pacor_fault.Repair.solution with
+       | Ok () -> true
+       | Error _ -> false);
+  }
+
+let fault_fingerprint c =
+  Printf.sprintf "fault %s r=%.2f faults=%d rep=%d deg=%d unrep=%d pops=%d/%d len_delta=%d"
+    c.fc_design c.fc_rate c.fc_faults c.fc_repaired c.fc_degraded c.fc_unrepairable
+    c.fc_repair_pops c.fc_reroute_pops c.fc_len_delta
+
+let print_fault_sweep () =
+  Format.printf "@.== Fault sweep: online repair vs full re-route (FPVA family) ==@.";
+  (* Smoke cases are a strict subset of the full sweep, so every smoke
+     fingerprint must appear verbatim in the committed BENCH_fault.json. *)
+  let family = Pacor_designs.Fpva.family () in
+  let specs =
+    if smoke || quick then
+      List.filter
+        (fun (s : Pacor_designs.Fpva.spec) -> s.Pacor_designs.Fpva.name <> "fpva-8x8")
+        family
+    else family
+  in
+  let rates = if smoke || quick then [ 0.02; 0.10 ] else [ 0.02; 0.05; 0.10 ] in
+  let cases =
+    List.concat_map (fun spec -> List.map (run_fault_case spec) rates) specs
+  in
+  Format.printf "%9s %5s %7s | %4s %4s %6s | %10s %10s %7s | %10s %10s %8s | %6s@."
+    "design" "rate" "faults" "rep" "deg" "unrep" "rep-pops" "full-pops" "cheaper"
+    "rep-wall" "full-wall" "len-d" "valid";
+  List.iter
+    (fun c ->
+       Format.printf
+         "%9s %5.2f %7d | %4d %4d %6d | %10d %10d %7s | %9.4fs %9.4fs %8d | %6s@."
+         c.fc_design c.fc_rate c.fc_faults c.fc_repaired c.fc_degraded c.fc_unrepairable
+         c.fc_repair_pops c.fc_reroute_pops
+         (if c.fc_repair_pops < c.fc_reroute_pops then "yes" else "NO")
+         c.fc_repair_wall c.fc_reroute_wall c.fc_len_delta
+         (if c.fc_valid then "yes" else "NO (BUG)"))
+    cases;
+  let all_cheaper = List.for_all (fun c -> c.fc_repair_pops < c.fc_reroute_pops) cases in
+  let all_valid = List.for_all (fun c -> c.fc_valid) cases in
+  Format.printf "repair cheaper than full re-route on every case: %s@."
+    (if all_cheaper then "yes" else "NO (BUG)");
+  let json =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-fault-sweep\",\n";
+    Printf.bprintf buf "  \"cases\": [\n";
+    List.iteri
+      (fun i c ->
+         Printf.bprintf buf
+           "    {\"design\": %S, \"rate\": %.2f, \"faults\": %d,\n\
+            \     \"repaired\": %d, \"degraded\": %d, \"unrepairable\": %d,\n\
+            \     \"repair_pops\": %d, \"reroute_pops\": %d, \"cheaper\": %b,\n\
+            \     \"repair_wall_s\": %.6f, \"reroute_wall_s\": %.6f,\n\
+            \     \"length_delta\": %d, \"valid\": %b,\n\
+            \     \"fingerprint\": \"%s\"}%s\n"
+           c.fc_design c.fc_rate c.fc_faults c.fc_repaired c.fc_degraded
+           c.fc_unrepairable c.fc_repair_pops c.fc_reroute_pops
+           (c.fc_repair_pops < c.fc_reroute_pops) c.fc_repair_wall c.fc_reroute_wall
+           c.fc_len_delta c.fc_valid (fault_fingerprint c)
+           (if i = List.length cases - 1 then "" else ","))
+      cases;
+    Printf.bprintf buf "  ],\n";
+    Printf.bprintf buf "  \"all_cheaper\": %b,\n" all_cheaper;
+    Printf.bprintf buf "  \"all_valid\": %b\n" all_valid;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "fault-sweep JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -911,6 +1081,15 @@ let () =
     Format.printf "PACOR benchmark harness (escape-bench only%s)@."
       (if smoke then ", smoke" else "");
     print_escape_bench ();
+    Format.printf "@.done.@."
+  end
+  else if fault_sweep_only then begin
+    (* Fault-injection trajectory: online repair vs full re-route on the
+       FPVA family, with the JSON record (committed as BENCH_fault.json).
+       --smoke restricts to the small designs and outer rates for CI. *)
+    Format.printf "PACOR benchmark harness (fault-sweep only%s)@."
+      (if smoke then ", smoke" else "");
+    print_fault_sweep ();
     Format.printf "@.done.@."
   end
   else if jobs_scaling_only then begin

@@ -356,6 +356,95 @@ let batch_cmd =
   in
   Cmd.v info Term.(const run $ dir $ variant $ jobs_arg $ limits_term $ retries_arg)
 
+(* ---- repair: route, inject faults, re-route only around them ---- *)
+
+let repair_cmd =
+  let design =
+    Arg.(value & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+           ~doc:"A built-in Table 1 design to route and then repair.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
+           ~doc:"An instance file to route and then repair.")
+  in
+  let faults =
+    Arg.(required & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault specification: comma-separated directives among \
+                 $(b,rate=F) (random fault rate), $(b,seed=N), \
+                 $(b,stuck=ID), $(b,stuck-open=ID), $(b,cell=X:Y) and \
+                 $(b,leak=X:Y-X:Y), e.g. \
+                 $(b,rate=0.05,seed=42,stuck=3,cell=10:4).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print one report line per fault.")
+  in
+  let run design file faults verbose limits =
+    match load_problem ~design ~file with
+    | Error msg -> fail exit_parse "%s" msg
+    | Ok problem ->
+      (match Pacor_fault.Fault.parse_spec faults with
+       | Error msg -> fail exit_parse "bad --faults spec: %s" msg
+       | Ok spec ->
+         let config = { (Pacor.Config.make ()) with Pacor.Config.limits } in
+         (match Pacor.Engine.run ~config problem with
+          | Error e -> fail exit_engine "engine failed at %s: %s" e.stage e.message
+          | Ok sol ->
+            Format.printf "%a@." Pacor.Problem.pp_summary problem;
+            Format.printf "baseline: %a@."
+              Pacor.Solution.pp_stats (Pacor.Solution.stats sol);
+            let fault_list = Pacor_fault.Fault.realise spec sol in
+            if fault_list = [] then begin
+              Format.printf "no faults injected (empty spec); nothing to repair@.";
+              0
+            end
+            else begin
+              Format.printf "injected %d fault(s)@." (List.length fault_list);
+              match Pacor_fault.Repair.run ~limits ~faults:fault_list sol with
+              | Error msg -> fail exit_engine "repair failed: %s" msg
+              | Ok rep ->
+                if verbose then
+                  List.iter
+                    (Format.printf "  %a@." Pacor_fault.Repair.pp_report)
+                    rep.Pacor_fault.Repair.reports;
+                Format.printf "%a@." Pacor_fault.Repair.pp_summary rep;
+                Format.printf "repaired: %a@."
+                  Pacor.Solution.pp_stats
+                  (Pacor.Solution.stats rep.Pacor_fault.Repair.solution);
+                let unrepairable =
+                  List.exists
+                    (fun (r : Pacor_fault.Repair.report) ->
+                       match r.outcome with
+                       | Pacor_fault.Repair.Unrepairable _ -> true
+                       | Pacor_fault.Repair.Repaired
+                       | Pacor_fault.Repair.Degraded _ -> false)
+                    rep.Pacor_fault.Repair.reports
+                in
+                (match
+                   Pacor.Solution.validate rep.Pacor_fault.Repair.solution
+                 with
+                 | Ok () when not unrepairable ->
+                   Format.printf "validation: OK@.";
+                   0
+                 | Ok () ->
+                   Format.printf "validation: OK@.";
+                   fail exit_violation "%d valve(s) quarantined as unrepairable"
+                     (List.length rep.Pacor_fault.Repair.quarantined)
+                 | Error es ->
+                   List.iter (Format.printf "validation: %s@.") es;
+                   fail exit_violation "repaired solution failed validation")
+            end))
+  in
+  let info =
+    Cmd.info "repair"
+      ~doc:"Route an instance, inject post-fabrication faults (stuck valves, \
+            blocked cells, leaky segments), and repair online: rip up only \
+            the clusters the faults touch and re-route them around the \
+            fault, reusing every untouched channel byte-identically. Exit \
+            codes: 1 unrepairable fault or validation failure, 2 parse/spec \
+            error, 3 engine error."
+  in
+  Cmd.v info Term.(const run $ design $ file $ faults $ verbose $ limits_term)
+
 (* ---- check: pre-flight analysis, then route + validate ---- *)
 
 let check_cmd =
@@ -434,4 +523,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; batch_cmd;
-            check_cmd ]))
+            check_cmd; repair_cmd ]))

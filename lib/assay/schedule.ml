@@ -59,9 +59,19 @@ let sync_clusters t =
   | [] -> Ok []
   | _ :: _ ->
     (* Union-find over valve ids (dense-indexed through their rank in
-       [t.valves]). *)
+       [t.valves]). A valve id that a phase references but [t.valves] does
+       not carry (possible when a [t] is assembled by hand rather than
+       through {!make}) must surface as a diagnosable error, not an
+       anonymous [Not_found] escaping from [Hashtbl.find]. *)
     let index = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace index v i) t.valves;
+    let rank v =
+      match Hashtbl.find_opt index v with
+      | Some i -> i
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Schedule.sync_clusters: unknown valve id %d in a sync group" v)
+    in
     let uf = Pacor_graphs.Union_find.create (List.length t.valves) in
     List.iter
       (fun (p : Phase.t) ->
@@ -72,9 +82,7 @@ let sync_clusters t =
               | first :: rest ->
                 List.iter
                   (fun v ->
-                     ignore
-                       (Pacor_graphs.Union_find.union uf (Hashtbl.find index first)
-                          (Hashtbl.find index v)))
+                     ignore (Pacor_graphs.Union_find.union uf (rank first) (rank v)))
                   rest)
            p.sync_groups)
       t.phases;
@@ -86,7 +94,7 @@ let sync_clusters t =
     let by_root = Hashtbl.create 16 in
     List.iter
       (fun v ->
-         let root = Pacor_graphs.Union_find.find uf (Hashtbl.find index v) in
+         let root = Pacor_graphs.Union_find.find uf (rank v) in
          let existing = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
          Hashtbl.replace by_root root (v :: existing))
       synced;

@@ -234,12 +234,16 @@ let route_single ?workspace ~config ~grid ~obstacles cluster candidate =
   List.iter
     (fun (n : Candidate.node) -> Obstacle_map.block obstacles n.pos)
     candidate.Candidate.nodes;
+  let tree_edges = tree_edges candidate in
   let edges =
     List.mapi
       (fun i (_, ppos, cpos) -> { Pacor_route.Negotiation.edge_id = i; ends = (ppos, cpos) })
-      (tree_edges candidate)
+      tree_edges
   in
-  let ids = List.map (fun (child_id, _, _) -> child_id) (tree_edges candidate) in
+  (* Child-node ids indexed once by edge slot: [List.nth] per returned path
+     is quadratic in tree size and raises a bare [Failure] on a short list,
+     whereas a stale edge id should name itself. *)
+  let ids = Array.of_list (List.map (fun (child_id, _, _) -> child_id) tree_edges) in
   let result =
     Pacor_route.Negotiation.route ?workspace ~config:config.Config.negotiation ~grid
       ~obstacles edges
@@ -248,7 +252,13 @@ let route_single ?workspace ~config ~grid ~obstacles cluster candidate =
   else begin
     let paths =
       List.map
-        (fun (i, path) -> (List.nth ids i, path))
+        (fun (i, path) ->
+           if i < 0 || i >= Array.length ids then
+             invalid_arg
+               (Printf.sprintf "Cluster_route.route_single: negotiation returned \
+                                unknown edge id %d (have %d edges)"
+                  i (Array.length ids));
+           (ids.(i), path))
         result.paths
     in
     Some (build_routed cluster candidate paths)

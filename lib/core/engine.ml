@@ -167,13 +167,17 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
           |> List.filter (fun (c : Pacor_dme.Candidate.t) ->
             not (Point.equal c.root current.root && c.edges = current.edges))
         in
+        (* Indexed once: [List.nth candidates tried] re-walks the candidate
+           list on every rip-up round, and raises an undiagnosable
+           [Failure _] if the enumeration ever shrinks between rounds. *)
+        let candidates = Array.of_list candidates in
         let tried =
           Option.value ~default:0 (Hashtbl.find_opt candidate_attempts r.cluster.Cluster.id)
         in
-        if tried >= List.length candidates then None
+        if tried >= Array.length candidates then None
         else begin
           Hashtbl.replace candidate_attempts r.cluster.Cluster.id (tried + 1);
-          let cand = List.nth candidates tried in
+          let cand = candidates.(tried) in
           let obstacles = Pacor_grid.Routing_grid.fresh_work_map grid in
           Point.Set.iter (fun p -> Pacor_grid.Obstacle_map.block obstacles p) valve_cells;
           Point.Set.iter (fun p -> Pacor_grid.Obstacle_map.block obstacles p) others;
@@ -516,9 +520,8 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
                   let requests =
                     List.mapi
                       (fun i (x : Routed.t) ->
-                         ignore x;
                          { Pacor_flow.Escape.cluster_idx = i;
-                           start_cells = Routed.start_cells (List.nth both i) })
+                           start_cells = Routed.start_cells x })
                       both
                   in
                   (match

@@ -98,3 +98,47 @@ let pp_summary ppf t =
 
 let with_delta t delta =
   if delta < 0 then Error "negative delta" else Ok { t with delta }
+
+(* Fault overlay for the online-repair flow: block the faulted cells in the
+   static grid, retire the dead valves (stuck valves, plus any valve whose
+   cell got blocked), drop pins swallowed by a blockage, and shrink the seed
+   clusters to their surviving members.  The result goes back through
+   [create] so every invariant of a fresh problem still holds. *)
+let with_faults t ~blocked ~dead_valves =
+  let module Int_set = Set.Make (Int) in
+  let blocked_set = Point.Set.of_list blocked in
+  let dead_set = Int_set.of_list dead_valves in
+  let is_dead (v : Valve.t) =
+    Int_set.mem v.id dead_set || Point.Set.mem v.position blocked_set
+  in
+  let valves = List.filter (fun v -> not (is_dead v)) t.valves in
+  if valves = [] then Error "with_faults: no valves survive the fault set"
+  else begin
+    let grid =
+      if blocked = [] then t.grid else Routing_grid.with_extra_obstacles t.grid blocked
+    in
+    let pins = List.filter (fun p -> not (Point.Set.mem p blocked_set)) t.pins in
+    let alive =
+      List.fold_left
+        (fun s (v : Valve.t) -> Int_set.add v.id s)
+        Int_set.empty valves
+    in
+    let lm_clusters =
+      List.filter_map
+        (fun (c : Cluster.t) ->
+           match
+             List.filter (fun (v : Valve.t) -> Int_set.mem v.id alive) c.Cluster.valves
+           with
+           | [] -> None
+           | members ->
+             (match Cluster.make ~id:c.Cluster.id ~length_matched:true members with
+              | Ok c -> Some c
+              | Error _ -> None))
+        t.lm_clusters
+    in
+    match
+      create ~name:t.name ~rules:t.rules ~grid ~valves ~lm_clusters ~pins ~delta:t.delta ()
+    with
+    | Ok _ as ok -> ok
+    | Error msg -> Error ("with_faults: " ^ msg)
+  end

@@ -60,3 +60,12 @@ val pp_summary : Format.formatter -> t -> unit
 val with_delta : t -> int -> (t, string) result
 (** Same instance under a different length-matching threshold (used by the
     delta-sweep experiment). *)
+
+val with_faults :
+  t -> blocked:Point.t list -> dead_valves:Valve.id list -> (t, string) result
+(** The instance after a fault overlay: [blocked] cells join the static
+    obstacle map, [dead_valves] (plus any valve standing on a blocked cell)
+    are retired, pins on blocked cells disappear, and seed clusters shrink
+    to their surviving members (empty clusters are dropped).  The result is
+    re-validated by {!create}; an error means the faults left no routable
+    instance (e.g. no valve survives, or more valves than pins). *)

@@ -75,11 +75,18 @@ let escape_anchor_lengths t =
     (* The source end of [path] is valve [a]. *)
     [ (a, to_a); (b, to_b) ]
   | Some (Tree { candidate; edge_paths }) ->
-    List.mapi
-      (fun sink_idx _pos ->
-         let valve = List.nth t.cluster.Cluster.valves sink_idx in
-         (valve.Valve.id, tree_chain_length candidate edge_paths ~sink:sink_idx))
-      (Array.to_list candidate.sinks)
+    (* Valves indexed once: [List.nth] per sink is quadratic in cluster
+       size, and this runs for every cluster on every rematch pass. *)
+    let valves = Array.of_list t.cluster.Cluster.valves in
+    if Array.length valves <> Array.length candidate.sinks then
+      invalid_arg
+        (Printf.sprintf
+           "Routed.escape_anchor_lengths: cluster %d has %d valves but its \
+            candidate has %d sinks"
+           t.cluster.Cluster.id (Array.length valves) (Array.length candidate.sinks));
+    List.init (Array.length candidate.sinks) (fun sink_idx ->
+      (valves.(sink_idx).Valve.id,
+       tree_chain_length candidate edge_paths ~sink:sink_idx))
 
 let is_length_matched_shape t = Option.is_some t.shape
 

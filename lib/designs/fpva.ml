@@ -1,0 +1,105 @@
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+type spec = {
+  name : string;
+  rows : int;
+  cols : int;
+  pitch : int;
+  group : int;
+  seed : int64;
+  delta : int;
+}
+
+let margin = 3
+
+(* Same construction as [Synthetic.group_sequence]: group [g] is open at
+   step [g], closed at every other group's step, don't-care beyond — so
+   groups are pairwise incompatible and members identical. *)
+let group_sequence ~groups g =
+  let steps = max 8 groups in
+  Array.init steps (fun i ->
+    if i >= groups then Activation.Dont_care
+    else if i = g then Activation.Open
+    else Activation.Closed)
+
+let generate spec =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if spec.rows < 1 || spec.cols < 1 then err "empty lattice"
+  else if spec.pitch < 2 then err "pitch must be >= 2"
+  else if spec.group < 1 then err "group must be >= 1"
+  else if spec.delta < 0 then err "negative delta"
+  else begin
+    let width = (2 * margin) + (spec.pitch * (spec.cols - 1)) + 1 in
+    let height = (2 * margin) + (spec.pitch * (spec.rows - 1)) + 1 in
+    let grid = Routing_grid.create ~width ~height () in
+    (* Row-major lattice, chunked into runs of [group] per row. A chunk of
+       one valve (the row remainder, or group = 1) is a singleton — its
+       length matching would be trivial, so it carries no LM cluster. *)
+    let chunks =
+      List.concat_map
+        (fun r ->
+           let rec chunk c acc =
+             if c >= spec.cols then List.rev acc
+             else begin
+               let n = min spec.group (spec.cols - c) in
+               chunk (c + n) ((r, c, n) :: acc)
+             end
+           in
+           chunk 0 [])
+        (List.init spec.rows (fun r -> r))
+    in
+    let groups = List.length chunks in
+    let next_valve = ref 0 in
+    let valves_of_chunk gi (r, c0, n) =
+      List.init n (fun i ->
+        let id = !next_valve in
+        incr next_valve;
+        let position =
+          Point.make (margin + (spec.pitch * (c0 + i))) (margin + (spec.pitch * r))
+        in
+        Valve.make ~id ~position ~sequence:(group_sequence ~groups gi))
+    in
+    let clustered = List.mapi (fun gi ch -> (gi, valves_of_chunk gi ch)) chunks in
+    let valves = List.concat_map snd clustered in
+    let lm_clusters =
+      List.filter_map
+        (fun (gi, vs) ->
+           if List.length vs >= 2 then
+             Some (Cluster.make_exn ~id:gi ~length_matched:true vs)
+           else None)
+        clustered
+    in
+    let valve_count = List.length valves in
+    let pin_count = valve_count + max 4 (valve_count / 8) in
+    let candidates = List.filter (Routing_grid.free grid) (Routing_grid.boundary_points grid) in
+    let n = List.length candidates in
+    if n < pin_count then
+      err "%s: %d boundary cells cannot host %d pins" spec.name n pin_count
+    else begin
+      let rng = Rng.create ~seed:spec.seed in
+      let offset = Rng.int rng ~bound:n in
+      let stride = float_of_int n /. float_of_int pin_count in
+      let arr = Array.of_list candidates in
+      let pins =
+        List.init pin_count (fun i ->
+          arr.((offset + int_of_float (float_of_int i *. stride)) mod n))
+      in
+      let pins = List.sort_uniq Point.compare pins in
+      Pacor.Problem.create ~name:spec.name ~grid ~valves ~lm_clusters ~pins
+        ~delta:spec.delta ()
+    end
+  end
+
+let generate_exn spec =
+  match generate spec with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Fpva.generate: " ^ msg)
+
+let family () =
+  [
+    { name = "fpva-4x4"; rows = 4; cols = 4; pitch = 4; group = 2; seed = 11L; delta = 2 };
+    { name = "fpva-6x6"; rows = 6; cols = 6; pitch = 4; group = 2; seed = 12L; delta = 2 };
+    { name = "fpva-8x8"; rows = 8; cols = 8; pitch = 4; group = 3; seed = 13L; delta = 2 };
+  ]

@@ -1,0 +1,36 @@
+(** FPVA-style regular valve-array generator.
+
+    Fully programmable valve arrays place their control valves on a
+    uniform (row, column) lattice, unlike the irregular layouts of
+    {!Synthetic}. The regularity makes them the natural corpus for the
+    fault-sweep experiments: every instance of the family stresses the
+    same structure at a different scale, so repair-vs-reroute numbers are
+    comparable across sizes.
+
+    Valves sit on a [rows x cols] lattice with the given cell [pitch];
+    each row is chunked into consecutive runs of [group] valves that form
+    one length-matched cluster (leftovers become singletons). Activation
+    sequences make clusters pairwise incompatible and members identical,
+    so the clustering stage reproduces the lattice grouping exactly. Pins
+    are evenly spaced boundary cells, [seed]-rotated around the ring,
+    with slack over the valve count so declustering stays feasible. *)
+
+type spec = {
+  name : string;
+  rows : int;
+  cols : int;
+  pitch : int;   (** lattice spacing in cells, >= 2 *)
+  group : int;   (** valves per length-matched cluster, >= 1 (1 = no LM) *)
+  seed : int64;  (** rotates the pin ring; layout itself is rigid *)
+  delta : int;
+}
+
+val generate : spec -> (Pacor.Problem.t, string) result
+(** Deterministic for a fixed spec. Errors when the spec cannot fit
+    (degenerate dimensions, not enough boundary cells for the pins). *)
+
+val generate_exn : spec -> Pacor.Problem.t
+
+val family : unit -> spec list
+(** The benchmark family: [fpva-4x4] and [fpva-6x6] (pair clusters) and
+    [fpva-8x8] (3-valve tree clusters), pitch 4, fixed seeds. *)

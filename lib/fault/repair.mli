@@ -1,0 +1,67 @@
+(** Online repair: rip up only what a fault set touches and re-route it.
+
+    A full re-route of a faulted chip answers the right question at the
+    wrong price — most channels are nowhere near the fault. [run] instead
+    computes the {e dirty set} (clusters owning a stuck valve, clusters
+    whose channels or escape cross a faulted cell), rips up exactly those,
+    and re-routes them around the fault with the ordinary PACOR machinery:
+    negotiation-based candidate routing for length-matched clusters, MST /
+    singleton fallback, one global min-cost-flow escape solve
+    ({!Pacor_flow.Escape}, Grid solver) over the replacement clusters, and
+    the detour stage to restore length matching. Untouched clusters are
+    reused as-is — their paths come out byte-identical.
+
+    The whole repair runs under a {!Pacor_route.Budget} attached to the
+    workspace, so a pathological fault set degrades (clusters fall back to
+    singleton routing, refinement is skipped) instead of hanging. A
+    replacement cluster that cannot reach any pin is {e quarantined}: its
+    valves are retired from the instance — the same graceful-degradation
+    contract as the batch runner — and the fault is reported
+    [Unrepairable], never raised. *)
+
+open Pacor_valve
+
+type fault_outcome =
+  | Repaired            (** every affected cluster re-routed, matching kept *)
+  | Degraded of string
+      (** re-routed, but something was given up (length matching lost,
+          budget tripped); the string names what *)
+  | Unrepairable of string
+      (** some affected cluster could not reach a pin; its valves were
+          quarantined out of the instance *)
+
+type report = {
+  fault : Fault.t;
+  outcome : fault_outcome;
+  clusters : int list;  (** ids of the clusters this fault dirtied *)
+}
+
+type t = {
+  solution : Pacor.Solution.t;
+      (** the repaired solution, over the faulted problem (dead and
+          quarantined valves removed); passes {!Pacor.Solution.validate} *)
+  reports : report list;        (** one per input fault, input order *)
+  dirty : int list;             (** cluster ids ripped up, sorted *)
+  untouched : int;              (** clusters reused without re-routing *)
+  quarantined : Valve.id list;  (** valves retired because no repair exists *)
+  ripped_length : int;          (** channel length removed (incl. escapes) *)
+  repaired_length : int;        (** channel length of the replacements *)
+  wall_s : float;
+}
+
+val run :
+  ?workspace:Pacor_route.Workspace.t ->
+  ?limits:Pacor_route.Budget.limits ->
+  faults:Fault.t list ->
+  Pacor.Solution.t ->
+  (t, string) result
+(** [run ~faults sol] repairs [sol] in place of a re-route. [limits]
+    bounds the repair search (default: the limits [sol] itself was routed
+    under); the previous budget of [workspace] is restored on exit.
+    [Error] only for structural impossibilities — the fault set leaves no
+    valid instance (no surviving valve, fewer pins than valves) — never
+    for congestion, which quarantines instead. *)
+
+val pp_outcome : Format.formatter -> fault_outcome -> unit
+val pp_report : Format.formatter -> report -> unit
+val pp_summary : Format.formatter -> t -> unit

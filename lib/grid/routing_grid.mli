@@ -20,6 +20,11 @@ val obstacles : t -> Obstacle_map.t
 val fresh_work_map : t -> Obstacle_map.t
 (** A private copy of the static obstacle map for a router to scribble on. *)
 
+val with_extra_obstacles : t -> Pacor_geom.Point.t list -> t
+(** A new grid whose static map additionally blocks the given cells (the
+    fault overlay of the online-repair flow). The original grid is
+    untouched; out-of-bounds points are ignored like {!Obstacle_map.block}. *)
+
 val in_bounds : t -> Point.t -> bool
 val blocked : t -> Point.t -> bool
 val free : t -> Point.t -> bool

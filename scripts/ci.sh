@@ -92,4 +92,31 @@ sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$escjson" | while IFS= read -r f
 done
 rm -f "$escjson"
 
+echo "== fault-sweep smoke + BENCH_fault.json drift check =="
+faultjson=$(mktemp)
+./_build/default/bench/main.exe --fault-sweep --smoke --json-out "$faultjson" > /dev/null
+for key in '"bench": "pacor-fault-sweep"' '"cases"' '"all_cheaper"' '"all_valid"'; do
+  grep -qF "$key" BENCH_fault.json || {
+    echo "BENCH_fault.json schema drift: missing $key" >&2; exit 1; }
+  grep -qF "$key" "$faultjson" || {
+    echo "fault-sweep smoke output schema drift: missing $key" >&2; exit 1; }
+done
+# The committed record must assert repair cheaper than a full re-route on
+# every case, with every repaired solution passing the validator.
+grep -qF '"all_cheaper": true' BENCH_fault.json || {
+  echo "BENCH_fault.json: repair is not cheaper than full re-route" >&2; exit 1; }
+grep -qF '"all_valid": true' BENCH_fault.json || {
+  echo "BENCH_fault.json: a repaired solution failed validation" >&2; exit 1; }
+# Determinism drift: the smoke cases are a subset of the committed sweep,
+# so every fingerprint (fault counts, per-fault outcomes, expansion
+# counts, length delta; wall-clock excluded) must appear verbatim.
+sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$faultjson" | while IFS= read -r fp; do
+  grep -qF "\"$fp\"" BENCH_fault.json || {
+    echo "fault-sweep determinism drift: fingerprint not in BENCH_fault.json:" >&2
+    echo "  $fp" >&2
+    exit 1
+  }
+done
+rm -f "$faultjson"
+
 echo "ci: OK"

@@ -92,6 +92,34 @@ let test_sync_singletons_dropped () =
   | Ok _ -> Alcotest.fail "singleton group should be dropped"
   | Error e -> Alcotest.failf "unexpected: %s" e
 
+let test_lm_clusters_missing_valve () =
+  (* A schedule whose sync cluster references a valve the caller never
+     placed must come back as a named [Error], not an anonymous
+     [Not_found] from an unguarded table lookup. *)
+  let s =
+    sched
+      [ Phase.make_exn ~name:"a" ~duration:1 ~sync_groups:[ [ 0; 1 ] ]
+          [ req_open 0; req_open 1 ] ]
+  in
+  let positions id = Pacor_geom.Point.make (2 + (3 * id)) 5 in
+  let valves =
+    List.filter
+      (fun (v : Valve.t) -> v.id <> 1)
+      (Schedule.to_valves s ~positions)
+  in
+  match Schedule.lm_clusters s ~valves with
+  | Ok _ -> Alcotest.fail "missing valve accepted"
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the problem" true (contains msg "not placed")
+  | exception exn ->
+    Alcotest.failf "lm_clusters raised %s instead of returning Error"
+      (Printexc.to_string exn)
+
 let test_to_valves_and_lm_clusters () =
   let s =
     sched
@@ -201,7 +229,9 @@ let () =
           Alcotest.test_case "incompatible detected" `Quick
             test_sync_clusters_incompatible_detected;
           Alcotest.test_case "singletons dropped" `Quick test_sync_singletons_dropped;
-          Alcotest.test_case "lm clusters" `Quick test_to_valves_and_lm_clusters ] );
+          Alcotest.test_case "lm clusters" `Quick test_to_valves_and_lm_clusters;
+          Alcotest.test_case "missing valve is a named error" `Quick
+            test_lm_clusters_missing_valve ] );
       ( "end_to_end",
         [ Alcotest.test_case "schedule to routed chip" `Quick test_compiled_sequences_route ] );
       ("properties", qcheck_cases) ]

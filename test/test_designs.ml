@@ -29,6 +29,30 @@ let test_rng_pick_shuffle () =
   let sh = Rng.shuffle r xs in
   Alcotest.(check (list int)) "shuffle is a permutation" xs (List.sort Int.compare sh)
 
+let test_rng_pick_edge_cases () =
+  let r = Rng.create ~seed:5L in
+  (* An empty population is a caller bug and must be named, not surfaced
+     as the old [Failure "nth"]. *)
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick r []));
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Rng.pick_array: empty array")
+    (fun () -> ignore (Rng.pick_array r [||]));
+  Alcotest.(check int) "singleton pick" 9 (Rng.pick r [ 9 ]);
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "array member" true
+      (Array.exists (Int.equal (Rng.pick_array r arr)) arr)
+  done;
+  (* pick over a list and pick_array over the same population consume the
+     stream identically for multi-element populations. *)
+  let a = Rng.create ~seed:21L and b = Rng.create ~seed:21L in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "list/array draw agreement"
+      (Rng.pick a [ 1; 2; 3; 4 ])
+      (Rng.pick_array b [| 1; 2; 3; 4 |])
+  done
+
 (* ---------- Synthetic ---------- *)
 
 let small_spec =
@@ -190,7 +214,8 @@ let () =
         [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
-          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle ] );
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "pick edge cases" `Quick test_rng_pick_edge_cases ] );
       ( "synthetic",
         [ Alcotest.test_case "matches spec" `Quick test_synthetic_matches_spec;
           Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
