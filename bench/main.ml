@@ -30,6 +30,8 @@ let escape_bench_only = Array.exists (String.equal "--escape-bench") Sys.argv
 
 let fault_sweep_only = Array.exists (String.equal "--fault-sweep") Sys.argv
 
+let serve_bench_only = Array.exists (String.equal "--serve-bench") Sys.argv
+
 let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
@@ -1044,6 +1046,377 @@ let print_fault_sweep () =
     close_out oc;
     Format.printf "fault-sweep JSON written to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Serve bench: the routing daemon under a mixed request trace — the  *)
+(* data behind BENCH_serve.json. The trace is fully deterministic     *)
+(* (instance seeds and the request mix are functions of the request   *)
+(* index), so the per-instance route outcomes and the delta-vs-scratch*)
+(* expansion totals are drift-guarded fingerprints; wall-clock        *)
+(* (requests/sec, latency percentiles) is machine-dependent and       *)
+(* excluded. Smoke instances are a strict subset of the full run, so  *)
+(* every smoke instance fingerprint must appear verbatim in the       *)
+(* committed BENCH_serve.json.                                        *)
+(* ------------------------------------------------------------------ *)
+
+module SJ = Pacor_serve.Json
+
+let serve_spec k =
+  {
+    Pacor_designs.Synthetic.name = Printf.sprintf "serve-%d" k;
+    width = 24 + (4 * (k mod 3));
+    height = 16 + (2 * (k mod 4));
+    obstacle_cells = 12;
+    lm_cluster_sizes = [ 2; 2 ];
+    singleton_valves = 3;
+    pin_count = 12;
+    seed = Int64.of_int (1000 + (37 * k));
+    delta = 2;
+  }
+
+let serve_starved_spec =
+  { (serve_spec 0) with Pacor_designs.Synthetic.name = "serve-starved"; seed = 999L }
+
+let serve_generate spec =
+  match Pacor_designs.Synthetic.generate spec with
+  | Ok p -> p
+  | Error e ->
+    failwith (spec.Pacor_designs.Synthetic.name ^ ": generation failed: " ^ e)
+
+(* Cells a delta may legally target, in deterministic order. *)
+let serve_free_cells (p : Pacor.Problem.t) =
+  let grid = p.Pacor.Problem.grid in
+  let taken =
+    List.fold_left
+      (fun acc (v : Pacor_valve.Valve.t) ->
+         Pacor_geom.Point.Set.add v.Pacor_valve.Valve.position acc)
+      (Pacor_geom.Point.Set.of_list p.Pacor.Problem.pins)
+      p.Pacor.Problem.valves
+  in
+  let acc = ref [] in
+  for y = Pacor_grid.Routing_grid.height grid - 2 downto 1 do
+    for x = Pacor_grid.Routing_grid.width grid - 2 downto 1 do
+      let pt = Pacor_geom.Point.make x y in
+      if Pacor_grid.Routing_grid.free grid pt
+         && not (Pacor_geom.Point.Set.mem pt taken)
+      then acc := pt :: !acc
+    done
+  done;
+  !acc
+
+let serve_blocked_cells (p : Pacor.Problem.t) =
+  let acc = ref [] in
+  Pacor_grid.Obstacle_map.iter_blocked
+    (Pacor_grid.Routing_grid.obstacles p.Pacor.Problem.grid)
+    (fun pt -> acc := pt :: !acc);
+  List.sort Pacor_geom.Point.compare !acc
+
+let sj_req fields = SJ.to_string (SJ.Obj fields)
+
+let sj_parse line =
+  match SJ.of_string line with
+  | Ok j -> j
+  | Error e -> failwith ("serve-bench: unparseable response " ^ line ^ ": " ^ e)
+
+let sj_ok j =
+  match Option.bind (SJ.member "ok" j) SJ.bool_opt with
+  | Some b -> b
+  | None -> failwith "serve-bench: response without ok field"
+
+let sj_result_int j key =
+  match Option.bind (Option.bind (SJ.member "result" j) (SJ.member key)) SJ.int_opt with
+  | Some v -> v
+  | None -> failwith ("serve-bench: response without result." ^ key)
+
+let sj_result_str j key =
+  match
+    Option.bind (Option.bind (SJ.member "result" j) (SJ.member key)) SJ.string_opt
+  with
+  | Some v -> v
+  | None -> failwith ("serve-bench: response without result." ^ key)
+
+let sj_result_bool j key =
+  match
+    Option.bind (Option.bind (SJ.member "result" j) (SJ.member key)) SJ.bool_opt
+  with
+  | Some v -> v
+  | None -> failwith ("serve-bench: response without result." ^ key)
+
+let sj_cached j =
+  match Option.bind (SJ.member "cached" j) SJ.bool_opt with
+  | Some b -> b
+  | None -> false
+
+type serve_counts = {
+  mutable sc_routes : int;
+  mutable sc_cache_hits : int;
+  mutable sc_deltas : int;
+  mutable sc_incremental : int;
+  mutable sc_fallbacks : int;
+  mutable sc_refused : int;
+  mutable sc_pings : int;
+  mutable sc_errors : int;
+  mutable sc_delta_pops : int;
+  mutable sc_scratch_pops : int;
+}
+
+let print_serve_bench () =
+  let k_instances = if smoke || quick then 2 else 8 in
+  let n_requests = if smoke || quick then 60 else 1000 in
+  let malformed_at = if smoke || quick then 17 else 500 in
+  let starved_at = if smoke || quick then 23 else 700 in
+  Format.printf "@.== Serve bench: daemon under a mixed %d-request trace ==@."
+    n_requests;
+  let problems = Array.init k_instances (fun k -> serve_generate (serve_spec k)) in
+  let starved = serve_generate serve_starved_spec in
+  (* Local mirror of each session's problem: the scratch arm routes the
+     same mutated instance the daemon just served incrementally. *)
+  let mirrors = Array.copy problems in
+  let server = Pacor_serve.Server.create () in
+  let ws = Pacor_serve.Server.take_workspace server in
+  let scratch_stats = Pacor_route.Search_stats.create () in
+  let scratch_ws = Pacor_route.Workspace.create ~stats:scratch_stats () in
+  let c =
+    { sc_routes = 0; sc_cache_hits = 0; sc_deltas = 0; sc_incremental = 0;
+      sc_fallbacks = 0; sc_refused = 0; sc_pings = 0; sc_errors = 0;
+      sc_delta_pops = 0; sc_scratch_pops = 0 }
+  in
+  let latencies = Array.make n_requests 0.0 in
+  let instance_fps = Array.make k_instances ("", 0, 0) in
+  let starved_exhausted = ref "" in
+  let send i line =
+    let t0 = Pacor_route.Clock.now_mono () in
+    let out = Pacor_serve.Server.handle ~workspace:ws server line in
+    latencies.(i) <- Pacor_route.Clock.now_mono () -. t0;
+    sj_parse out.Pacor_serve.Server.line
+  in
+  let route_req ?(bind = false) k =
+    (* Only the leading routes bind a session; repeats are pure cache
+       probes, so sessions evolve through deltas alone and the local
+       mirrors stay in lock-step with the daemon's session problems. *)
+    sj_req
+      (("id", SJ.Int k)
+       :: ("op", SJ.String "route")
+       :: ("problem", SJ.String (Pacor.Problem_io.to_string problems.(k)))
+       :: (if bind then [ ("session", SJ.String (Printf.sprintf "s%d" k)) ] else []))
+  in
+  let pick l shift =
+    match l with [] -> None | _ -> Some (List.nth l (shift mod List.length l))
+  in
+  let delta_for i =
+    (* Deterministic delta choice: session by index, kind by index page,
+       targets picked from the mirror's current cell lists. *)
+    let session = i mod k_instances in
+    let p = mirrors.(session) in
+    let sname = Printf.sprintf "s%d" session in
+    let base = [ ("id", SJ.Int i); ("session", SJ.String sname) ] in
+    let add_obstacle shift =
+      match pick (serve_free_cells p) shift with
+      | None -> None
+      | Some pt ->
+        Some
+          ( sj_req
+              (base
+               @ [ ("op", SJ.String "add_obstacle");
+                   ("x", SJ.Int pt.Pacor_geom.Point.x);
+                   ("y", SJ.Int pt.Pacor_geom.Point.y) ]),
+            Pacor.Problem.add_obstacle p pt,
+            session )
+    in
+    match (i / 5) mod 4 with
+    | 0 -> (
+      match
+        ( pick p.Pacor.Problem.valves i,
+          pick (serve_free_cells p) (i * 7) )
+      with
+      | Some v, Some pt ->
+        Some
+          ( sj_req
+              (base
+               @ [ ("op", SJ.String "move_valve");
+                   ("valve", SJ.Int v.Pacor_valve.Valve.id);
+                   ("x", SJ.Int pt.Pacor_geom.Point.x);
+                   ("y", SJ.Int pt.Pacor_geom.Point.y) ]),
+            Pacor.Problem.move_valve p v.Pacor_valve.Valve.id pt,
+            session )
+      | _ -> None)
+    | 1 -> add_obstacle (i * 13)
+    | 2 -> (
+      match pick (serve_blocked_cells p) (i * 3) with
+      | None -> add_obstacle (i * 13)
+      | Some pt ->
+        Some
+          ( sj_req
+              (base
+               @ [ ("op", SJ.String "remove_obstacle");
+                   ("x", SJ.Int pt.Pacor_geom.Point.x);
+                   ("y", SJ.Int pt.Pacor_geom.Point.y) ]),
+            Pacor.Problem.remove_obstacle p pt,
+            session ))
+    | _ ->
+      let d =
+        if (i / 20) mod 2 = 0 then p.Pacor.Problem.delta + 1
+        else max 0 (p.Pacor.Problem.delta - 1)
+      in
+      Some
+        ( sj_req (base @ [ ("op", SJ.String "set_delta"); ("delta", SJ.Int d) ]),
+          Pacor.Problem.with_delta p d,
+          session )
+  in
+  let wall0 = Pacor_route.Clock.now_mono () in
+  for i = 0 to n_requests - 1 do
+    if i = malformed_at then begin
+      (* The one malformed request: the daemon must answer, not die. *)
+      let j = send i "{this is not json" in
+      if sj_ok j then failwith "serve-bench: malformed request was accepted";
+      c.sc_errors <- c.sc_errors + 1
+    end
+    else if i = starved_at then begin
+      (* The one budget-exhausted request: a dedicated instance (so the
+         cache cannot answer) under a one-expansion budget. *)
+      let line =
+        sj_req
+          [ ("id", SJ.Int i); ("op", SJ.String "route");
+            ("problem", SJ.String (Pacor.Problem_io.to_string starved));
+            ("limits", SJ.Obj [ ("max_expansions", SJ.Int 1) ]) ]
+      in
+      let j = send i line in
+      if not (sj_ok j) then failwith "serve-bench: starved route errored";
+      starved_exhausted := sj_result_str j "budget_exhausted";
+      c.sc_routes <- c.sc_routes + 1
+    end
+    else if i < k_instances then begin
+      (* Leading routes: one session per instance; record its fingerprint. *)
+      let j = send i (route_req ~bind:true i) in
+      if not (sj_ok j) then failwith "serve-bench: initial route errored";
+      instance_fps.(i) <-
+        ( sj_result_str j "fingerprint",
+          sj_result_int j "routed_valves",
+          sj_result_int j "total_length" );
+      c.sc_routes <- c.sc_routes + 1
+    end
+    else
+      match i mod 5 with
+      | 0 | 3 ->
+        (* Re-route an already-served instance: a cache hit unless a few
+           limited or superseded entries got in the way. *)
+        let k = i mod k_instances in
+        let j = send i (route_req k) in
+        if not (sj_ok j) then failwith "serve-bench: repeat route errored";
+        c.sc_routes <- c.sc_routes + 1;
+        if sj_cached j then c.sc_cache_hits <- c.sc_cache_hits + 1
+      | 4 ->
+        let j = send i (sj_req [ ("id", SJ.Int i); ("op", SJ.String "ping") ]) in
+        if not (sj_ok j) then failwith "serve-bench: ping errored";
+        c.sc_pings <- c.sc_pings + 1
+      | _ -> (
+        match delta_for i with
+        | None ->
+          let j = send i (sj_req [ ("id", SJ.Int i); ("op", SJ.String "ping") ]) in
+          ignore (sj_ok j);
+          c.sc_pings <- c.sc_pings + 1
+        | Some (line, mirrored, session) ->
+          let j = send i line in
+          if sj_ok j then begin
+            c.sc_deltas <- c.sc_deltas + 1;
+            c.sc_delta_pops <- c.sc_delta_pops + sj_result_int j "expansions";
+            if sj_result_bool j "incremental" then
+              c.sc_incremental <- c.sc_incremental + 1
+            else c.sc_fallbacks <- c.sc_fallbacks + 1;
+            match mirrored with
+            | Error e -> failwith ("serve-bench: daemon accepted what the library refused: " ^ e)
+            | Ok p' ->
+              mirrors.(session) <- p';
+              (* Scratch arm: the engine from scratch on the same mutated
+                 instance, expansions counted on a dedicated workspace. *)
+              let s0 =
+                (Pacor_route.Search_stats.snapshot scratch_stats)
+                  .Pacor_route.Search_stats.pops
+              in
+              (match Pacor.Engine.run ~workspace:scratch_ws p' with
+               | Ok _ -> ()
+               | Error e ->
+                 failwith ("serve-bench: scratch re-route failed: " ^ e.Pacor.Engine.message));
+              let s1 =
+                (Pacor_route.Search_stats.snapshot scratch_stats)
+                  .Pacor_route.Search_stats.pops
+              in
+              c.sc_scratch_pops <- c.sc_scratch_pops + (s1 - s0)
+          end
+          else begin
+            (match mirrored with
+             | Ok _ -> failwith ("serve-bench: daemon refused a legal edit: " ^ line)
+             | Error _ -> ());
+            c.sc_refused <- c.sc_refused + 1
+          end)
+  done;
+  let total_s = Pacor_route.Clock.now_mono () -. wall0 in
+  Pacor_serve.Server.return_workspace server ws;
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let pct p =
+    sorted.(min (n_requests - 1) (int_of_float (float_of_int n_requests *. p)))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let rps = if total_s > 0.0 then float_of_int n_requests /. total_s else 0.0 in
+  let stats_json = SJ.to_string (Pacor_serve.Server.stats_result server) in
+  let cheaper = c.sc_delta_pops < c.sc_scratch_pops in
+  Format.printf "%d requests in %.3fs: %.0f req/s, p50 %.0fus, p99 %.0fus@."
+    n_requests total_s rps (p50 *. 1e6) (p99 *. 1e6);
+  Format.printf
+    "routes=%d cache_hits=%d deltas=%d (incremental=%d fallback=%d refused=%d) pings=%d errors=%d@."
+    c.sc_routes c.sc_cache_hits c.sc_deltas c.sc_incremental c.sc_fallbacks
+    c.sc_refused c.sc_pings c.sc_errors;
+  Format.printf "starved route: budget_exhausted=%s@." !starved_exhausted;
+  Format.printf "expansions: delta=%d scratch=%d — deltas strictly cheaper: %s@."
+    c.sc_delta_pops c.sc_scratch_pops
+    (if cheaper then "yes" else "NO (BUG)");
+  Format.printf "daemon stats: %s@." stats_json;
+  let json =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-serve-bench\",\n";
+    Printf.bprintf buf "  \"requests\": %d,\n" n_requests;
+    Printf.bprintf buf "  \"instances\": [\n";
+    Array.iteri
+      (fun k (fp, routed, len) ->
+         Printf.bprintf buf
+           "    {\"name\": \"serve-%d\", \"problem_fingerprint\": %S,\n\
+            \     \"fingerprint\": \"serve inst serve-%d fp=%s routed=%d len=%d\"}%s\n"
+           k fp k fp routed len
+           (if k = k_instances - 1 then "" else ","))
+      instance_fps;
+    Printf.bprintf buf "  ],\n";
+    Printf.bprintf buf
+      "  \"trace\": {\"routes\": %d, \"cache_hits\": %d, \"deltas\": %d, \
+       \"incremental\": %d, \"fallbacks\": %d, \"refused\": %d, \"pings\": %d, \
+       \"errors\": %d, \"starved_budget_exhausted\": %S},\n"
+      c.sc_routes c.sc_cache_hits c.sc_deltas c.sc_incremental c.sc_fallbacks
+      c.sc_refused c.sc_pings c.sc_errors !starved_exhausted;
+    Printf.bprintf buf
+      "  \"latency\": {\"total_s\": %.4f, \"requests_per_s\": %.1f, \
+       \"p50_us\": %.1f, \"p99_us\": %.1f},\n"
+      total_s rps (p50 *. 1e6) (p99 *. 1e6);
+    Printf.bprintf buf
+      "  \"expansions\": {\"delta_pops\": %d, \"scratch_pops\": %d, \
+       \"ratio\": %.3f, \"deltas_strictly_cheaper\": %b},\n"
+      c.sc_delta_pops c.sc_scratch_pops
+      (if c.sc_delta_pops > 0 then
+         float_of_int c.sc_scratch_pops /. float_of_int c.sc_delta_pops
+       else 0.0)
+      cheaper;
+    Printf.bprintf buf "  \"daemon_stats\": %s\n" stats_json;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "serve-bench JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -1081,6 +1454,15 @@ let () =
     Format.printf "PACOR benchmark harness (escape-bench only%s)@."
       (if smoke then ", smoke" else "");
     print_escape_bench ();
+    Format.printf "@.done.@."
+  end
+  else if serve_bench_only then begin
+    (* Serving-layer trajectory: the daemon under a deterministic mixed
+       trace, with the JSON record (committed as BENCH_serve.json).
+       --smoke restricts to two instances and a 60-request trace for CI. *)
+    Format.printf "PACOR benchmark harness (serve-bench only%s)@."
+      (if smoke then ", smoke" else "");
+    print_serve_bench ();
     Format.printf "@.done.@."
   end
   else if fault_sweep_only then begin

@@ -110,7 +110,12 @@ let route_cmd =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH"
            ~doc:"Write an SVG drawing of the routed chip.")
   in
-  let run design file variant verbose render skew save svg limits retries =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print a machine-readable JSON solution summary (the serve \
+                 protocol's result schema) instead of the human-readable report.")
+  in
+  let run design file variant verbose render skew save svg json limits retries =
     match load_problem ~design ~file with
     | Error msg -> fail exit_parse "%s" msg
     | Ok problem ->
@@ -141,6 +146,14 @@ let route_cmd =
       in
       (match attempt config retries with
        | Error e -> fail exit_engine "engine failed at %s: %s" e.stage e.message
+       | Ok sol when json ->
+         (* One line, same schema as the daemon's route result, so scripts
+            can switch between one-shot and served routing untouched. *)
+         print_endline
+           (Pacor_serve.Json.to_string (Pacor_serve.Protocol.solution_result sol));
+         (match Pacor.Solution.validate sol with
+          | Ok () -> 0
+          | Error _ -> fail exit_violation "solution failed validation")
        | Ok sol ->
          Format.printf "%a@." Pacor.Problem.pp_summary problem;
          Format.printf "%s: %a@."
@@ -176,7 +189,7 @@ let route_cmd =
   in
   Cmd.v info
     Term.(const run $ design $ file $ variant $ verbose $ render $ skew $ save $ svg
-          $ limits_term $ retries_arg)
+          $ json $ limits_term $ retries_arg)
 
 (* ---- designs (Table 1) ---- *)
 
@@ -445,6 +458,112 @@ let repair_cmd =
   in
   Cmd.v info Term.(const run $ design $ file $ faults $ verbose $ limits_term)
 
+(* ---- serve: the routing daemon ---- *)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"Also listen for connections on 127.0.0.1:$(docv) (0 picks an \
+                 ephemeral port, announced on stderr).")
+  in
+  let no_stdio =
+    Arg.(value & flag & info [ "no-stdio" ]
+           ~doc:"Do not serve on stdin/stdout (TCP only; requires $(b,--port)).")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve line-delimited JSON on stdin/stdout (the default; this flag \
+                 exists so spawning clients can be explicit).")
+  in
+  let cache =
+    Arg.(value & opt pos_int_conv 64 & info [ "cache" ] ~docv:"N"
+           ~doc:"Solution cache capacity in problems (LRU, keyed by canonical \
+                 problem fingerprint; default 64).")
+  in
+  let run port no_stdio _stdio cache limits =
+    if no_stdio && port = None then fail exit_parse "--no-stdio requires --port"
+    else begin
+      let t = Pacor_serve.Server.create ~cache_capacity:cache ~limits () in
+      Pacor_serve.Server.serve_loop ~stdio:(not no_stdio) ?port t;
+      0
+    end
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the routing daemon: line-delimited JSON requests on stdin/stdout \
+            and/or a local TCP port. Sessions hold a parsed problem and its routed \
+            solution; delta requests (move_valve, add_obstacle, remove_obstacle, \
+            set_delta, inject_fault) re-route only the clusters the edit dirties. \
+            Identical route requests are answered byte-identically from an LRU \
+            cache. See lib/serve/protocol.mli for the request/response schema."
+  in
+  Cmd.v info Term.(const run $ port $ no_stdio $ stdio $ cache $ limits_term)
+
+(* ---- client: drive a daemon from scripts ---- *)
+
+let client_cmd =
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"Connect to a daemon listening on $(docv). Without this flag a \
+                 private daemon is spawned over pipes and shut down at EOF.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit 1 if any response carries ok:false (default: exit 0 as long \
+                 as the daemon answered every request).")
+  in
+  let run connect check =
+    let conn =
+      match connect with
+      | None -> Pacor_serve.Client.spawn ()
+      | Some hp -> (
+        match String.rindex_opt hp ':' with
+        | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" hp)
+        | Some i -> (
+          let host = String.sub hp 0 i in
+          match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+          | None -> Error (Printf.sprintf "bad port in %S" hp)
+          | Some port -> Pacor_serve.Client.connect ~host ~port))
+    in
+    match conn with
+    | Error e -> fail exit_parse "%s" e
+    | Ok conn ->
+      let not_ok = ref 0 in
+      let transport_error = ref None in
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then begin
+             match Pacor_serve.Client.request conn line with
+             | Error e ->
+               transport_error := Some e;
+               raise Exit
+             | Ok resp ->
+               print_endline resp;
+               (match Pacor_serve.Json.of_string resp with
+                | Ok j
+                  when Option.bind (Pacor_serve.Json.member "ok" j)
+                         Pacor_serve.Json.bool_opt
+                       = Some true -> ()
+                | _ -> incr not_ok)
+           end
+         done
+       with End_of_file | Exit -> ());
+      Pacor_serve.Client.close conn;
+      (match !transport_error with
+       | Some e -> fail exit_engine "daemon connection failed: %s" e
+       | None -> if check && !not_ok > 0 then 1 else 0)
+  in
+  let info =
+    Cmd.info "client"
+      ~doc:"Send request lines from stdin to a routing daemon and print each \
+            response line to stdout. Spawns a private daemon by default; use \
+            $(b,--connect) to talk to a running one. Exit codes: 0 every request \
+            answered (add $(b,--check) to require ok:true too), 2 bad arguments, \
+            3 the daemon connection failed."
+  in
+  Cmd.v info Term.(const run $ connect $ check)
+
 (* ---- check: pre-flight analysis, then route + validate ---- *)
 
 let check_cmd =
@@ -523,4 +642,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ route_cmd; designs_cmd; table2_cmd; fig3_cmd; sweep_cmd; batch_cmd;
-            check_cmd; repair_cmd ]))
+            check_cmd; repair_cmd; serve_cmd; client_cmd ]))

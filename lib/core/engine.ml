@@ -45,10 +45,10 @@ let detour ~workspace ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   Detour_stage.run ~workspace ~grid ~delta ~theta ~blocked routed_list
 
 let route_inner ~config ~workspace ~budget (problem : Problem.t) =
-  (* Wall-clock (not process CPU) time: with several engine runs in flight
+  (* Monotonic wall-clock (not process CPU, not gettimeofday) time: with several engine runs in flight
      on concurrent domains, [Sys.time] charges every domain's work to each
      run and misreports per-instance runtime and batch speedup. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pacor_route.Clock.now_mono () in
   let timings = ref [] in
   let stage_search = ref [] in
   let stage_outcomes = ref [] in
@@ -56,9 +56,9 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
   let timed label f =
     let before = Pacor_route.Budget.exhausted budget in
     let s0 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
-    let start = Unix.gettimeofday () in
+    let start = Pacor_route.Clock.now_mono () in
     let result = f () in
-    timings := (label, Unix.gettimeofday () -. start) :: !timings;
+    timings := (label, Pacor_route.Clock.now_mono () -. start) :: !timings;
     let s1 = Pacor_route.Search_stats.snapshot (Pacor_route.Workspace.stats workspace) in
     stage_search := (label, Pacor_route.Search_stats.diff s1 s0) :: !stage_search;
     let outcome =
@@ -640,7 +640,7 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
               { Solution.routed = r; escape; lengths; matched })
            final_routed
        in
-       let runtime_s = Unix.gettimeofday () -. t0 in
+       let runtime_s = Pacor_route.Clock.now_mono () -. t0 in
        log config "done in %.2fs" runtime_s;
        Ok
          {

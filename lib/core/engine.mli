@@ -49,9 +49,10 @@ val run :
     flow holds module-level mutable state. Concurrent [run] calls from
     several domains are therefore safe, and may even share the (immutable)
     [Problem.t], provided each call uses a distinct workspace. Timing
-    ([Solution.runtime_s], [stage_seconds]) is wall-clock monotone-enough
-    [Unix.gettimeofday], not process CPU time, so per-run figures stay
-    truthful when other domains are busy. The result is a deterministic
+    ([Solution.runtime_s], [stage_seconds]) is the monotonic wall clock
+    ({!Pacor_route.Clock.now_mono}), not process CPU time and not the
+    NTP-adjustable system clock, so per-run figures stay truthful when
+    other domains are busy or the system clock steps mid-run. The result is a deterministic
     function of [(config, problem)] — independent of [workspace] warmth
     and of how runs are scheduled across domains — except under a
     wall-clock deadline, which by nature trips at a scheduling-dependent

@@ -99,6 +99,83 @@ let pp_summary ppf t =
 let with_delta t delta =
   if delta < 0 then Error "negative delta" else Ok { t with delta }
 
+(* Design-loop deltas (the serving layer's edit operations). Each one
+   rebuilds the instance through [create] so the full invariant set of a
+   fresh problem is re-checked, and each is a pure function — the input
+   instance is never mutated, so a daemon can keep serving the old version
+   if the edit turns out to be invalid. *)
+
+let move_valve t id pos =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match find_valve t id with
+  | None -> err "move_valve: unknown valve id %d" id
+  | Some v when Point.equal v.position pos -> Ok t
+  | Some _ ->
+    let relocate (w : Valve.t) = if w.id = id then { w with position = pos } else w in
+    let valves = List.map relocate t.valves in
+    (* Seed clusters embed full valve records, so the moved valve's record
+       must be refreshed inside its cluster too. Membership is unchanged and
+       sequences are untouched, so only the distinct-position check can newly
+       fail — and [Cluster.make] re-checks it. *)
+    let rec rebuild = function
+      | [] -> Ok []
+      | (c : Cluster.t) :: rest ->
+        (match
+           Cluster.make ~id:c.Cluster.id ~length_matched:c.Cluster.length_matched
+             (List.map relocate c.Cluster.valves)
+         with
+         | Error e -> err "move_valve: cluster %d: %s" c.Cluster.id e
+         | Ok c' ->
+           (match rebuild rest with
+            | Ok cs -> Ok (c' :: cs)
+            | Error _ as e -> e))
+    in
+    (match rebuild t.lm_clusters with
+     | Error _ as e -> e
+     | Ok lm_clusters ->
+       (match
+          create ~name:t.name ~rules:t.rules ~grid:t.grid ~valves ~lm_clusters
+            ~pins:t.pins ~delta:t.delta ()
+        with
+        | Ok _ as ok -> ok
+        | Error msg -> err "move_valve: %s" msg))
+
+let add_obstacle t p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if not (Routing_grid.in_bounds t.grid p) then
+    err "add_obstacle: %a is out of bounds" Point.pp p
+  else if Routing_grid.blocked t.grid p then
+    err "add_obstacle: %a is already an obstacle" Point.pp p
+  else
+    match List.find_opt (fun (v : Valve.t) -> Point.equal v.position p) t.valves with
+    | Some v -> err "add_obstacle: valve %d stands on %a" v.id Point.pp p
+    | None ->
+      (* A candidate pin swallowed by the blockage simply disappears, like
+         the fault overlay; [create] re-checks that enough pins remain. *)
+      let pins = List.filter (fun q -> not (Point.equal q p)) t.pins in
+      (match
+         create ~name:t.name ~rules:t.rules
+           ~grid:(Routing_grid.with_extra_obstacles t.grid [ p ])
+           ~valves:t.valves ~lm_clusters:t.lm_clusters ~pins ~delta:t.delta ()
+       with
+       | Ok _ as ok -> ok
+       | Error msg -> err "add_obstacle: %s" msg)
+
+let remove_obstacle t p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if not (Routing_grid.in_bounds t.grid p) then
+    err "remove_obstacle: %a is out of bounds" Point.pp p
+  else if Routing_grid.free t.grid p then
+    err "remove_obstacle: %a is not an obstacle" Point.pp p
+  else
+    match
+      create ~name:t.name ~rules:t.rules
+        ~grid:(Routing_grid.without_obstacles t.grid [ p ])
+        ~valves:t.valves ~lm_clusters:t.lm_clusters ~pins:t.pins ~delta:t.delta ()
+    with
+    | Ok _ as ok -> ok
+    | Error msg -> err "remove_obstacle: %s" msg
+
 (* Fault overlay for the online-repair flow: block the faulted cells in the
    static grid, retire the dead valves (stuck valves, plus any valve whose
    cell got blocked), drop pins swallowed by a blockage, and shrink the seed

@@ -59,7 +59,25 @@ val pp_summary : Format.formatter -> t -> unit
 
 val with_delta : t -> int -> (t, string) result
 (** Same instance under a different length-matching threshold (used by the
-    delta-sweep experiment). *)
+    delta-sweep experiment and the serving layer's [set_delta] request). *)
+
+val move_valve : t -> Valve.id -> Point.t -> (t, string) result
+(** The instance with one valve relocated (seed clusters updated in place).
+    Pure: the input is untouched. Errors on an unknown id, a blocked or
+    out-of-bounds target, a cell already holding a valve or a pin, or any
+    other {!create} invariant the move would break. Moving a valve onto its
+    own current cell is the identity. *)
+
+val add_obstacle : t -> Point.t -> (t, string) result
+(** The instance with one more statically blocked cell. A candidate pin on
+    that cell disappears (like the fault overlay); a valve on it is an
+    error — retiring valves is the fault path ({!with_faults}), not an
+    edit. *)
+
+val remove_obstacle : t -> Point.t -> (t, string) result
+(** The instance with one statically blocked cell freed. Errors when the
+    cell is not an obstacle. Note the freed cell does {e not} become a
+    candidate pin, even on the boundary. *)
 
 val with_faults :
   t -> blocked:Point.t list -> dead_valves:Valve.id list -> (t, string) result

@@ -2,6 +2,14 @@ open Pacor_geom
 open Pacor_grid
 open Pacor_valve
 
+(* The emitted form is CANONICAL: two problems that are equal as values
+   (same grid, same obstacle set, same valves/clusters/pins/delta) render to
+   byte-identical text regardless of the construction order of their lists.
+   The serving layer's cache keys ({!fingerprint}) depend on this, so every
+   repeatable section is sorted here rather than emitted in storage order.
+   Within a cluster line the member order is preserved — it is part of the
+   cluster's identity (sequence alignment) — but the lines themselves sort
+   by cluster id. *)
 let to_string (p : Problem.t) =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -11,20 +19,32 @@ let to_string (p : Problem.t) =
   add "delta %d" p.delta;
   (* Obstacles are stored cell by cell: rectangles are a convenience of the
      input format only. *)
-  Obstacle_map.iter_blocked (Routing_grid.obstacles p.grid) (fun (pt : Point.t) ->
-    add "obstacle %d %d %d %d" pt.x pt.y pt.x pt.y);
+  let blocked = ref [] in
+  Obstacle_map.iter_blocked (Routing_grid.obstacles p.grid) (fun pt ->
+    blocked := pt :: !blocked);
+  List.iter
+    (fun (pt : Point.t) -> add "obstacle %d %d %d %d" pt.x pt.y pt.x pt.y)
+    (List.sort_uniq Point.compare !blocked);
   List.iter
     (fun (v : Valve.t) ->
        add "valve %d %d %d %s" v.id v.position.x v.position.y
          (Activation.string_of_sequence v.sequence))
-    p.valves;
+    (List.sort
+       (fun (a : Valve.t) (b : Valve.t) -> Int.compare a.id b.id)
+       p.valves);
   List.iter
     (fun (c : Cluster.t) ->
        add "cluster %d %s" c.id
          (String.concat " " (List.map string_of_int (Cluster.valve_ids c))))
-    p.lm_clusters;
-  List.iter (fun (pt : Point.t) -> add "pin %d %d" pt.x pt.y) p.pins;
+    (List.sort
+       (fun (a : Cluster.t) (b : Cluster.t) -> Int.compare a.id b.id)
+       p.lm_clusters);
+  List.iter
+    (fun (pt : Point.t) -> add "pin %d %d" pt.x pt.y)
+    (List.sort Point.compare p.pins);
   Buffer.contents buf
+
+let fingerprint p = Digest.to_hex (Digest.string (to_string p))
 
 (* 16M cells (~2^24): far above any realistic chip, far below what makes
    grid allocation or block-filling a denial-of-service vector. *)

@@ -14,6 +14,17 @@
     v} *)
 
 val to_string : Problem.t -> string
+(** Canonical: obstacle cells, valves, cluster lines and pins are sorted
+    (by point, id, id and point respectively), so problems that are equal
+    as values render byte-identically whatever order their parts were
+    supplied in. [of_string (to_string p)] re-parses to a problem whose
+    own [to_string] is byte-identical — the fixpoint the serving cache
+    keys on. *)
+
+val fingerprint : Problem.t -> string
+(** Content hash (hex digest) of the canonical {!to_string} rendering.
+    Equal problems — however constructed or reordered — share a
+    fingerprint; the serving layer's solution-cache key. *)
 
 val of_string : string -> (Problem.t, string) result
 (** Total: never raises, whatever the input. Malformed integers, unknown

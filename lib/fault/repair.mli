@@ -62,6 +62,52 @@ val run :
     valid instance (no surviving valve, fewer pins than valves) — never
     for congestion, which quarantines instead. *)
 
+(** {2 The re-route core, exposed}
+
+    The serving layer's delta handlers ([move_valve], [add_obstacle], …)
+    need exactly the machinery [run] is built on — dirty-set rip-up, escape
+    re-solve, quarantine — but against an instance mutated by an {e edit}
+    rather than a fault overlay. These entry points expose that core. *)
+
+val footprint : Pacor.Solution.routed_cluster -> Pacor_geom.Point.Set.t
+(** Every cell a routed cluster occupies: claimed channel cells (valve
+    cells included) plus its escape path. The membership test behind every
+    dirty-set predicate. *)
+
+val fault_touches : Fault.t -> Pacor.Solution.routed_cluster -> bool
+(** Does this fault dirty this cluster? A stuck valve dirties its owner; a
+    blocked cell or leak dirties every cluster whose {!footprint} contains
+    a retired cell. *)
+
+val dirty_set : faults:Fault.t list -> Pacor.Solution.t -> int list
+(** Ids (sorted) of the clusters any fault in the list touches — what [run]
+    would rip up, without ripping anything. The serving layer phrases
+    non-fault deltas as pseudo-faults (an added obstacle is a
+    [Blocked_cell], a moved valve a [Stuck_valve] plus a [Blocked_cell] at
+    the destination) and reads the dirty set off this. *)
+
+val reroute :
+  ?workspace:Pacor_route.Workspace.t ->
+  ?limits:Pacor_route.Budget.limits ->
+  ?stage:string ->
+  problem:Pacor.Problem.t ->
+  is_dirty:(Pacor.Solution.routed_cluster -> bool) ->
+  ?revise:(Cluster.t -> Cluster.t option) ->
+  Pacor.Solution.t ->
+  (t, string) result
+(** [reroute ~problem ~is_dirty sol] rips up the clusters [is_dirty]
+    selects and re-routes them against [problem] — an already-mutated
+    variant of [sol.problem] (obstacle added or removed, valve moved…).
+    [revise] maps each ripped cluster to the cluster to route in its place
+    ([None] retires it; default: route it unchanged) — a moved valve's
+    owner, for instance, needs its valve record updated to the new
+    position. Untouched clusters are reused byte-identically, so the caller
+    must ensure [is_dirty] covers every cluster [problem] invalidates
+    (e.g. any cluster whose {!footprint} contains a newly blocked cell).
+    [stage] names the appended stage in the solution's bookkeeping
+    (default ["reroute"]). The result's [reports] list is empty — per-fault
+    verdicts only make sense for [run]. *)
+
 val pp_outcome : Format.formatter -> fault_outcome -> unit
 val pp_report : Format.formatter -> report -> unit
 val pp_summary : Format.formatter -> t -> unit

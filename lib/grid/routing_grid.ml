@@ -16,6 +16,11 @@ let with_extra_obstacles t points =
   let map = Obstacle_map.copy t.obstacles in
   Obstacle_map.block_points map points;
   { t with obstacles = map }
+
+let without_obstacles t points =
+  let map = Obstacle_map.copy t.obstacles in
+  Obstacle_map.unblock_points map points;
+  { t with obstacles = map }
 let fresh_work_map t = Obstacle_map.copy t.obstacles
 let in_bounds t p = Obstacle_map.in_bounds t.obstacles p
 let blocked t p = Obstacle_map.blocked t.obstacles p

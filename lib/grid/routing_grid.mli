@@ -25,6 +25,11 @@ val with_extra_obstacles : t -> Pacor_geom.Point.t list -> t
     fault overlay of the online-repair flow). The original grid is
     untouched; out-of-bounds points are ignored like {!Obstacle_map.block}. *)
 
+val without_obstacles : t -> Pacor_geom.Point.t list -> t
+(** The inverse overlay: a new grid whose static map frees the given cells
+    (the serving layer's [remove_obstacle] delta). The original grid is
+    untouched; out-of-bounds points are ignored. *)
+
 val in_bounds : t -> Point.t -> bool
 val blocked : t -> Point.t -> bool
 val free : t -> Point.t -> bool

@@ -67,7 +67,7 @@ let classify (result : (Pacor.Solution.t, Pacor.Engine.error) result) =
    [retries] times under a progressively relaxed config; a success on any
    attempt wins. *)
 let route_one ~retries (w : Pool.worker) (j : job) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pacor_route.Clock.now_mono () in
   let attempt config =
     match
       Pacor.Engine.run ~config ~workspace:(Pool.worker_workspace w) j.problem
@@ -84,7 +84,7 @@ let route_one ~retries (w : Pool.worker) (j : job) =
   in
   let solution, attempts, degraded = go j.config 1 in
   { name = j.name; solution; attempts; degraded;
-    elapsed_s = Unix.gettimeofday () -. t0 }
+    elapsed_s = Pacor_route.Clock.now_mono () -. t0 }
 
 let solution_search (sol : Pacor.Solution.t) =
   List.fold_left
@@ -115,7 +115,7 @@ let summarize ~jobs ~elapsed_s items =
 
 let run_on ?(retries = 0) pool jobs_list =
   if retries < 0 then invalid_arg "Batch.run_on: retries must be >= 0";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pacor_route.Clock.now_mono () in
   (* [route_one] already confines engine exceptions, so the [Error] arm
      only fires on a failure in the item plumbing itself — even then the
      damage stays within this job's slot. *)
@@ -130,7 +130,7 @@ let run_on ?(retries = 0) pool jobs_list =
       jobs_list
       (Pool.try_map_ctx pool (route_one ~retries) jobs_list)
   in
-  summarize ~jobs:(Pool.jobs pool) ~elapsed_s:(Unix.gettimeofday () -. t0) items
+  summarize ~jobs:(Pool.jobs pool) ~elapsed_s:(Pacor_route.Clock.now_mono () -. t0) items
 
 let run ?(jobs = 1) ?retries jobs_list =
   Pool.with_pool ~jobs (fun pool -> run_on ?retries pool jobs_list)

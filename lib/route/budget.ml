@@ -60,9 +60,12 @@ let pp_limits ppf l =
     Option.iter (fun n -> item "max-iterations=%d" n) l.max_iterations
   end
 
-(* How many [tick]s between wall-clock reads. Gettimeofday costs ~20-40ns;
-   one read per 512 pops keeps the overhead below the heap traffic of a
-   single A* relaxation while bounding deadline overshoot to 512 pops. *)
+(* How many [tick]s between clock reads. A [Clock.now_mono] call costs
+   ~20-40ns; one read per 512 pops keeps the overhead below the heap
+   traffic of a single A* relaxation while bounding deadline overshoot to
+   512 pops. The monotonic clock also means an NTP step cannot expire (or
+   resurrect) a deadline mid-run — essential once budgets guard requests
+   in a long-lived daemon. *)
 let clock_stride = 512
 
 type t = {
@@ -102,7 +105,7 @@ let limits_of t = t.limits
 let arm t =
   if not t.free then begin
     (match t.limits.timeout_s with
-     | Some s -> t.deadline <- Unix.gettimeofday () +. s
+     | Some s -> t.deadline <- Clock.now_mono () +. s
      | None -> t.deadline <- infinity);
     t.expansions_left <- Option.value t.limits.max_expansions ~default:max_int;
     t.iterations_left <- Option.value t.limits.max_iterations ~default:max_int;
@@ -114,7 +117,7 @@ let exhausted t = t.exhausted
 
 let check_clock t =
   t.countdown <- clock_stride;
-  if t.deadline < infinity && Unix.gettimeofday () > t.deadline then begin
+  if t.deadline < infinity && Clock.now_mono () > t.deadline then begin
     t.exhausted <- Some Deadline;
     false
   end

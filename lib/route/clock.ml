@@ -1,0 +1,7 @@
+external clock_now_mono : unit -> float = "pacor_clock_now_mono"
+
+(* Probed once at module init: the stub answers -1.0 when CLOCK_MONOTONIC
+   is unavailable, and a real monotonic reading is never negative. *)
+let monotonic_available = clock_now_mono () >= 0.0
+
+let now_mono = if monotonic_available then clock_now_mono else Unix.gettimeofday

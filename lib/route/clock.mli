@@ -1,0 +1,21 @@
+(** Monotonic time source for deadlines and elapsed-time measurement.
+
+    [Unix.gettimeofday] follows the system wall clock, which jumps under
+    NTP adjustment; a budget deadline computed against it can fire
+    arbitrarily early or late in a long-lived daemon. {!now_mono} reads
+    [clock_gettime(CLOCK_MONOTONIC)] through a C stub instead — a clock
+    that only moves forward, at (approximately) one second per second —
+    and falls back to [Unix.gettimeofday] on platforms without it.
+
+    The absolute value of {!now_mono} is meaningless (typically seconds
+    since boot); only differences are. Every deadline and elapsed-time
+    computation in the routing engine, repair flow, batch runner and
+    serving layer uses this clock. *)
+
+val now_mono : unit -> float
+(** Current monotonic time in seconds. Strictly non-decreasing across
+    calls within one process (up to float resolution). *)
+
+val monotonic_available : bool
+(** False when the C stub could not read [CLOCK_MONOTONIC] and
+    {!now_mono} is silently [Unix.gettimeofday]. *)

@@ -1,0 +1,22 @@
+/* Monotonic wall-clock stub for Pacor_route.Clock.
+
+   CLOCK_MONOTONIC never jumps under NTP slew/step, which matters to a
+   long-lived daemon whose Budget deadlines would otherwise fire early (or
+   never) across a clock adjustment. Returns seconds as a double; -1.0
+   signals that the clock is unavailable so the OCaml side can fall back
+   to gettimeofday. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value pacor_clock_now_mono(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double) ts.tv_sec + 1e-9 * (double) ts.tv_nsec);
+#endif
+  return caml_copy_double(-1.0);
+}

@@ -1,0 +1,65 @@
+type conn = {
+  ic : in_channel;
+  oc : out_channel;
+  pid : int option;
+}
+
+let spawn ?exe () =
+  let exe = match exe with Some e -> e | None -> Sys.executable_name in
+  try
+    (* Parent writes requests into the child's stdin, reads responses off
+       its stdout; stderr stays on the terminal for daemon diagnostics. *)
+    let req_read, req_write = Unix.pipe ~cloexec:false () in
+    let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "--stdio" |]
+        req_read resp_write Unix.stderr
+    in
+    Unix.close req_read;
+    Unix.close resp_write;
+    Ok
+      {
+        ic = Unix.in_channel_of_descr resp_read;
+        oc = Unix.out_channel_of_descr req_write;
+        pid = Some pid;
+      }
+  with
+  | Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "spawn: %s: %s" fn (Unix.error_message e))
+  | Sys_error e -> Error ("spawn: " ^ e)
+
+let connect ~host ~port =
+  try
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let ic, oc = Unix.open_connection (Unix.ADDR_INET (addr, port)) in
+    Ok { ic; oc; pid = None }
+  with
+  | Not_found -> Error (Printf.sprintf "connect: unknown host %S" host)
+  | Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "connect: %s: %s" fn (Unix.error_message e))
+  | Sys_error e -> Error ("connect: " ^ e)
+
+let request conn line =
+  try
+    output_string conn.oc line;
+    output_char conn.oc '\n';
+    flush conn.oc;
+    Ok (input_line conn.ic)
+  with
+  | End_of_file -> Error "daemon closed the connection"
+  | Sys_error e -> Error e
+  | Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let close conn =
+  (try close_out conn.oc with Sys_error _ -> ());
+  (try close_in conn.ic with Sys_error _ -> ());
+  match conn.pid with
+  | None -> ()
+  | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())

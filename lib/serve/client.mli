@@ -1,0 +1,18 @@
+(** Client side of the serve protocol: a connection that sends one request
+    line and reads one response line, over a spawned daemon's pipes or a
+    TCP socket. *)
+
+type conn
+
+val spawn : ?exe:string -> unit -> (conn, string) result
+(** Fork the daemon ([exe serve --stdio], default [Sys.executable_name])
+    with its stdin/stdout piped to this process. {!close} sends EOF, which
+    shuts the daemon down cleanly, and reaps the child. *)
+
+val connect : host:string -> port:int -> (conn, string) result
+
+val request : conn -> string -> (string, string) result
+(** Send one request line (newline appended), read one response line.
+    Blocking; requests and responses pair one-to-one in order. *)
+
+val close : conn -> unit

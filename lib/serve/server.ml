@@ -1,0 +1,572 @@
+open Pacor_geom
+open Pacor_valve
+
+type session = {
+  mutable problem : Pacor.Problem.t;
+  mutable solution : Pacor.Solution.t;
+  mutable revision : int;
+}
+
+type t = {
+  cache : (Pacor.Solution.t * string) Lru.t;
+  sessions : (string, session) Hashtbl.t;
+  mutable pool : Pacor_route.Workspace.t list;
+  pool_limit : int;
+  poisoned : (string, string) Hashtbl.t;
+  config : Pacor.Config.t;
+  started_at : float;
+  mutable served : int;
+  mutable delta_requests : int;
+  mutable incremental_served : int;
+  mutable error_count : int;
+}
+
+let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits) () =
+  {
+    cache = Lru.create ~capacity:cache_capacity;
+    sessions = Hashtbl.create 16;
+    pool = [];
+    pool_limit = 8;
+    poisoned = Hashtbl.create 4;
+    config = { Pacor.Config.default with limits };
+    started_at = Pacor_route.Clock.now_mono ();
+    served = 0;
+    delta_requests = 0;
+    incremental_served = 0;
+    error_count = 0;
+  }
+
+(* Warm workspace pool: a connection leases one workspace for its lifetime,
+   so its grid-sized arrays stay grown across requests; the pool recycles
+   them across connections. *)
+let take_workspace t =
+  match t.pool with
+  | ws :: rest ->
+    t.pool <- rest;
+    ws
+  | [] -> Pacor_route.Workspace.create ()
+
+let return_workspace t ws =
+  if List.length t.pool < t.pool_limit then t.pool <- ws :: t.pool
+
+let config_for t = function
+  | None -> t.config
+  | Some limits -> { t.config with Pacor.Config.limits }
+
+(* (routed valves, total length) — the order the delta fallback compares
+   by: route more valves first, then shorter total channel. *)
+let better (a : Pacor.Solution.t) (b : Pacor.Solution.t) =
+  let score sol =
+    (Protocol.routed_valves sol, -(Pacor.Solution.stats sol).Pacor.Solution.total_length)
+  in
+  score a >= score b
+
+let valid sol = Pacor.Solution.validate sol = Ok ()
+
+let bind_session t name (sol : Pacor.Solution.t) =
+  match name with
+  | None -> ()
+  | Some name ->
+    Hashtbl.replace t.sessions name
+      { problem = sol.Pacor.Solution.problem; solution = sol; revision = 0 }
+
+(* ---------- route ---------- *)
+
+let do_route t ~workspace ~(req : Protocol.request) ~problem_text ~file ~session =
+  let text =
+    match (problem_text, file) with
+    | Some s, _ -> Ok s
+    | None, Some path -> (
+      try
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok s
+      with Sys_error e | Failure e -> Error e)
+    | None, None -> Error "route requires \"problem\" or \"file\""
+  in
+  match text with
+  | Error m -> Error (Protocol.Validation, m)
+  | Ok text -> (
+    match Pacor.Problem_io.of_string text with
+    | Error m -> Error (Protocol.Parse, "problem: " ^ m)
+    | Ok problem -> (
+      let fp = Pacor.Problem_io.fingerprint problem in
+      match Hashtbl.find_opt t.poisoned fp with
+      | Some why ->
+        Error (Protocol.Internal, "request quarantined after earlier failure: " ^ why)
+      | None -> (
+        match Lru.find t.cache fp with
+        | Some (sol, result) ->
+          bind_session t session sol;
+          Ok (result, true)
+        | None -> (
+          let config = config_for t req.Protocol.limits in
+          match
+            try Pacor.Engine.run ~config ~workspace problem with
+            | exn ->
+              (* [Engine.run] is total by contract; if that contract ever
+                 breaks, remember the offender so one bad instance cannot
+                 crash-loop the daemon. *)
+              Hashtbl.replace t.poisoned fp (Printexc.to_string exn);
+              Error { Pacor.Engine.stage = "internal"; message = Printexc.to_string exn }
+          with
+          | Error e ->
+            if e.Pacor.Engine.stage = "internal" then ()
+            else Hashtbl.replace t.poisoned fp (e.stage ^ ": " ^ e.message);
+            Error
+              ( (if e.Pacor.Engine.stage = "internal" then Protocol.Internal
+                 else Protocol.Engine),
+                e.stage ^ ": " ^ e.message )
+          | Ok sol ->
+            if req.Protocol.strict && sol.Pacor.Solution.budget_exhausted <> None then
+              Error
+                ( Protocol.Budget,
+                  "budget exhausted: "
+                  ^ Pacor_route.Budget.reason_label
+                      (Option.get sol.Pacor.Solution.budget_exhausted) )
+            else begin
+              let result = Json.to_string (Protocol.solution_result sol) in
+              (* Only full-budget runs enter the cache: a deliberately
+                 starved request must not poison later unlimited ones with
+                 its degraded answer. *)
+              if req.Protocol.limits = None then Lru.add t.cache fp (sol, result);
+              bind_session t session sol;
+              Ok (result, false)
+            end))))
+
+(* ---------- deltas ---------- *)
+
+(* What a delta does to a session, decided before any routing runs. *)
+type plan =
+  | Rebase of Pacor.Solution.t
+      (** dirty set empty: adopt the mutated problem (and possibly
+          recomputed matched flags); every path byte-identical *)
+  | Reroute of {
+      problem : Pacor.Problem.t;
+      is_dirty : Pacor.Solution.routed_cluster -> bool;
+      revise : Cluster.t -> Cluster.t option;
+    }
+  | Repair of { faults : Pacor_fault.Fault.t list; fproblem : Pacor.Problem.t }
+
+(* Matched flags under a different delta, paths untouched: the engine's
+   assembly rule (LM shape, escaped, spread within delta) re-evaluated. *)
+let rematch_flags ~delta ~problem (sol : Pacor.Solution.t) =
+  let clusters =
+    List.map
+      (fun (c : Pacor.Solution.routed_cluster) ->
+         let matched =
+           Pacor.Routed.is_length_matched_shape c.routed
+           && c.escape <> None
+           && (match Pacor.Routed.spread c.routed with
+               | Some s -> s <= delta
+               | None -> false)
+         in
+         { c with Pacor.Solution.matched })
+      sol.Pacor.Solution.clusters
+  in
+  { sol with Pacor.Solution.problem; clusters }
+
+let plan_delta (sess : session) (delta : Protocol.delta_op) =
+  let problem = sess.problem in
+  let sol = sess.solution in
+  let verr m = Error (Protocol.Validation, m) in
+  match delta with
+  | Protocol.Move_valve { valve; x; y } -> (
+    let pos = Point.make x y in
+    match Pacor.Problem.move_valve problem valve pos with
+    | Error m -> verr m
+    | Ok p' when p' == problem -> Ok (Rebase sol) (* moved onto its own cell *)
+    | Ok p' ->
+      let owns (c : Pacor.Solution.routed_cluster) =
+        List.mem valve (Cluster.valve_ids c.routed.Pacor.Routed.cluster)
+      in
+      (* Dirty: the valve's own cluster, plus anyone whose channels run
+         through the destination cell. *)
+      let is_dirty c = owns c || Point.Set.mem pos (Pacor_fault.Repair.footprint c) in
+      let revise (cluster : Cluster.t) =
+        if not (List.mem valve (Cluster.valve_ids cluster)) then Some cluster
+        else begin
+          let members =
+            List.map
+              (fun (v : Valve.t) -> if v.id = valve then { v with position = pos } else v)
+              cluster.Cluster.valves
+          in
+          match
+            Cluster.make ~id:cluster.Cluster.id
+              ~length_matched:cluster.Cluster.length_matched members
+          with
+          | Ok c -> Some c
+          | Error _ ->
+            Some (Cluster.make_exn ~id:cluster.Cluster.id ~length_matched:false members)
+        end
+      in
+      Ok (Reroute { problem = p'; is_dirty; revise }))
+  | Protocol.Add_obstacle { x; y } -> (
+    let pos = Point.make x y in
+    match Pacor.Problem.add_obstacle problem pos with
+    | Error m -> verr m
+    | Ok p' ->
+      let is_dirty c = Point.Set.mem pos (Pacor_fault.Repair.footprint c) in
+      Ok (Reroute { problem = p'; is_dirty; revise = (fun c -> Some c) }))
+  | Protocol.Remove_obstacle { x; y } -> (
+    match Pacor.Problem.remove_obstacle problem (Point.make x y) with
+    | Error m -> verr m
+    | Ok p' ->
+      (* Freeing a cell invalidates nothing: every routed path stays
+         legal, so the dirty set is empty by construction. *)
+      Ok (Rebase { sol with Pacor.Solution.problem = p' }))
+  | Protocol.Set_delta { delta } -> (
+    match Pacor.Problem.with_delta problem delta with
+    | Error m -> verr m
+    | Ok p' ->
+      if delta = problem.Pacor.Problem.delta then Ok (Rebase sol)
+      else if delta > problem.Pacor.Problem.delta then
+        (* Loosening re-matches by flag flip alone — no path moves. *)
+        Ok (Rebase (rematch_flags ~delta ~problem:p' sol))
+      else begin
+        (* Tightening: clusters matched at the old threshold but over the
+           new one get a re-route (detour may pull them back under);
+           everything else keeps both its paths and its flag. *)
+        let is_dirty (c : Pacor.Solution.routed_cluster) =
+          c.matched
+          && (match Pacor.Routed.spread c.routed with Some s -> s > delta | None -> false)
+        in
+        Ok (Reroute { problem = p'; is_dirty; revise = (fun c -> Some c) })
+      end)
+  | Protocol.Inject_fault { spec } -> (
+    match Pacor_fault.Fault.parse_spec spec with
+    | Error m -> verr ("fault: " ^ m)
+    | Ok spec -> (
+      match Pacor_fault.Fault.realise spec sol with
+      | [] -> Ok (Rebase sol)
+      | faults -> (
+        match Pacor_fault.Fault.apply problem faults with
+        | Error m -> verr ("fault: " ^ m)
+        | Ok fproblem -> Ok (Repair { faults; fproblem }))))
+
+(* Every delta appends one stage to the solution's bookkeeping lists; a
+   long-lived session would grow them (and every response) without bound.
+   Keep a recent window — nothing downstream needs deep history. *)
+let max_session_stages = 12
+
+let trim_stages (sol : Pacor.Solution.t) =
+  let keep l =
+    let n = List.length l in
+    if n <= max_session_stages then l
+    else List.filteri (fun i _ -> i >= n - max_session_stages) l
+  in
+  {
+    sol with
+    Pacor.Solution.stage_seconds = keep sol.Pacor.Solution.stage_seconds;
+    stage_search = keep sol.Pacor.Solution.stage_search;
+    stage_outcomes = keep sol.Pacor.Solution.stage_outcomes;
+  }
+
+let do_delta t ~workspace ~(req : Protocol.request) ~session:name ~delta =
+  match Hashtbl.find_opt t.sessions name with
+  | None -> Error (Protocol.Validation, "unknown session " ^ name)
+  | Some sess -> (
+    t.delta_requests <- t.delta_requests + 1;
+    let stats = Pacor_route.Workspace.stats workspace in
+    let s0 = Pacor_route.Search_stats.snapshot stats in
+    let finish ~incremental ~dirty (sol : Pacor.Solution.t) =
+      if req.Protocol.strict && sol.Pacor.Solution.budget_exhausted <> None then
+        Error
+          ( Protocol.Budget,
+            "budget exhausted: "
+            ^ Pacor_route.Budget.reason_label
+                (Option.get sol.Pacor.Solution.budget_exhausted) )
+      else begin
+        let s1 = Pacor_route.Search_stats.snapshot stats in
+        let expansions = (Pacor_route.Search_stats.diff s1 s0).Pacor_route.Search_stats.pops in
+        let sol = trim_stages sol in
+        sess.problem <- sol.Pacor.Solution.problem;
+        sess.solution <- sol;
+        sess.revision <- sess.revision + 1;
+        if incremental then t.incremental_served <- t.incremental_served + 1;
+        let fields =
+          ("op", Json.String (Protocol.delta_label delta))
+          :: ("revision", Json.Int sess.revision)
+          :: ("incremental", Json.Bool incremental)
+          :: ("dirty", Json.List (List.map (fun i -> Json.Int i) dirty))
+          :: ("expansions", Json.Int expansions)
+          :: Protocol.solution_fields sol
+        in
+        Ok (Json.to_string (Json.Obj fields), false)
+      end
+    in
+    (* The certificate-or-fallback policy: serve the incremental result
+       iff it validates, quarantined nothing (unless the delta is itself a
+       fault, where quarantine is the contract) and ran within budget;
+       otherwise route the mutated problem from scratch and serve whichever
+       answer is lexicographically better on (routed valves, length). *)
+    let fallback ~problem ~dirty incremental_sol =
+      let config = config_for t req.Protocol.limits in
+      match Pacor.Engine.run ~config ~workspace problem with
+      | Error e -> (
+        match incremental_sol with
+        | Some sol -> finish ~incremental:true ~dirty sol
+        | None -> Error (Protocol.Engine, e.Pacor.Engine.stage ^ ": " ^ e.message))
+      | Ok full -> (
+        match incremental_sol with
+        | Some sol when better sol full -> finish ~incremental:true ~dirty sol
+        | Some _ | None -> finish ~incremental:false ~dirty full)
+    in
+    match plan_delta sess delta with
+    | Error _ as e -> e
+    | Ok (Rebase sol) -> finish ~incremental:true ~dirty:[] sol
+    | Ok (Reroute { problem; is_dirty; revise }) -> (
+      let dirty_ids =
+        List.sort Int.compare
+          (List.filter_map
+             (fun (c : Pacor.Solution.routed_cluster) ->
+                if is_dirty c then Some c.routed.Pacor.Routed.cluster.Cluster.id else None)
+             sess.solution.Pacor.Solution.clusters)
+      in
+      if dirty_ids = [] then
+        finish ~incremental:true ~dirty:[]
+          { sess.solution with Pacor.Solution.problem }
+      else
+        match
+          Pacor_fault.Repair.reroute ~workspace ?limits:req.Protocol.limits
+            ~stage:(Protocol.delta_label delta) ~problem ~is_dirty ~revise sess.solution
+        with
+        | Ok r
+          when valid r.Pacor_fault.Repair.solution
+               && r.Pacor_fault.Repair.quarantined = []
+               && r.Pacor_fault.Repair.solution.Pacor.Solution.budget_exhausted = None ->
+          finish ~incremental:true ~dirty:r.Pacor_fault.Repair.dirty
+            r.Pacor_fault.Repair.solution
+        | Ok r ->
+          fallback ~problem ~dirty:r.Pacor_fault.Repair.dirty
+            (if valid r.Pacor_fault.Repair.solution then
+               Some r.Pacor_fault.Repair.solution
+             else None)
+        | Error _ -> fallback ~problem ~dirty:dirty_ids None)
+    | Ok (Repair { faults; fproblem }) -> (
+      match
+        Pacor_fault.Repair.run ~workspace ?limits:req.Protocol.limits ~faults
+          sess.solution
+      with
+      | Ok r
+        when valid r.Pacor_fault.Repair.solution
+             && r.Pacor_fault.Repair.solution.Pacor.Solution.budget_exhausted = None ->
+        (* Quarantine is a legitimate fault outcome, not a certificate
+           failure: a pinless valve stays pinless under a full re-route of
+           the faulted instance too. *)
+        finish ~incremental:true ~dirty:r.Pacor_fault.Repair.dirty
+          r.Pacor_fault.Repair.solution
+      | Ok r ->
+        fallback ~problem:fproblem ~dirty:r.Pacor_fault.Repair.dirty
+          (if valid r.Pacor_fault.Repair.solution then
+             Some r.Pacor_fault.Repair.solution
+           else None)
+      | Error _ ->
+        fallback ~problem:fproblem
+          ~dirty:(Pacor_fault.Repair.dirty_set ~faults sess.solution)
+          None))
+
+(* ---------- the other ops ---------- *)
+
+let do_get t ~session:name =
+  match Hashtbl.find_opt t.sessions name with
+  | None -> Error (Protocol.Validation, "unknown session " ^ name)
+  | Some sess ->
+    let fields =
+      ("session", Json.String name)
+      :: ("revision", Json.Int sess.revision)
+      :: Protocol.solution_fields sess.solution
+    in
+    Ok (Json.to_string (Json.Obj fields), false)
+
+let do_close t ~session:name =
+  if Hashtbl.mem t.sessions name then begin
+    Hashtbl.remove t.sessions name;
+    Ok (Json.to_string (Json.Obj [ ("closed", Json.String name) ]), false)
+  end
+  else Error (Protocol.Validation, "unknown session " ^ name)
+
+let stats_result t =
+  Json.Obj
+    [
+      ("sessions", Json.Int (Hashtbl.length t.sessions));
+      ("served", Json.Int t.served);
+      ("delta_requests", Json.Int t.delta_requests);
+      ("incremental_served", Json.Int t.incremental_served);
+      ("errors", Json.Int t.error_count);
+      ( "cache",
+        Json.Obj
+          [
+            ("size", Json.Int (Lru.length t.cache));
+            ("capacity", Json.Int (Lru.capacity t.cache));
+            ("hits", Json.Int (Lru.hits t.cache));
+            ("misses", Json.Int (Lru.misses t.cache));
+            ("evictions", Json.Int (Lru.evictions t.cache));
+          ] );
+      ("poisoned", Json.Int (Hashtbl.length t.poisoned));
+      ("uptime_s", Json.Float (Pacor_route.Clock.now_mono () -. t.started_at));
+      ("monotonic_clock", Json.Bool Pacor_route.Clock.monotonic_available);
+    ]
+
+(* ---------- dispatch ---------- *)
+
+type outcome = {
+  line : string;  (** the response, newline not included *)
+  stop : bool;    (** a shutdown was requested *)
+}
+
+let dispatch t ~workspace (req : Protocol.request) =
+  match req.Protocol.op with
+  | Protocol.Ping ->
+    Ok
+      ( Json.to_string
+          (Json.Obj
+             [
+               ("pong", Json.Bool true);
+               ("monotonic_clock", Json.Bool Pacor_route.Clock.monotonic_available);
+             ]),
+        false )
+  | Protocol.Route { problem_text; file; session } ->
+    do_route t ~workspace ~req ~problem_text ~file ~session
+  | Protocol.Delta { session; delta } -> do_delta t ~workspace ~req ~session ~delta
+  | Protocol.Get { session } -> do_get t ~session
+  | Protocol.Close { session } -> do_close t ~session
+  | Protocol.Stats -> Ok (Json.to_string (stats_result t), false)
+  | Protocol.Shutdown -> Ok (Json.to_string (Json.Obj [ ("stopping", Json.Bool true) ]), false)
+
+let handle ?workspace t line =
+  t.served <- t.served + 1;
+  match Protocol.parse_request line with
+  | Error (id, cls, message) ->
+    t.error_count <- t.error_count + 1;
+    { line = Protocol.render_error ~id ~cls ~message; stop = false }
+  | Ok req ->
+    let ws, leased =
+      match workspace with Some w -> (w, false) | None -> (take_workspace t, true)
+    in
+    Fun.protect
+      ~finally:(fun () -> if leased then return_workspace t ws)
+      (fun () ->
+        let res =
+          try dispatch t ~workspace:ws req with
+          | Stack_overflow -> Error (Protocol.Internal, "stack overflow")
+          | exn -> Error (Protocol.Internal, Printexc.to_string exn)
+        in
+        match res with
+        | Ok (result, cached) ->
+          {
+            line = Protocol.render_ok ~id:req.Protocol.id ~cached ~result;
+            stop = req.Protocol.op = Protocol.Shutdown;
+          }
+        | Error (cls, message) ->
+          t.error_count <- t.error_count + 1;
+          { line = Protocol.render_error ~id:req.Protocol.id ~cls ~message; stop = false })
+
+(* ---------- the I/O loop ---------- *)
+
+type conn = {
+  fd : Unix.file_descr;       (* request side *)
+  out_fd : Unix.file_descr;   (* response side (stdout for the stdio conn) *)
+  pending : Buffer.t;         (* bytes read but not yet forming a full line *)
+  ws : Pacor_route.Workspace.t;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Split complete lines off the connection's pending buffer. *)
+let drain_lines conn =
+  let s = Buffer.contents conn.pending in
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+       if c = '\n' then begin
+         lines := String.sub s !start (i - !start) :: !lines;
+         start := i + 1
+       end)
+    s;
+  Buffer.clear conn.pending;
+  if !start < String.length s then
+    Buffer.add_substring conn.pending s !start (String.length s - !start);
+  List.rev !lines
+
+let serve_loop ?(stdio = true) ?port t =
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd =
+    match port with
+    | None -> None
+    | Some p ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+      Unix.listen fd 16;
+      (match Unix.getsockname fd with
+       | Unix.ADDR_INET (_, actual) ->
+         Printf.eprintf "pacor-serve: listening on 127.0.0.1:%d\n%!" actual
+       | _ -> ());
+      Some fd
+  in
+  let conns = ref [] in
+  if stdio then
+    conns :=
+      [ { fd = Unix.stdin; out_fd = Unix.stdout; pending = Buffer.create 256;
+          ws = take_workspace t } ];
+  let stop = ref false in
+  let close_conn c =
+    return_workspace t c.ws;
+    if c.fd != Unix.stdin then (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns
+  in
+  let chunk = Bytes.create 65536 in
+  while (not !stop) && (!conns <> [] || listen_fd <> None) do
+    let watch =
+      (match listen_fd with Some fd -> [ fd ] | None -> [])
+      @ List.map (fun c -> c.fd) !conns
+    in
+    match Unix.select watch [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      (match listen_fd with
+       | Some lfd when List.mem lfd ready ->
+         (match Unix.accept lfd with
+          | fd, _ ->
+            conns :=
+              { fd; out_fd = fd; pending = Buffer.create 256; ws = take_workspace t }
+              :: !conns
+          | exception Unix.Unix_error _ -> ())
+       | _ -> ());
+      List.iter
+        (fun c ->
+           if (not !stop) && List.memq c.fd ready then
+             match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             | exception Unix.Unix_error _ -> close_conn c
+             | 0 -> close_conn c
+             | n ->
+               Buffer.add_subbytes c.pending chunk 0 n;
+               List.iter
+                 (fun line ->
+                    if (not !stop) && String.trim line <> "" then begin
+                      let out = handle ~workspace:c.ws t line in
+                      (try write_all c.out_fd (out.line ^ "\n") with
+                       | Unix.Unix_error _ -> close_conn c);
+                      if out.stop then stop := true
+                    end)
+                 (drain_lines c))
+        !conns
+  done;
+  List.iter (fun c -> try close_conn c with _ -> ()) !conns;
+  (match listen_fd with
+   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ())

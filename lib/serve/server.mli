@@ -1,0 +1,59 @@
+(** The routing daemon: a long-lived process that parses once, routes once,
+    and then answers design-loop edits by re-routing only what each edit
+    dirties.
+
+    State: a {e session store} (named, mutable (problem, solution) pairs), a
+    fingerprint-keyed {e LRU solution cache} whose entries pre-render their
+    response so cache hits replay byte-identical bytes, a {e warm workspace
+    pool} (one leased per connection, arrays stay grown), and a {e poisoned
+    set} remembering request fingerprints that crashed the engine so one bad
+    instance cannot crash-loop the daemon.
+
+    Deltas ([move_valve], [add_obstacle], …) go through the fault layer's
+    re-route core ({!Pacor_fault.Repair.reroute}): mutate the problem,
+    compute the dirty cluster set, rip up and re-route exactly that. The
+    incremental result is served iff its {e certificate} holds — it
+    validates, quarantined nothing (fault injection excepted, where
+    quarantine is the contract), and ran within budget; otherwise the
+    mutated problem is routed from scratch and the lexicographically better
+    answer on (routed valves, total length) wins. Every request runs under
+    a per-request {!Pacor_route.Budget} when the request carries
+    ["limits"].
+
+    Single-threaded by design: one [Unix.select] loop multiplexes stdin
+    and TCP connections, and every mutable structure above is owned by that
+    loop. *)
+
+type t
+
+val create :
+  ?cache_capacity:int -> ?limits:Pacor_route.Budget.limits -> unit -> t
+(** Fresh daemon state. [cache_capacity] bounds the solution LRU (default
+    64 entries); [limits] is the default per-request budget (default
+    unlimited). *)
+
+type outcome = {
+  line : string;  (** the response, newline not included *)
+  stop : bool;    (** a shutdown was requested *)
+}
+
+val handle : ?workspace:Pacor_route.Workspace.t -> t -> string -> outcome
+(** Process one request line, total: any input yields exactly one response
+    line, never an exception. Pass [workspace] to reuse a warm workspace
+    across calls (the I/O loop passes the connection's leased one; tests
+    and the bench drive this directly); otherwise one is leased from the
+    pool per call. *)
+
+val take_workspace : t -> Pacor_route.Workspace.t
+val return_workspace : t -> Pacor_route.Workspace.t -> unit
+
+val stats_result : t -> Json.t
+(** The [stats] op's result object (also handy for the bench). *)
+
+val serve_loop : ?stdio:bool -> ?port:int -> t -> unit
+(** Run the daemon until a [shutdown] request or until every input source
+    is gone. [stdio] (default true) serves line-per-request on
+    stdin/stdout; [port] additionally listens on 127.0.0.1 (port [0] picks
+    an ephemeral port, announced on stderr). Each connection leases a warm
+    workspace for its lifetime. EOF closes a connection; [shutdown] from
+    any connection stops the daemon. *)

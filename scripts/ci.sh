@@ -119,4 +119,62 @@ sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$faultjson" | while IFS= read -r
 done
 rm -f "$faultjson"
 
+echo "== serve smoke: daemon over a pipe (route, cache hit, delta, shutdown) =="
+# pacor client spawns the daemon on stdin/stdout pipes; --check turns any
+# ok:false response into exit 1.
+servetrace=$(mktemp)
+cat > "$servetrace" <<'EOF'
+{"id":1,"op":"route","file":"corpus/corpus-pairs.chip","session":"ci"}
+{"id":2,"op":"route","file":"corpus/corpus-pairs.chip"}
+{"id":3,"op":"move_valve","session":"ci","valve":10,"x":9,"y":10}
+{"id":4,"op":"stats"}
+{"id":5,"op":"shutdown"}
+EOF
+serveout=$(./_build/default/bin/pacor_cli.exe client --check < "$servetrace")
+rm -f "$servetrace"
+# The repeat route must be served from the cache, byte-identical to the
+# first computation (the result field is rendered once and replayed).
+printf '%s\n' "$serveout" | sed -n '2p' | grep -qF '"cached":true' || {
+  echo "serve smoke: repeat route was not a cache hit" >&2
+  printf '%s\n' "$serveout" >&2; exit 1; }
+r1=$(printf '%s\n' "$serveout" | sed -n '1s/.*"result"://p')
+r2=$(printf '%s\n' "$serveout" | sed -n '2s/.*"result"://p')
+if [ -z "$r1" ] || [ "$r1" != "$r2" ]; then
+  echo "serve smoke: cache hit is not byte-identical to the first route" >&2
+  printf '%s\n' "$serveout" >&2; exit 1
+fi
+# The delta must be served incrementally (certificate held, no fallback).
+printf '%s\n' "$serveout" | sed -n '3p' | grep -qF '"incremental":true' || {
+  echo "serve smoke: move_valve was not served incrementally" >&2
+  printf '%s\n' "$serveout" >&2; exit 1; }
+
+echo "== serve-bench smoke + BENCH_serve.json drift check =="
+servejson=$(mktemp)
+./_build/default/bench/main.exe --serve-bench --smoke --json-out "$servejson" > /dev/null
+for key in '"bench": "pacor-serve-bench"' '"instances"' '"trace"' '"latency"' \
+           '"expansions"' '"daemon_stats"'; do
+  grep -qF "$key" BENCH_serve.json || {
+    echo "BENCH_serve.json schema drift: missing $key" >&2; exit 1; }
+  grep -qF "$key" "$servejson" || {
+    echo "serve-bench smoke output schema drift: missing $key" >&2; exit 1; }
+done
+# The committed record must assert the incremental path pays: delta
+# requests cost strictly fewer A* expansions than from-scratch re-routes
+# of the same mutated instances — and so must the fresh smoke run.
+grep -qF '"deltas_strictly_cheaper": true' BENCH_serve.json || {
+  echo "BENCH_serve.json: deltas are not cheaper than scratch re-routes" >&2; exit 1; }
+grep -qF '"deltas_strictly_cheaper": true' "$servejson" || {
+  echo "serve-bench smoke: deltas are not cheaper than scratch re-routes" >&2; exit 1; }
+# Determinism drift: the smoke instances are a subset of the committed
+# run, so every instance fingerprint (problem fingerprint, routed valve
+# count, total length; wall-clock excluded) must appear verbatim.
+sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$servejson" | while IFS= read -r fp; do
+  grep -qF "\"$fp\"" BENCH_serve.json || {
+    echo "serve-bench determinism drift: fingerprint not in BENCH_serve.json:" >&2
+    echo "  $fp" >&2
+    exit 1
+  }
+done
+rm -f "$servejson"
+
 echo "ci: OK"
