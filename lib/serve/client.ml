@@ -8,9 +8,12 @@ let spawn ?exe () =
   let exe = match exe with Some e -> e | None -> Sys.executable_name in
   try
     (* Parent writes requests into the child's stdin, reads responses off
-       its stdout; stderr stays on the terminal for daemon diagnostics. *)
-    let req_read, req_write = Unix.pipe ~cloexec:false () in
-    let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+       its stdout; stderr stays on the terminal for daemon diagnostics.
+       cloexec so the child keeps only its dup2'd stdio copies (dup2 clears
+       the flag): were the child to inherit req_write, its own stdin pipe
+       would never see EOF and close-then-waitpid shutdown would hang. *)
+    let req_read, req_write = Unix.pipe ~cloexec:true () in
+    let resp_read, resp_write = Unix.pipe ~cloexec:true () in
     let pid =
       Unix.create_process exe
         [| exe; "serve"; "--stdio" |]

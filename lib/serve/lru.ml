@@ -50,10 +50,11 @@ let push_front t node =
   t.head <- Some node
 
 let promote t node =
-  if t.head != Some node then begin
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
     unlink t node;
     push_front t node
-  end
 
 let find t key =
   match Hashtbl.find_opt t.tbl key with

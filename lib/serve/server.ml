@@ -98,6 +98,15 @@ let do_route t ~workspace ~(req : Protocol.request) ~problem_text ~file ~session
         Error (Protocol.Internal, "request quarantined after earlier failure: " ^ why)
       | None -> (
         match Lru.find t.cache fp with
+        | Some (sol, _) when req.Protocol.strict && sol.Pacor.Solution.budget_exhausted <> None ->
+          (* Defensive: the store guard below keeps degraded solutions out
+             of the cache, but a strict request must never be answered with
+             one regardless of how it got there. *)
+          Error
+            ( Protocol.Budget,
+              "budget exhausted: "
+              ^ Pacor_route.Budget.reason_label
+                  (Option.get sol.Pacor.Solution.budget_exhausted) )
         | Some (sol, result) ->
           bind_session t session sol;
           Ok (result, true)
@@ -128,10 +137,15 @@ let do_route t ~workspace ~(req : Protocol.request) ~problem_text ~file ~session
                       (Option.get sol.Pacor.Solution.budget_exhausted) )
             else begin
               let result = Json.to_string (Protocol.solution_result sol) in
-              (* Only full-budget runs enter the cache: a deliberately
-                 starved request must not poison later unlimited ones with
+              (* Only full-budget runs enter the cache: a budget-limited
+                 request — per-request limits or daemon-wide ones installed
+                 at create time — must not poison later unlimited ones with
                  its degraded answer. *)
-              if req.Protocol.limits = None then Lru.add t.cache fp (sol, result);
+              if
+                req.Protocol.limits = None
+                && Pacor_route.Budget.is_no_limits config.Pacor.Config.limits
+                && sol.Pacor.Solution.budget_exhausted = None
+              then Lru.add t.cache fp (sol, result);
               bind_session t session sol;
               Ok (result, false)
             end))))
@@ -471,6 +485,7 @@ type conn = {
   out_fd : Unix.file_descr;   (* response side (stdout for the stdio conn) *)
   pending : Buffer.t;         (* bytes read but not yet forming a full line *)
   ws : Pacor_route.Workspace.t;
+  mutable closed : bool;      (* close_conn ran; drop any still-buffered lines *)
 }
 
 let write_all fd s =
@@ -521,12 +536,15 @@ let serve_loop ?(stdio = true) ?port t =
   if stdio then
     conns :=
       [ { fd = Unix.stdin; out_fd = Unix.stdout; pending = Buffer.create 256;
-          ws = take_workspace t } ];
+          ws = take_workspace t; closed = false } ];
   let stop = ref false in
   let close_conn c =
-    return_workspace t c.ws;
-    if c.fd != Unix.stdin then (try Unix.close c.fd with Unix.Unix_error _ -> ());
-    conns := List.filter (fun c' -> c' != c) !conns
+    if not c.closed then begin
+      c.closed <- true;
+      return_workspace t c.ws;
+      if c.fd != Unix.stdin then (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      conns := List.filter (fun c' -> c' != c) !conns
+    end
   in
   let chunk = Bytes.create 65536 in
   while (not !stop) && (!conns <> [] || listen_fd <> None) do
@@ -542,13 +560,14 @@ let serve_loop ?(stdio = true) ?port t =
          (match Unix.accept lfd with
           | fd, _ ->
             conns :=
-              { fd; out_fd = fd; pending = Buffer.create 256; ws = take_workspace t }
+              { fd; out_fd = fd; pending = Buffer.create 256;
+                ws = take_workspace t; closed = false }
               :: !conns
           | exception Unix.Unix_error _ -> ())
        | _ -> ());
       List.iter
         (fun c ->
-           if (not !stop) && List.memq c.fd ready then
+           if (not !stop) && (not c.closed) && List.memq c.fd ready then
              match Unix.read c.fd chunk 0 (Bytes.length chunk) with
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
              | exception Unix.Unix_error _ -> close_conn c
@@ -557,7 +576,7 @@ let serve_loop ?(stdio = true) ?port t =
                Buffer.add_subbytes c.pending chunk 0 n;
                List.iter
                  (fun line ->
-                    if (not !stop) && String.trim line <> "" then begin
+                    if (not !stop) && (not c.closed) && String.trim line <> "" then begin
                       let out = handle ~workspace:c.ws t line in
                       (try write_all c.out_fd (out.line ^ "\n") with
                        | Unix.Unix_error _ -> close_conn c);
