@@ -32,6 +32,8 @@ let fault_sweep_only = Array.exists (String.equal "--fault-sweep") Sys.argv
 
 let serve_bench_only = Array.exists (String.equal "--serve-bench") Sys.argv
 
+let chaos_soak_only = Array.exists (String.equal "--chaos-soak") Sys.argv
+
 let arg_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
@@ -1417,6 +1419,350 @@ let print_serve_bench () =
     close_out oc;
     Format.printf "serve-bench JSON written to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: a supervised daemon under deterministic fault injection *)
+(* ------------------------------------------------------------------ *)
+
+(* The full serving stack under fire: a real supervisor process (fork of
+   this bench) runs `serve_loop` workers on a pre-bound TCP socket with a
+   session journal; the resilient Client drives a deterministic request
+   trace through a seeded Chaos injector (torn writes, garbage lines,
+   mid-request disconnects, worker SIGKILLs). Kills land BETWEEN requests,
+   so every acknowledged delta applies exactly once and the final
+   per-session problem fingerprints are a pure function of the trace —
+   that is what BENCH_chaos.json's drift guard pins.
+
+   Survival criteria (each asserted, not just reported):
+   - zero daemon aborts: workers die only by our SIGKILLs; the supervisor
+     exits 0 only if it saw no abnormal exit *codes* and ended cleanly;
+   - zero lost acknowledged sessions: after a final kill + recovery, every
+     session `get`s back with the mirror's expected problem fingerprint;
+   - bounded memory: the daemon's high-water gauges stay within the
+     configured line cap and write high-water mark. *)
+
+(* On a soak failure the forked supervisor (and its worker) must not
+   outlive the bench; print_chaos_soak installs the kill here and the
+   dispatcher runs it before re-raising. *)
+let chaos_cleanup : (unit -> unit) ref = ref (fun () -> ())
+
+let chaos_sessions = 4
+
+let chaos_soak_spec k =
+  { (serve_spec k) with
+    Pacor_designs.Synthetic.name = Printf.sprintf "chaos-%d" k;
+    seed = Int64.of_int (5000 + (41 * k)) }
+
+let print_chaos_soak () =
+  let n_requests = if smoke || quick then 80 else 1000 in
+  let k = if smoke || quick then 2 else chaos_sessions in
+  let seed = 42 in
+  Format.printf "@.== Chaos soak: supervised daemon, %d requests, seed %d ==@."
+    n_requests seed;
+  let problems = Array.init k (fun i -> serve_generate (chaos_soak_spec i)) in
+  let mirrors = Array.copy problems in
+  let dir = Filename.temp_file "pacor-chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let journal_path = Filename.concat dir "sessions.journal" in
+  let pidfile = Filename.concat dir "worker.pid" in
+  (* Bind before forking the supervisor: the parent learns the port, every
+     restarted worker inherits the same socket, and reconnects issued while
+     a worker is down queue in the kernel backlog. *)
+  let listen_fd, port = Pacor_serve.Server.listen ~port:0 in
+  flush stdout;
+  flush stderr;
+  let sup_pid =
+    match Unix.fork () with
+    | 0 ->
+      (* Supervisor process. Exit 0 iff the run ended cleanly with zero
+         daemon aborts (abnormal exit codes; SIGKILLs are the harness's). *)
+      let outcome =
+        Pacor_serve.Supervise.run ~pidfile ~backoff_base_s:0.02
+          ~backoff_max_s:0.5 ~healthy_after_s:0.1 ~seed
+          ~report:(fun _ -> ())
+          (fun () ->
+             let journal =
+               match Pacor_serve.Journal.open_ ~path:journal_path with
+               | Ok j -> Some j
+               | Error e ->
+                 Printf.eprintf "chaos-soak: journal: %s\n%!" e;
+                 None
+             in
+             let t = Pacor_serve.Server.create ?journal () in
+             ignore (Pacor_serve.Server.recover t);
+             Pacor_serve.Server.serve_loop ~stdio:false ~listen_fd t;
+             Option.iter Pacor_serve.Journal.close journal;
+             0)
+      in
+      Stdlib.exit
+        (if outcome.Pacor_serve.Supervise.clean_exit
+            && outcome.Pacor_serve.Supervise.crashes = 0
+         then 0 else 1)
+    | pid -> pid
+  in
+  Unix.close listen_fd;
+  (chaos_cleanup :=
+     fun () ->
+       (try
+          let ic = open_in pidfile in
+          let wpid = int_of_string (String.trim (input_line ic)) in
+          close_in ic;
+          Unix.kill wpid Sys.sigkill
+        with _ -> ());
+       (try Unix.kill sup_pid Sys.sigkill with Unix.Unix_error _ -> ());
+       (try ignore (Unix.waitpid [] sup_pid) with Unix.Unix_error _ -> ()));
+  (* Wait for the first worker's pid to land. *)
+  let rec await_pidfile n =
+    if n = 0 then failwith "chaos-soak: no worker pidfile"
+    else if not (Sys.file_exists pidfile) then begin
+      ignore (Unix.select [] [] [] 0.02);
+      await_pidfile (n - 1)
+    end
+  in
+  await_pidfile 250;
+  let chaos = Pacor_serve.Chaos.create ~seed () in
+  let conn =
+    match
+      Pacor_serve.Client.connect ~deadline_s:120.0 ~retries:10 ~backoff_s:0.05
+        ~seed ~host:"127.0.0.1" ~port ()
+    with
+    | Ok c -> c
+    | Error e -> failwith ("chaos-soak: connect: " ^ e)
+  in
+  let current_fault = ref Pacor_serve.Chaos.Clean in
+  Pacor_serve.Client.set_sender conn
+    (Some (fun ~attempt fd line ->
+         Pacor_serve.Chaos.apply chaos !current_fault ~attempt fd line));
+  let kills = ref 0 in
+  let kill_worker () =
+    match
+      let ic = open_in pidfile in
+      let pid = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      pid
+    with
+    | exception _ -> ()
+    | pid -> (
+      match Unix.kill pid Sys.sigkill with
+      | () -> incr kills
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+  in
+  let ok_count = ref 0 and err_count = ref 0 in
+  let send i line =
+    current_fault := Pacor_serve.Chaos.pick chaos;
+    (match !current_fault with
+     | Pacor_serve.Chaos.Kill_worker -> kill_worker ()
+     | _ -> ());
+    match Pacor_serve.Client.request conn line with
+    | Error e -> failwith (Printf.sprintf "chaos-soak: request %d failed: %s" i e)
+    | Ok resp ->
+      let j = sj_parse resp in
+      if sj_ok j then incr ok_count else incr err_count;
+      j
+  in
+  let session_name s = Printf.sprintf "s%d" s in
+  let apply_mirror i s mutated =
+    match mutated with
+    | Ok p' -> mirrors.(s) <- p'
+    | Error e ->
+      failwith (Printf.sprintf "chaos-soak: illegal mirror delta at %d: %s" i e)
+  in
+  let wall0 = Pacor_route.Clock.now_mono () in
+  for i = 0 to n_requests - 1 do
+    if i < k then begin
+      let j =
+        send i
+          (sj_req
+             [ ("id", SJ.Int i); ("op", SJ.String "route");
+               ("problem", SJ.String (Pacor.Problem_io.to_string problems.(i)));
+               ("session", SJ.String (session_name i)) ])
+      in
+      if not (sj_ok j) then failwith "chaos-soak: initial route errored"
+    end
+    else begin
+      let s = i mod k in
+      let p = mirrors.(s) in
+      let base = [ ("id", SJ.Int i); ("session", SJ.String (session_name s)) ] in
+      match i mod 6 with
+      | 0 | 5 ->
+        let j = send i (sj_req [ ("id", SJ.Int i); ("op", SJ.String "ping") ]) in
+        ignore (sj_ok j)
+      | 1 ->
+        let d =
+          if (i / 6) mod 2 = 0 then p.Pacor.Problem.delta + 1
+          else max 0 (p.Pacor.Problem.delta - 1)
+        in
+        let j =
+          send i (sj_req (base @ [ ("op", SJ.String "set_delta"); ("delta", SJ.Int d) ]))
+        in
+        if not (sj_ok j) then failwith "chaos-soak: set_delta refused";
+        apply_mirror i s (Pacor.Problem.with_delta p d)
+      | 2 -> (
+        match List.nth_opt (serve_free_cells p) ((i * 7) mod 11) with
+        | None ->
+          let j = send i (sj_req [ ("id", SJ.Int i); ("op", SJ.String "ping") ]) in
+          ignore (sj_ok j)
+        | Some pt -> (
+          (* Mirror first: only send edits the library itself accepts, so a
+             daemon refusal is unambiguously a bug. *)
+          match Pacor.Problem.add_obstacle p pt with
+          | Error _ ->
+            let j = send i (sj_req [ ("id", SJ.Int i); ("op", SJ.String "ping") ]) in
+            ignore (sj_ok j)
+          | Ok p' ->
+            let j =
+              send i
+                (sj_req
+                   (base
+                    @ [ ("op", SJ.String "add_obstacle");
+                        ("x", SJ.Int pt.Pacor_geom.Point.x);
+                        ("y", SJ.Int pt.Pacor_geom.Point.y) ]))
+            in
+            if not (sj_ok j) then failwith "chaos-soak: add_obstacle refused";
+            mirrors.(s) <- p'))
+      | 3 ->
+        let j =
+          send i
+            (sj_req
+               [ ("id", SJ.Int i); ("op", SJ.String "route");
+                 ("problem", SJ.String (Pacor.Problem_io.to_string problems.(s))) ])
+        in
+        if not (sj_ok j) then failwith "chaos-soak: repeat route errored"
+      | _ ->
+        let j = send i (sj_req (base @ [ ("op", SJ.String "get") ])) in
+        if not (sj_ok j) then failwith "chaos-soak: get refused";
+        let got = sj_result_str j "fingerprint" in
+        let want = Pacor.Problem_io.fingerprint mirrors.(s) in
+        if got <> want then
+          failwith
+            (Printf.sprintf "chaos-soak: session %s diverged mid-trace: %s <> %s"
+               (session_name s) got want)
+    end
+  done;
+  (* The final act: SIGKILL the worker one last time with no request in
+     flight, then demand every session back from the restarted worker. *)
+  Pacor_serve.Client.set_sender conn None;
+  kill_worker ();
+  ignore (Unix.select [] [] [] 0.05);
+  let recovered = ref 0 in
+  let session_fps =
+    Array.init k (fun s ->
+        let j =
+          send (n_requests + s)
+            (sj_req
+               [ ("id", SJ.Int (n_requests + s)); ("op", SJ.String "get");
+                 ("session", SJ.String (session_name s)) ])
+        in
+        if not (sj_ok j) then
+          failwith ("chaos-soak: session lost after recovery: " ^ session_name s);
+        let got = sj_result_str j "fingerprint" in
+        let expect = Pacor.Problem_io.fingerprint mirrors.(s) in
+        if got <> expect then
+          failwith
+            (Printf.sprintf "chaos-soak: session %s recovered wrong: %s <> %s"
+               (session_name s) got expect);
+        incr recovered;
+        (session_name s, got))
+  in
+  let stats_j =
+    send (n_requests + k)
+      (sj_req [ ("id", SJ.Int (n_requests + k)); ("op", SJ.String "stats") ])
+  in
+  let overload key =
+    match
+      Option.bind
+        (Option.bind (Option.bind (SJ.member "result" stats_j) (SJ.member "overload"))
+           (SJ.member key))
+        SJ.int_opt
+    with
+    | Some v -> v
+    | None -> failwith ("chaos-soak: stats without overload." ^ key)
+  in
+  let max_pending = overload "max_pending_bytes" in
+  let max_outgoing = overload "max_outgoing_bytes" in
+  let line_cap = Pacor_serve.Linebuf.default_max_line in
+  let hw_cap = Pacor_serve.Server.default_high_water in
+  if max_pending > line_cap then
+    failwith "chaos-soak: pending bytes exceeded the line cap";
+  if max_outgoing > hw_cap then
+    failwith "chaos-soak: outgoing bytes exceeded the high-water mark";
+  let j =
+    send (n_requests + k + 1)
+      (sj_req [ ("id", SJ.Int (n_requests + k + 1)); ("op", SJ.String "shutdown") ])
+  in
+  if not (sj_ok j) then failwith "chaos-soak: shutdown refused";
+  Pacor_serve.Client.close conn;
+  let rec wait_sup () =
+    match Unix.waitpid [] sup_pid with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_sup ()
+    | _, status -> status
+  in
+  let daemon_aborts =
+    match wait_sup () with
+    | Unix.WEXITED 0 -> 0
+    | _ -> 1
+  in
+  if daemon_aborts <> 0 then
+    failwith "chaos-soak: supervisor reported daemon aborts or an unclean end";
+  let total_s = Pacor_route.Clock.now_mono () -. wall0 in
+  let resends, reconnects, strays = Pacor_serve.Client.counters conn in
+  let faults = Pacor_serve.Chaos.counts chaos in
+  (try
+     Sys.remove journal_path;
+     if Sys.file_exists pidfile then Sys.remove pidfile;
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Format.printf "%d requests in %.1fs; faults:" n_requests total_s;
+  List.iter (fun (l, n) -> Format.printf " %s=%d" l n) faults;
+  Format.printf "@.";
+  Format.printf
+    "kills=%d resends=%d reconnects=%d strays=%d ok=%d err=%d sessions=%d/%d recovered@."
+    !kills resends reconnects strays !ok_count !err_count !recovered k;
+  Format.printf "bounded memory: pending %d/%d, outgoing %d/%d@." max_pending
+    line_cap max_outgoing hw_cap;
+  let json =
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-chaos-soak\",\n";
+    Printf.bprintf buf "  \"requests\": %d,\n" n_requests;
+    Printf.bprintf buf "  \"seed\": %d,\n" seed;
+    Printf.bprintf buf "  \"faults\": {%s},\n"
+      (String.concat ", "
+         (List.map (fun (l, n) -> Printf.sprintf "\"%s\": %d" l n) faults));
+    Printf.bprintf buf
+      "  \"survival\": {\"daemon_aborts\": %d, \"worker_kills\": %d, \
+       \"responses_ok\": %d, \"responses_err\": %d, \"sessions_bound\": %d, \
+       \"sessions_recovered\": %d, \"sessions_lost\": %d, \"resends\": %d, \
+       \"reconnects\": %d, \"strays\": %d},\n"
+      daemon_aborts !kills !ok_count !err_count k !recovered (k - !recovered)
+      resends reconnects strays;
+    Printf.bprintf buf
+      "  \"bounded_memory\": {\"max_pending_bytes\": %d, \"line_cap\": %d, \
+       \"max_outgoing_bytes\": %d, \"high_water_cap\": %d, \"within_caps\": %b},\n"
+      max_pending line_cap max_outgoing hw_cap
+      (max_pending <= line_cap && max_outgoing <= hw_cap);
+    Printf.bprintf buf "  \"sessions\": [\n";
+    Array.iteri
+      (fun s (name, fp) ->
+         Printf.bprintf buf
+           "    {\"name\": %S, \"problem_fingerprint\": %S,\n\
+            \     \"fingerprint\": \"chaos sess %s fp=%s\"}%s\n"
+           name fp name fp
+           (if s = k - 1 then "" else ","))
+      session_fps;
+    Printf.bprintf buf "  ]\n";
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Format.printf "chaos-soak JSON written to %s@." path
+
 let print_flow_search_stats () =
   Format.printf
     "@.== Full-flow search statistics (shared workspace, per stage) ==@.";
@@ -1463,6 +1809,18 @@ let () =
     Format.printf "PACOR benchmark harness (serve-bench only%s)@."
       (if smoke then ", smoke" else "");
     print_serve_bench ();
+    Format.printf "@.done.@."
+  end
+  else if chaos_soak_only then begin
+    (* Robustness trajectory: the supervised daemon under deterministic
+       fault injection, with the JSON record (committed as
+       BENCH_chaos.json). --smoke restricts to an 80-request trace for CI. *)
+    Format.printf "PACOR benchmark harness (chaos-soak only%s)@."
+      (if smoke then ", smoke" else "");
+    (try print_chaos_soak ()
+     with exn ->
+       !chaos_cleanup ();
+       raise exn);
     Format.printf "@.done.@."
   end
   else if fault_sweep_only then begin

@@ -194,18 +194,36 @@ let route_cmd =
 (* ---- designs (Table 1) ---- *)
 
 let designs_cmd =
-  let run () =
-    Format.printf "%-7s %-9s %8s %8s %8s %10s@." "Design" "Size" "#Valves" "#CP" "#Obs"
-      "#Clusters";
-    List.iter
-      (fun (r : Pacor_designs.Table1.row) ->
-         Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@." r.design r.width r.height
-           r.valves r.control_pins r.obstacles r.multi_clusters)
-      Pacor_designs.Table1.rows;
-    0
+  let emit =
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"NAME"
+           ~doc:"Print the canonical instance text of built-in design $(docv) \
+                 to stdout (feed it to --file or the daemon's route op) \
+                 instead of the parameter table.")
   in
-  let info = Cmd.info "designs" ~doc:"Print the benchmark parameters (paper Table 1)." in
-  Cmd.v info Term.(const run $ const ())
+  let run emit =
+    match emit with
+    | Some name -> (
+      match Pacor_designs.Table1.load name with
+      | Error msg -> fail exit_parse "%s" msg
+      | Ok problem ->
+        print_string (Pacor.Problem_io.to_string problem);
+        0)
+    | None ->
+      Format.printf "%-7s %-9s %8s %8s %8s %10s@." "Design" "Size" "#Valves" "#CP" "#Obs"
+        "#Clusters";
+      List.iter
+        (fun (r : Pacor_designs.Table1.row) ->
+           Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@." r.design r.width r.height
+             r.valves r.control_pins r.obstacles r.multi_clusters)
+        Pacor_designs.Table1.rows;
+      0
+  in
+  let info =
+    Cmd.info "designs"
+      ~doc:"Print the benchmark parameters (paper Table 1), or with $(b,--emit) \
+            the canonical instance text of one design."
+  in
+  Cmd.v info Term.(const run $ emit)
 
 (* ---- table2 ---- *)
 
@@ -480,12 +498,89 @@ let serve_cmd =
            ~doc:"Solution cache capacity in problems (LRU, keyed by canonical \
                  problem fingerprint; default 64).")
   in
-  let run port no_stdio _stdio cache limits =
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Append every session mutation to $(docv) (fsync'd before the \
+                 response is sent) and replay surviving sessions from it at \
+                 startup, so a killed daemon resumes where it left off.")
+  in
+  let supervise =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Run the daemon under a watchdog: the serving worker is forked, \
+                 and an abnormal exit (crash, kill -9, OOM) restarts it with \
+                 jittered exponential backoff. Combine with $(b,--journal) so \
+                 restarts recover their sessions. A TCP port is bound once, \
+                 before the first fork, so restarts never drop the listener.")
+  in
+  let pidfile =
+    Arg.(value & opt (some string) None & info [ "pidfile" ] ~docv:"PATH"
+           ~doc:"With $(b,--supervise): write the current worker's pid to \
+                 $(docv) after every fork (how chaos tests aim their kills).")
+  in
+  let max_conns =
+    Arg.(value & opt pos_int_conv Pacor_serve.Server.default_max_conns
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Reject connections beyond $(docv) simultaneous ones with a \
+                   single busy error line (default 64).")
+  in
+  let max_line =
+    Arg.(value & opt pos_int_conv Pacor_serve.Linebuf.default_max_line
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Answer request lines over $(docv) bytes with one parse \
+                   error and discard them without buffering (default 4MiB).")
+  in
+  let idle_timeout =
+    Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Reap connections idle longer than $(docv) seconds \
+                 (default 600).")
+  in
+  let run port no_stdio _stdio cache journal_path supervise pidfile max_conns
+      max_line idle_timeout limits =
     if no_stdio && port = None then fail exit_parse "--no-stdio requires --port"
     else begin
-      let t = Pacor_serve.Server.create ~cache_capacity:cache ~limits () in
-      Pacor_serve.Server.serve_loop ~stdio:(not no_stdio) ?port t;
-      0
+      let stdio = not no_stdio in
+      let worker ?listen_fd () =
+        let journal =
+          match journal_path with
+          | None -> None
+          | Some path -> (
+            match Pacor_serve.Journal.open_ ~path with
+            | Ok j -> Some j
+            | Error e ->
+              Printf.eprintf "pacor-serve: cannot open journal %s: %s\n%!" path e;
+              Stdlib.exit exit_parse)
+        in
+        let t = Pacor_serve.Server.create ~cache_capacity:cache ~limits ?journal () in
+        let recovered = Pacor_serve.Server.recover t in
+        if recovered > 0 then
+          Printf.eprintf "pacor-serve: recovered %d session(s) from journal\n%!"
+            recovered;
+        (match listen_fd with
+         | Some _ ->
+           Pacor_serve.Server.serve_loop ~stdio ?listen_fd ~max_conns ~max_line
+             ?idle_timeout_s:idle_timeout t
+         | None ->
+           Pacor_serve.Server.serve_loop ~stdio ?port ~max_conns ~max_line
+             ?idle_timeout_s:idle_timeout t);
+        Option.iter Pacor_serve.Journal.close journal;
+        0
+      in
+      if not supervise then worker ()
+      else begin
+        (* Bind before the first fork: every restarted worker inherits the
+           same listening socket, so clients reconnecting mid-restart queue
+           in the kernel backlog instead of getting connection-refused. *)
+        let listen_fd =
+          Option.map (fun p -> fst (Pacor_serve.Server.listen ~port:p)) port
+        in
+        let outcome =
+          Pacor_serve.Supervise.run ?pidfile (fun () -> worker ?listen_fd ())
+        in
+        if outcome.Pacor_serve.Supervise.gave_up then
+          fail exit_engine "supervisor gave up after %d restart(s)"
+            outcome.Pacor_serve.Supervise.restarts
+        else 0
+      end
     end
   in
   let info =
@@ -495,9 +590,13 @@ let serve_cmd =
             solution; delta requests (move_valve, add_obstacle, remove_obstacle, \
             set_delta, inject_fault) re-route only the clusters the edit dirties. \
             Identical route requests are answered byte-identically from an LRU \
-            cache. See lib/serve/protocol.mli for the request/response schema."
+            cache. $(b,--journal) makes sessions survive a crash; \
+            $(b,--supervise) restarts a crashed worker automatically. See \
+            lib/serve/protocol.mli for the request/response schema."
   in
-  Cmd.v info Term.(const run $ port $ no_stdio $ stdio $ cache $ limits_term)
+  Cmd.v info
+    Term.(const run $ port $ no_stdio $ stdio $ cache $ journal $ supervise
+          $ pidfile $ max_conns $ max_line $ idle_timeout $ limits_term)
 
 (* ---- client: drive a daemon from scripts ---- *)
 
@@ -512,10 +611,29 @@ let client_cmd =
            ~doc:"Exit 1 if any response carries ok:false (default: exit 0 as long \
                  as the daemon answered every request).")
   in
-  let run connect check =
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Give up on a request if no response arrives within $(docv) \
+                 seconds (default: wait forever). A deadline expiry is not \
+                 retried — the daemon may still be computing.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"On connection loss, reconnect and re-send (marked retry:true \
+                 so the daemon replays instead of re-executing) up to $(docv) \
+                 times under jittered exponential backoff (default 3; 0 fails \
+                 fast).")
+  in
+  let backoff =
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS"
+           ~doc:"Base of the doubling backoff between retries (default 0.05, \
+                 capped at 2s).")
+  in
+  let run connect check deadline_s retries backoff_s =
     let conn =
       match connect with
-      | None -> Pacor_serve.Client.spawn ()
+      | None ->
+        Pacor_serve.Client.spawn ?deadline_s ~retries ~backoff_s ()
       | Some hp -> (
         match String.rindex_opt hp ':' with
         | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" hp)
@@ -523,7 +641,8 @@ let client_cmd =
           let host = String.sub hp 0 i in
           match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
           | None -> Error (Printf.sprintf "bad port in %S" hp)
-          | Some port -> Pacor_serve.Client.connect ~host ~port))
+          | Some port ->
+            Pacor_serve.Client.connect ?deadline_s ~retries ~backoff_s ~host ~port ()))
     in
     match conn with
     | Error e -> fail exit_parse "%s" e
@@ -562,7 +681,7 @@ let client_cmd =
             answered (add $(b,--check) to require ok:true too), 2 bad arguments, \
             3 the daemon connection failed."
   in
-  Cmd.v info Term.(const run $ connect $ check)
+  Cmd.v info Term.(const run $ connect $ check $ deadline $ retries $ backoff)
 
 (* ---- check: pre-flight analysis, then route + validate ---- *)
 

@@ -1,0 +1,115 @@
+type fault =
+  | Clean
+  | Torn
+  | Garbage_before
+  | Disconnect_mid
+  | Kill_worker
+
+exception Injected_disconnect
+
+type t = {
+  state : int64 ref;
+  weights : (fault * int) list;
+  total : int;
+  mutable injected : (fault * int) list;  (* occurrence counters *)
+}
+
+(* splitmix64 — the same deterministic generator the supervisor uses for its
+   backoff jitter, so a soak's fault schedule is a pure function of the seed. *)
+let mix state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let bits t = mix t.state
+
+let below t n =
+  if n <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (bits t) 1) (Int64.of_int n))
+
+let default_weights =
+  [ (Clean, 60); (Torn, 14); (Garbage_before, 12); (Disconnect_mid, 9);
+    (Kill_worker, 5) ]
+
+let create ?(seed = 1) ?(weights = default_weights) () =
+  let weights = List.filter (fun (_, w) -> w > 0) weights in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  if total = 0 then invalid_arg "Chaos.create: all weights are zero";
+  { state = ref (Int64.of_int seed); weights; total; injected = [] }
+
+let label = function
+  | Clean -> "clean"
+  | Torn -> "torn"
+  | Garbage_before -> "garbage"
+  | Disconnect_mid -> "disconnect"
+  | Kill_worker -> "kill"
+
+let note t fault =
+  let n = try List.assoc fault t.injected with Not_found -> 0 in
+  t.injected <- (fault, n + 1) :: List.remove_assoc fault t.injected
+
+let pick t =
+  let roll = below t t.total in
+  let rec go acc = function
+    | [] -> Clean (* unreachable: weights sum to total *)
+    | (f, w) :: rest -> if roll < acc + w then f else go (acc + w) rest
+  in
+  let f = go 0 t.weights in
+  note t f;
+  f
+
+let counts t =
+  List.map (fun (f, _) -> (label f, try List.assoc f t.injected with Not_found -> 0))
+    [ (Clean, 0); (Torn, 0); (Garbage_before, 0); (Disconnect_mid, 0);
+      (Kill_worker, 0) ]
+
+let write_all fd s off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.write_substring fd s off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+let garbage t ~len =
+  String.init len (fun _ ->
+      (* printable, never '\n', never '{' — the daemon must treat it as a
+         parse error, not accidentally as a half-valid request *)
+      let c = Char.chr (33 + below t 93) in
+      if c = '{' then '!' else c)
+
+let apply t fault ~attempt fd line =
+  let n = String.length line in
+  if attempt > 0 then
+    (* Retries go out clean: the point of a mid-request fault is to force
+       the retry path, not to starve it forever. *)
+    write_all fd line 0 n
+  else
+    match fault with
+    | Clean | Kill_worker ->
+      (* Kill_worker's damage happens between requests (the harness SIGKILLs
+         the worker before this send); the bytes themselves go out intact. *)
+      write_all fd line 0 n
+    | Torn ->
+      (* Split the line at a random byte boundary — including inside a UTF-8
+         sequence or a JSON escape — and write the halves separately. The
+         daemon's line reassembly must not care. *)
+      let cut = 1 + below t (max 1 (n - 1)) in
+      write_all fd line 0 cut;
+      write_all fd line cut (n - cut)
+    | Garbage_before ->
+      let noise = garbage t ~len:(1 + below t 64) ^ "\n" in
+      write_all fd noise 0 (String.length noise);
+      write_all fd line 0 n
+    | Disconnect_mid ->
+      (* Send a prefix, then abandon the connection. The daemon sees a torn
+         partial line followed by EOF; the client sees a lost link and must
+         reconnect and re-send (marked retry:true). *)
+      let cut = below t n in
+      write_all fd line 0 cut;
+      raise Injected_disconnect
+

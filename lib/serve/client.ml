@@ -1,12 +1,56 @@
-type conn = {
-  ic : in_channel;
-  oc : out_channel;
+type endpoint =
+  | Spawned of { exe : string; args : string list }
+  | Tcp of { host : string; port : int }
+
+type link = {
+  fd_in : Unix.file_descr;   (* responses *)
+  fd_out : Unix.file_descr;  (* requests *)
   pid : int option;
+  lbuf : Linebuf.t;
+  mutable lines : string list;  (* complete lines read but not yet consumed *)
 }
 
-let spawn ?exe () =
-  let exe = match exe with Some e -> e | None -> Sys.executable_name in
-  try
+type conn = {
+  endpoint : endpoint;
+  mutable link : link option;
+  deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+  rng : int64 ref;
+  mutable sender : (attempt:int -> Unix.file_descr -> string -> unit) option;
+  mutable resends : int;
+  mutable reconnects : int;
+  mutable strays : int;
+}
+
+(* splitmix64, local so retry jitter perturbs no global RNG. *)
+let mix state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let unit_float state =
+  Int64.to_float (Int64.shift_right_logical (mix state) 11) /. 9007199254740992.0
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Responses can carry whole rendered solutions; cap far above any of them
+   just to keep the reassembly buffer's invariant meaningful. *)
+let response_max_line = 64 * 1024 * 1024
+
+let dial = function
+  | Spawned { exe; args } ->
     (* Parent writes requests into the child's stdin, reads responses off
        its stdout; stderr stays on the terminal for daemon diagnostics.
        cloexec so the child keeps only its dup2'd stdio copies (dup2 clears
@@ -16,24 +60,14 @@ let spawn ?exe () =
     let resp_read, resp_write = Unix.pipe ~cloexec:true () in
     let pid =
       Unix.create_process exe
-        [| exe; "serve"; "--stdio" |]
+        (Array.of_list (exe :: args))
         req_read resp_write Unix.stderr
     in
     Unix.close req_read;
     Unix.close resp_write;
-    Ok
-      {
-        ic = Unix.in_channel_of_descr resp_read;
-        oc = Unix.out_channel_of_descr req_write;
-        pid = Some pid;
-      }
-  with
-  | Unix.Unix_error (e, fn, _) ->
-    Error (Printf.sprintf "spawn: %s: %s" fn (Unix.error_message e))
-  | Sys_error e -> Error ("spawn: " ^ e)
-
-let connect ~host ~port =
-  try
+    { fd_in = resp_read; fd_out = req_write; pid = Some pid;
+      lbuf = Linebuf.create ~max_line:response_max_line (); lines = [] }
+  | Tcp { host; port } ->
     let addr =
       try Unix.inet_addr_of_string host
       with Failure _ -> (
@@ -41,28 +75,193 @@ let connect ~host ~port =
         | { Unix.h_addr_list = [||]; _ } -> raise Not_found
         | h -> h.Unix.h_addr_list.(0))
     in
-    let ic, oc = Unix.open_connection (Unix.ADDR_INET (addr, port)) in
-    Ok { ic; oc; pid = None }
-  with
-  | Not_found -> Error (Printf.sprintf "connect: unknown host %S" host)
-  | Unix.Unix_error (e, fn, _) ->
-    Error (Printf.sprintf "connect: %s: %s" fn (Unix.error_message e))
-  | Sys_error e -> Error ("connect: " ^ e)
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    { fd_in = fd; fd_out = fd; pid = None;
+      lbuf = Linebuf.create ~max_line:response_max_line (); lines = [] }
+
+let describe_exn = function
+  | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
+  | Not_found -> "unknown host"
+  | Sys_error e -> e
+  | exn -> Printexc.to_string exn
+
+let drop_link conn =
+  match conn.link with
+  | None -> ()
+  | Some l ->
+    conn.link <- None;
+    (try Unix.close l.fd_out with Unix.Unix_error _ -> ());
+    if l.fd_in != l.fd_out then
+      (try Unix.close l.fd_in with Unix.Unix_error _ -> ());
+    (match l.pid with
+     | None -> ()
+     | Some pid -> (
+       (* The daemon saw EOF on stdin (or is dead already); reap it. *)
+       try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
+
+let make ?(deadline_s : float option) ?(retries = 3) ?(backoff_s = 0.05) ?(seed = 1)
+    endpoint =
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match dial endpoint with
+  | link ->
+    Ok
+      { endpoint; link = Some link; deadline_s; retries; backoff_s;
+        rng = ref (Int64.of_int seed); sender = None;
+        resends = 0; reconnects = 0; strays = 0 }
+  | exception exn -> Error ("connect: " ^ describe_exn exn)
+
+let spawn ?exe ?(args = [ "serve"; "--stdio" ]) ?deadline_s ?retries ?backoff_s ?seed
+    () =
+  let exe = match exe with Some e -> e | None -> Sys.executable_name in
+  make ?deadline_s ?retries ?backoff_s ?seed (Spawned { exe; args })
+
+let connect ?deadline_s ?retries ?backoff_s ?seed ~host ~port () =
+  make ?deadline_s ?retries ?backoff_s ?seed (Tcp { host; port })
+
+let set_sender conn f = conn.sender <- f
+let counters conn = (conn.resends, conn.reconnects, conn.strays)
+
+let ensure_link conn =
+  match conn.link with
+  | Some l -> Ok l
+  | None -> (
+    match dial conn.endpoint with
+    | l ->
+      conn.reconnects <- conn.reconnects + 1;
+      conn.link <- Some l;
+      Ok l
+    | exception exn -> Error (describe_exn exn))
+
+(* The id this request line carries, if any — responses are matched on it. *)
+let request_id line =
+  match Json.of_string line with
+  | Ok j -> (
+    match Json.member "id" j with Some Json.Null | None -> None | Some id -> Some id)
+  | Error _ -> None
+
+(* Mark a re-send so the daemon's replay cache can answer instead of
+   executing twice. Unparseable lines go out unchanged. *)
+let with_retry_flag line =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) ->
+    Json.to_string
+      (Json.Obj (List.remove_assoc "retry" fields @ [ ("retry", Json.Bool true) ]))
+  | Ok _ | Error _ -> line
+
+exception Link_lost of string
+exception Deadline
+
+(* One buffered line off the link, waiting at most until [until] (mono). *)
+let rec read_line link ~until =
+  match link.lines with
+  | l :: rest ->
+    link.lines <- rest;
+    l
+  | [] ->
+    let timeout =
+      match until with
+      | None -> -1.0
+      | Some u ->
+        let r = u -. Pacor_route.Clock.now_mono () in
+        if r <= 0.0 then raise Deadline else r
+    in
+    (match Unix.select [ link.fd_in ] [] [] timeout with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | [], _, _ -> raise Deadline
+     | _ -> (
+       let chunk = Bytes.create 65536 in
+       match Unix.read link.fd_in chunk 0 (Bytes.length chunk) with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error (e, _, _) ->
+         raise (Link_lost (Unix.error_message e))
+       | 0 -> raise (Link_lost "daemon closed the connection")
+       | n ->
+         link.lines <-
+           link.lines
+           @ List.filter_map
+               (function
+                 | Linebuf.Line l -> Some l
+                 | Linebuf.Overflow -> raise (Link_lost "oversized response"))
+               (Linebuf.feed link.lbuf chunk 0 n)));
+    read_line link ~until
 
 let request conn line =
-  try
-    output_string conn.oc line;
-    output_char conn.oc '\n';
-    flush conn.oc;
-    Ok (input_line conn.ic)
-  with
-  | End_of_file -> Error "daemon closed the connection"
-  | Sys_error e -> Error e
-  | Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  let id = request_id line in
+  let rec attempt n =
+    let backoff_and_retry msg =
+      if n >= conn.retries then
+        Error
+          (if conn.retries = 0 then msg
+           else Printf.sprintf "%s (after %d retries)" msg conn.retries)
+      else begin
+        let jitter = 0.5 +. unit_float conn.rng in
+        let sleep =
+          Float.min 2.0 (conn.backoff_s *. (2.0 ** float_of_int n) *. jitter)
+        in
+        (try ignore (Unix.select [] [] [] sleep) with Unix.Unix_error _ -> ());
+        attempt (n + 1)
+      end
+    in
+    match ensure_link conn with
+    | Error msg -> backoff_and_retry ("connect: " ^ msg)
+    | Ok link -> (
+      let wire =
+        if n = 0 then line
+        else begin
+          conn.resends <- conn.resends + 1;
+          with_retry_flag line
+        end
+      in
+      match
+        (match conn.sender with
+         | Some f -> f ~attempt:n link.fd_out (wire ^ "\n")
+         | None -> write_all link.fd_out (wire ^ "\n"));
+        let until =
+          Option.map (fun d -> Pacor_route.Clock.now_mono () +. d) conn.deadline_s
+        in
+        (* Discard unsolicited lines (id mismatch / missing) until the
+           daemon answers this request. Requests sent without an id accept
+           the first line, the PR 7 behaviour. *)
+        let rec matching () =
+          let resp = read_line link ~until in
+          match id with
+          | None -> resp
+          | Some id -> (
+            match Json.of_string resp with
+            | Ok j when Json.member "id" j = Some id -> resp
+            | Ok _ | Error _ ->
+              conn.strays <- conn.strays + 1;
+              matching ())
+        in
+        matching ()
+      with
+      | resp -> Ok resp
+      | exception Deadline ->
+        (* The daemon may still answer later; a retry would double-execute
+           and the stale response would desynchronise the stream. Drop the
+           link so the next request starts clean, and fail this one. *)
+        drop_link conn;
+        Error
+          (Printf.sprintf "deadline: no response within %gs"
+             (Option.value ~default:0.0 conn.deadline_s))
+      | exception Link_lost msg ->
+        drop_link conn;
+        backoff_and_retry msg
+      | exception Unix.Unix_error (e, fn, _) ->
+        drop_link conn;
+        backoff_and_retry (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | exception Sys_error e ->
+        drop_link conn;
+        backoff_and_retry e
+      | exception exn ->
+        (* The sender hook's contract: any exception it raises (a chaos
+           injector abandoning the link mid-line) is a connection loss. *)
+        drop_link conn;
+        backoff_and_retry (Printexc.to_string exn))
+  in
+  attempt 0
 
-let close conn =
-  (try close_out conn.oc with Sys_error _ -> ());
-  (try close_in conn.ic with Sys_error _ -> ());
-  match conn.pid with
-  | None -> ()
-  | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+let close conn = drop_link conn

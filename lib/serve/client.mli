@@ -1,18 +1,70 @@
 (** Client side of the serve protocol: a connection that sends one request
     line and reads one response line, over a spawned daemon's pipes or a
-    TCP socket. *)
+    TCP socket.
+
+    Resilient by default: each request runs under an optional per-request
+    deadline, and a connection loss (daemon killed, socket reset, EOF
+    mid-response) is answered with a bounded number of reconnect-and-resend
+    attempts under jittered exponential backoff. A re-sent request carries
+    ["retry"]:true, so a daemon that already executed the first copy —
+    and lost only the response — replays its stored answer instead of
+    executing twice (see {!Protocol}). Responses are matched to requests by
+    ["id"] when the request carries one; unsolicited lines (e.g. error
+    replies to line noise injected by a chaos harness) are discarded and
+    counted. *)
 
 type conn
 
-val spawn : ?exe:string -> unit -> (conn, string) result
-(** Fork the daemon ([exe serve --stdio], default [Sys.executable_name])
-    with its stdin/stdout piped to this process. {!close} sends EOF, which
-    shuts the daemon down cleanly, and reaps the child. *)
+val spawn :
+  ?exe:string ->
+  ?args:string list ->
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?seed:int ->
+  unit ->
+  (conn, string) result
+(** Fork the daemon ([exe] [args], default [Sys.executable_name serve
+    --stdio]) with its stdin/stdout piped to this process. {!close} sends
+    EOF, which shuts the daemon down cleanly, and reaps the child. On
+    connection loss the daemon is respawned with the same [args] — pass
+    [--journal PATH] in [args] if the respawn should recover its sessions.
 
-val connect : host:string -> port:int -> (conn, string) result
+    [deadline_s]: max seconds to wait for each attempt's response (default
+    none — block forever, the PR 7 behaviour). [retries]: reconnect+resend
+    attempts after a connection loss (default 3; 0 restores fail-fast).
+    [backoff_s]: base of the doubling, jittered backoff between attempts
+    (default 0.05s, capped at 2s). [seed] makes the jitter deterministic. *)
+
+val connect :
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?seed:int ->
+  host:string ->
+  port:int ->
+  unit ->
+  (conn, string) result
 
 val request : conn -> string -> (string, string) result
-(** Send one request line (newline appended), read one response line.
-    Blocking; requests and responses pair one-to-one in order. *)
+(** Send one request line (newline appended), read the matching response
+    line. Blocking, at most [deadline_s] per attempt. On connection loss,
+    reconnects and re-sends (with ["retry"]:true injected) up to [retries]
+    times. A deadline expiry does NOT retry — the daemon may legitimately
+    still be computing — but does drop the link, so the next request
+    starts on a clean connection instead of reading a stale response. *)
 
 val close : conn -> unit
+
+val counters : conn -> int * int * int
+(** [(resends, reconnects, strays)] observed over the connection's
+    lifetime — the chaos soak's client-side survival counters. *)
+
+val set_sender :
+  conn -> (attempt:int -> Unix.file_descr -> string -> unit) option -> unit
+(** Chaos/test hook: override how a request line (trailing newline
+    included) is written to the daemon. [attempt] is 0 on the first try of
+    each request and increments across its retries, so an injector can
+    tear the first copy apart and let the retry go clean. Exceptions from
+    the sender are treated as connection loss. [None] restores the default
+    single-write sender. *)

@@ -1,0 +1,196 @@
+type entry = { revision : int; problem_text : string; order : int }
+
+type t = {
+  jpath : string;
+  mutable fd : Unix.file_descr;
+  live_map : (string, entry) Hashtbl.t;
+  mutable next_order : int;   (* first-bound order for deterministic replay *)
+  mutable appended : int;     (* records since the last compaction *)
+  mutable compacted : int;
+}
+
+let path t = t.jpath
+let records_appended t = t.appended
+let compactions t = t.compacted
+
+let render_bind ~session ~revision ~problem_text =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int 1);
+         ("op", Json.String "bind");
+         ("session", Json.String session);
+         ("revision", Json.Int revision);
+         ("problem", Json.String problem_text);
+       ])
+
+let render_close ~session =
+  Json.to_string
+    (Json.Obj
+       [ ("v", Json.Int 1); ("op", Json.String "close"); ("session", Json.String session) ])
+
+(* Replay one record into the live map. *)
+let apply t line =
+  match Json.of_string line with
+  | Error e -> Error ("malformed record: " ^ e)
+  | Ok j -> (
+    let str k = Option.bind (Json.member k j) Json.string_opt in
+    match str "op" with
+    | Some "bind" -> (
+      match (str "session", Option.bind (Json.member "revision" j) Json.int_opt, str "problem")
+      with
+      | Some session, Some revision, Some problem_text ->
+        let order =
+          match Hashtbl.find_opt t.live_map session with
+          | Some e -> e.order
+          | None ->
+            let o = t.next_order in
+            t.next_order <- o + 1;
+            o
+        in
+        Hashtbl.replace t.live_map session { revision; problem_text; order };
+        Ok ()
+      | _ -> Error "bind record missing session/revision/problem")
+    | Some "close" -> (
+      match str "session" with
+      | Some session ->
+        Hashtbl.remove t.live_map session;
+        Ok ()
+      | None -> Error "close record missing session")
+    | Some other -> Error ("unknown record op " ^ other)
+    | None -> Error "record missing op")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Replay the whole file, returning how many leading bytes hold intact
+   records. A torn final line (no trailing newline, or unparseable last
+   line) is the signature of a crash mid-append and is dropped — the
+   caller truncates it away, so the next append starts on a record
+   boundary instead of gluing onto the torn bytes. A malformed line
+   anywhere else is a real error. *)
+let replay t text =
+  let n = String.length text in
+  let rec go start =
+    if start >= n then Ok n
+    else
+      match String.index_from_opt text start '\n' with
+      | None ->
+        (* torn tail: bytes with no newline yet *)
+        if start < n then
+          Printf.eprintf "pacor-journal: dropping torn final record (no newline)\n%!";
+        Ok start
+      | Some nl -> (
+        let line = String.sub text start (nl - start) in
+        if String.trim line = "" then go (nl + 1)
+        else
+          match apply t line with
+          | Ok () -> go (nl + 1)
+          | Error e ->
+            (* Only tolerable as the very last (newline-terminated but
+               half-written) record. *)
+            let rest = String.sub text (nl + 1) (n - nl - 1) in
+            if String.trim rest = "" then begin
+              Printf.eprintf "pacor-journal: dropping torn final record (%s)\n%!" e;
+              Ok start
+            end
+            else Error e)
+  in
+  go 0
+
+let open_ ~path =
+  try
+    let existing = if Sys.file_exists path then read_file path else "" in
+    let t =
+      {
+        jpath = path;
+        fd = Unix.stdout (* replaced below *);
+        live_map = Hashtbl.create 16;
+        next_order = 0;
+        appended = 0;
+        compacted = 0;
+      }
+    in
+    match replay t existing with
+    | Error e -> Error (Printf.sprintf "journal %s: %s" path e)
+    | Ok valid_bytes ->
+      if valid_bytes < String.length existing then
+        Unix.truncate path valid_bytes;
+      t.fd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+      Ok t
+  with
+  | Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "journal %s: %s: %s" path fn (Unix.error_message e))
+  | Sys_error e -> Error ("journal " ^ path ^ ": " ^ e)
+
+let live t =
+  Hashtbl.fold (fun session e acc -> (session, e) :: acc) t.live_map []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a.order b.order)
+  |> List.map (fun (session, e) -> (session, e.revision, e.problem_text))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Durability failures (disk full, fd revoked) must degrade, not abort: the
+   daemon keeps serving, merely without crash-safety for this record. *)
+let append t line =
+  try
+    write_all t.fd (line ^ "\n");
+    Unix.fsync t.fd;
+    t.appended <- t.appended + 1
+  with Unix.Unix_error (e, fn, _) ->
+    Printf.eprintf "pacor-journal: append failed (%s: %s); record lost\n%!" fn
+      (Unix.error_message e)
+
+let record_bind t ~session ~revision ~problem_text =
+  let order =
+    match Hashtbl.find_opt t.live_map session with
+    | Some e -> e.order
+    | None ->
+      let o = t.next_order in
+      t.next_order <- o + 1;
+      o
+  in
+  Hashtbl.replace t.live_map session { revision; problem_text; order };
+  append t (render_bind ~session ~revision ~problem_text)
+
+let record_close t ~session =
+  Hashtbl.remove t.live_map session;
+  append t (render_close ~session)
+
+let compact t =
+  let tmp = t.jpath ^ ".tmp" in
+  try
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    List.iter
+      (fun (session, revision, problem_text) ->
+         write_all fd (render_bind ~session ~revision ~problem_text ^ "\n"))
+      (live t);
+    Unix.fsync fd;
+    Unix.close fd;
+    Unix.rename tmp t.jpath;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.fd <- Unix.openfile t.jpath [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+    t.appended <- 0;
+    t.compacted <- t.compacted + 1
+  with Unix.Unix_error (e, fn, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Printf.eprintf "pacor-journal: compaction failed (%s: %s); journal kept as-is\n%!"
+      fn (Unix.error_message e)
+
+let maybe_compact t =
+  if t.appended > max 64 (4 * Hashtbl.length t.live_map) then compact t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

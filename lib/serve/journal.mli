@@ -1,0 +1,55 @@
+(** Crash-safe session journal: an append-only record of every session
+    mutation, fsync'd before the response that acknowledges it, so a
+    [kill -9]'d daemon restarted on the same [--journal PATH] resumes every
+    acknowledged session.
+
+    One JSON record per line:
+    {v
+    {"v":1,"op":"bind","session":"s0","revision":3,"problem":"<canonical text>"}
+    {"v":1,"op":"close","session":"s0"}
+    v}
+
+    The ["problem"] field is the canonical {!Pacor.Problem_io.to_string}
+    rendering, so replaying a record reconstructs a byte-identical instance
+    (and therefore an identical fingerprint). The last record per session
+    wins. A torn final line — the crash landed mid-append — is truncated
+    away on open, so the next append starts on a record boundary; anything
+    malformed {e before} the tail is an error, because a single O_APPEND
+    writer cannot produce one.
+
+    Compaction: when the record count since the last rewrite exceeds
+    [max 64 (4 * live sessions)], the journal is rewritten from its
+    in-memory live map to [PATH.tmp], fsync'd, and renamed over [PATH] —
+    so the file is bounded by the live session set, not by history, and a
+    crash during compaction leaves the old journal intact. *)
+
+type t
+
+val open_ : path:string -> (t, string) result
+(** Open (creating if absent) for appending, after replaying any existing
+    records into the live map. *)
+
+val path : t -> string
+
+val live : t -> (string * int * string) list
+(** Surviving sessions as [(session, revision, problem_text)], in
+    first-bound order — what {!Server.recover} replays. *)
+
+val record_bind : t -> session:string -> revision:int -> problem_text:string -> unit
+(** Append (and fsync) one bind record. Any I/O failure is reported on
+    stderr and otherwise swallowed: losing durability must not take the
+    serving path down with it. *)
+
+val record_close : t -> session:string -> unit
+
+val maybe_compact : t -> unit
+(** Rewrite if the append count since the last rewrite passed the policy
+    threshold; a no-op otherwise. Called from the serve loop's housekeeping
+    tick (and after {!open_}'s replay). *)
+
+val records_appended : t -> int
+(** Appends since the last compaction (a stats gauge). *)
+
+val compactions : t -> int
+
+val close : t -> unit

@@ -1,12 +1,13 @@
 open Pacor_valve
 
-type error_class = Parse | Validation | Budget | Engine | Internal
+type error_class = Parse | Validation | Budget | Engine | Busy | Internal
 
 let class_label = function
   | Parse -> "parse"
   | Validation -> "validation"
   | Budget -> "budget"
   | Engine -> "engine"
+  | Busy -> "busy"
   | Internal -> "internal"
 
 type delta_op =
@@ -30,6 +31,7 @@ type request = {
   op : op;
   limits : Pacor_route.Budget.limits option;
   strict : bool;
+  retry : bool;
 }
 
 let delta_label = function
@@ -118,12 +120,12 @@ let parse_request line =
        (match parse_limits (field "limits") with
         | Error m -> Error (id, Validation, "bad limits: " ^ m)
         | Ok limits ->
-          let strict =
-            match Option.bind (field "strict") Json.bool_opt with
+          let flag k =
+            match Option.bind (field k) Json.bool_opt with
             | Some b -> b
             | None -> false
           in
-          Ok { id; op; limits; strict }))
+          Ok { id; op; limits; strict = flag "strict"; retry = flag "retry" }))
 
 (* ---------- solution summary ---------- *)
 

@@ -24,10 +24,17 @@
     [{"id":…,"ok":false,"error":{"class":…,"message":…}}]. Error classes:
     [parse] (malformed request), [validation] (well-formed but impossible:
     unknown session, illegal edit), [budget] (strict request exhausted its
-    budget), [engine] (structural routing failure), [internal] (a bug,
-    quarantined thereafter). *)
+    budget), [engine] (structural routing failure), [busy] (the daemon shed
+    the request for overload: connection cap reached, or the connection's
+    outgoing buffer passed its high-water mark — retry later, nothing was
+    executed), [internal] (a bug, quarantined thereafter).
 
-type error_class = Parse | Validation | Budget | Engine | Internal
+    A request may carry ["retry"]:true to mark it as a client re-send after
+    a connection loss: the daemon then consults its replay cache and, when
+    the same ["id"] was already answered, replays the stored response
+    instead of executing the request a second time. *)
+
+type error_class = Parse | Validation | Budget | Engine | Busy | Internal
 
 val class_label : error_class -> string
 
@@ -52,6 +59,7 @@ type request = {
   op : op;
   limits : Pacor_route.Budget.limits option;  (** per-request budget override *)
   strict : bool;          (** budget exhaustion becomes an error *)
+  retry : bool;           (** a client re-send: replay cache may answer *)
 }
 
 val delta_label : delta_op -> string

@@ -15,13 +15,25 @@ type t = {
   poisoned : (string, string) Hashtbl.t;
   config : Pacor.Config.t;
   started_at : float;
+  journal : Journal.t option;
+  replay : string Lru.t;  (* request id -> response line, for client retries *)
   mutable served : int;
   mutable delta_requests : int;
   mutable incremental_served : int;
   mutable error_count : int;
+  mutable replayed : int;
+  mutable recovered : int;
+  (* Overload-control counters, bumped by the I/O loop. *)
+  mutable busy_rejected : int;
+  mutable oversized_lines : int;
+  mutable idle_reaped : int;
+  mutable shed : int;
+  mutable max_pending_obs : int;   (* peak Linebuf bytes across connections *)
+  mutable max_outgoing_obs : int;  (* peak outgoing-queue bytes across connections *)
 }
 
-let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits) () =
+let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits)
+    ?(replay_capacity = 256) ?journal () =
   {
     cache = Lru.create ~capacity:cache_capacity;
     sessions = Hashtbl.create 16;
@@ -30,10 +42,20 @@ let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits) () =
     poisoned = Hashtbl.create 4;
     config = { Pacor.Config.default with limits };
     started_at = Pacor_route.Clock.now_mono ();
+    journal;
+    replay = Lru.create ~capacity:replay_capacity;
     served = 0;
     delta_requests = 0;
     incremental_served = 0;
     error_count = 0;
+    replayed = 0;
+    recovered = 0;
+    busy_rejected = 0;
+    oversized_lines = 0;
+    idle_reaped = 0;
+    shed = 0;
+    max_pending_obs = 0;
+    max_outgoing_obs = 0;
   }
 
 (* Warm workspace pool: a connection leases one workspace for its lifetime,
@@ -63,12 +85,62 @@ let better (a : Pacor.Solution.t) (b : Pacor.Solution.t) =
 
 let valid sol = Pacor.Solution.validate sol = Ok ()
 
+(* Every session mutation is journalled (canonical problem text + revision)
+   and fsync'd before the response that acknowledges it leaves the daemon:
+   an acknowledged session is, by construction, recoverable after a kill. *)
+let journal_bind t ~session ~revision ~(problem : Pacor.Problem.t) =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    Journal.record_bind j ~session ~revision
+      ~problem_text:(Pacor.Problem_io.to_string problem)
+
 let bind_session t name (sol : Pacor.Solution.t) =
   match name with
   | None -> ()
   | Some name ->
     Hashtbl.replace t.sessions name
-      { problem = sol.Pacor.Solution.problem; solution = sol; revision = 0 }
+      { problem = sol.Pacor.Solution.problem; solution = sol; revision = 0 };
+    journal_bind t ~session:name ~revision:0 ~problem:sol.Pacor.Solution.problem
+
+(* Rebuild the session store from the journal: parse each surviving
+   record's canonical text and route it from scratch. Crash-only: a record
+   that no longer parses or routes is skipped with a warning, never fatal —
+   coming back up with n-1 sessions beats not coming back up. *)
+let recover t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+    let ws = take_workspace t in
+    Fun.protect
+      ~finally:(fun () -> return_workspace t ws)
+      (fun () ->
+        List.fold_left
+          (fun acc (session, revision, problem_text) ->
+             match Pacor.Problem_io.of_string problem_text with
+             | Error e ->
+               Printf.eprintf "pacor-serve: recovery skipped session %S: %s\n%!"
+                 session e;
+               acc
+             | Ok problem -> (
+               match
+                 try Pacor.Engine.run ~config:t.config ~workspace:ws problem with
+                 | exn ->
+                   Error
+                     { Pacor.Engine.stage = "internal";
+                       message = Printexc.to_string exn }
+               with
+               | Error e ->
+                 Printf.eprintf
+                   "pacor-serve: recovery skipped session %S: %s: %s\n%!" session
+                   e.Pacor.Engine.stage e.message;
+                 acc
+               | Ok sol ->
+                 Hashtbl.replace t.sessions session
+                   { problem = sol.Pacor.Solution.problem; solution = sol; revision };
+                 t.recovered <- t.recovered + 1;
+                 acc + 1))
+          0 (Journal.live j))
 
 (* ---------- route ---------- *)
 
@@ -299,6 +371,7 @@ let do_delta t ~workspace ~(req : Protocol.request) ~session:name ~delta =
         sess.problem <- sol.Pacor.Solution.problem;
         sess.solution <- sol;
         sess.revision <- sess.revision + 1;
+        journal_bind t ~session:name ~revision:sess.revision ~problem:sess.problem;
         if incremental then t.incremental_served <- t.incremental_served + 1;
         let fields =
           ("op", Json.String (Protocol.delta_label delta))
@@ -398,6 +471,7 @@ let do_get t ~session:name =
 let do_close t ~session:name =
   if Hashtbl.mem t.sessions name then begin
     Hashtbl.remove t.sessions name;
+    (match t.journal with None -> () | Some j -> Journal.record_close j ~session:name);
     Ok (Json.to_string (Json.Obj [ ("closed", Json.String name) ]), false)
   end
   else Error (Protocol.Validation, "unknown session " ^ name)
@@ -420,6 +494,29 @@ let stats_result t =
             ("evictions", Json.Int (Lru.evictions t.cache));
           ] );
       ("poisoned", Json.Int (Hashtbl.length t.poisoned));
+      ("replayed", Json.Int t.replayed);
+      ("recovered_sessions", Json.Int t.recovered);
+      ( "overload",
+        Json.Obj
+          [
+            ("busy_rejected", Json.Int t.busy_rejected);
+            ("oversized_lines", Json.Int t.oversized_lines);
+            ("idle_reaped", Json.Int t.idle_reaped);
+            ("shed", Json.Int t.shed);
+            ("max_pending_bytes", Json.Int t.max_pending_obs);
+            ("max_outgoing_bytes", Json.Int t.max_outgoing_obs);
+          ] );
+      ( "journal",
+        match t.journal with
+        | None -> Json.Null
+        | Some j ->
+          Json.Obj
+            [
+              ("path", Json.String (Journal.path j));
+              ("live", Json.Int (List.length (Journal.live j)));
+              ("appended", Json.Int (Journal.records_appended j));
+              ("compactions", Json.Int (Journal.compactions j));
+            ] );
       ("uptime_s", Json.Float (Pacor_route.Clock.now_mono () -. t.started_at));
       ("monotonic_clock", Json.Bool Pacor_route.Clock.monotonic_available);
     ]
@@ -456,36 +553,63 @@ let handle ?workspace t line =
   | Error (id, cls, message) ->
     t.error_count <- t.error_count + 1;
     { line = Protocol.render_error ~id ~cls ~message; stop = false }
-  | Ok req ->
-    let ws, leased =
-      match workspace with Some w -> (w, false) | None -> (take_workspace t, true)
+  | Ok req -> (
+    (* Idempotent retry: a re-sent request (retry:true, same id) whose
+       first copy was already executed — its response lost to a connection
+       drop — replays the stored response instead of executing twice. Keyed
+       by the id alone, because the re-sent line differs (the retry flag). *)
+    let replay_key =
+      match req.Protocol.id with Json.Null -> None | id -> Some (Json.to_string id)
     in
-    Fun.protect
-      ~finally:(fun () -> if leased then return_workspace t ws)
-      (fun () ->
-        let res =
-          try dispatch t ~workspace:ws req with
-          | Stack_overflow -> Error (Protocol.Internal, "stack overflow")
-          | exn -> Error (Protocol.Internal, Printexc.to_string exn)
-        in
-        match res with
-        | Ok (result, cached) ->
-          {
-            line = Protocol.render_ok ~id:req.Protocol.id ~cached ~result;
-            stop = req.Protocol.op = Protocol.Shutdown;
-          }
-        | Error (cls, message) ->
-          t.error_count <- t.error_count + 1;
-          { line = Protocol.render_error ~id:req.Protocol.id ~cls ~message; stop = false })
+    match
+      if req.Protocol.retry then Option.bind replay_key (Lru.find t.replay) else None
+    with
+    | Some stored ->
+      t.replayed <- t.replayed + 1;
+      { line = stored; stop = false }
+    | None ->
+      let ws, leased =
+        match workspace with Some w -> (w, false) | None -> (take_workspace t, true)
+      in
+      Fun.protect
+        ~finally:(fun () -> if leased then return_workspace t ws)
+        (fun () ->
+          let res =
+            try dispatch t ~workspace:ws req with
+            | Stack_overflow -> Error (Protocol.Internal, "stack overflow")
+            | exn -> Error (Protocol.Internal, Printexc.to_string exn)
+          in
+          let out =
+            match res with
+            | Ok (result, cached) ->
+              {
+                line = Protocol.render_ok ~id:req.Protocol.id ~cached ~result;
+                stop = req.Protocol.op = Protocol.Shutdown;
+              }
+            | Error (cls, message) ->
+              t.error_count <- t.error_count + 1;
+              { line = Protocol.render_error ~id:req.Protocol.id ~cls ~message;
+                stop = false }
+          in
+          (match replay_key with
+           | Some key -> Lru.add t.replay key out.line
+           | None -> ());
+          out))
 
 (* ---------- the I/O loop ---------- *)
 
 type conn = {
   fd : Unix.file_descr;       (* request side *)
   out_fd : Unix.file_descr;   (* response side (stdout for the stdio conn) *)
-  pending : Buffer.t;         (* bytes read but not yet forming a full line *)
+  lbuf : Linebuf.t;           (* capped line reassembly (satellite: the old
+                                 pending Buffer.t grew without bound) *)
+  outq : string Queue.t;      (* responses not yet written to the peer *)
+  mutable out_off : int;      (* written prefix of the queue's head *)
+  mutable out_bytes : int;    (* total queued bytes, vs the high-water mark *)
   ws : Pacor_route.Workspace.t;
   mutable closed : bool;      (* close_conn ran; drop any still-buffered lines *)
+  mutable last_activity : float;  (* mono time of the last byte read *)
+  is_stdio : bool;
 }
 
 let write_all fd s =
@@ -498,93 +622,204 @@ let write_all fd s =
   in
   go 0
 
-(* Split complete lines off the connection's pending buffer. *)
-let drain_lines conn =
-  let s = Buffer.contents conn.pending in
-  let lines = ref [] in
-  let start = ref 0 in
-  String.iteri
-    (fun i c ->
-       if c = '\n' then begin
-         lines := String.sub s !start (i - !start) :: !lines;
-         start := i + 1
-       end)
-    s;
-  Buffer.clear conn.pending;
-  if !start < String.length s then
-    Buffer.add_substring conn.pending s !start (String.length s - !start);
-  List.rev !lines
+let listen ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  let actual =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, actual) -> actual
+    | _ -> port
+  in
+  Printf.eprintf "pacor-serve: listening on 127.0.0.1:%d\n%!" actual;
+  (fd, actual)
 
-let serve_loop ?(stdio = true) ?port t =
+(* Defaults, shared with the CLI flags. *)
+let default_max_conns = 64
+let default_high_water = 8 * 1024 * 1024
+let default_idle_timeout_s = 600.0
+let default_tick_s = 0.25
+
+let serve_loop ?(stdio = true) ?port ?listen_fd ?(max_conns = default_max_conns)
+    ?(max_line = Linebuf.default_max_line) ?(high_water = default_high_water)
+    ?(idle_timeout_s = default_idle_timeout_s) ?(tick_s = default_tick_s) t =
   (if Sys.os_type = "Unix" then
      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd =
-    match port with
-    | None -> None
-    | Some p ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
-      Unix.listen fd 16;
-      (match Unix.getsockname fd with
-       | Unix.ADDR_INET (_, actual) ->
-         Printf.eprintf "pacor-serve: listening on 127.0.0.1:%d\n%!" actual
-       | _ -> ());
-      Some fd
+    match (listen_fd, port) with
+    | Some fd, _ -> Some fd
+    | None, Some p -> Some (fst (listen ~port:p))
+    | None, None -> None
   in
   let conns = ref [] in
-  if stdio then
-    conns :=
-      [ { fd = Unix.stdin; out_fd = Unix.stdout; pending = Buffer.create 256;
-          ws = take_workspace t; closed = false } ];
+  let mk_conn ~is_stdio fd out_fd =
+    (try Unix.set_nonblock out_fd with Unix.Unix_error _ -> ());
+    { fd; out_fd; lbuf = Linebuf.create ~max_line (); outq = Queue.create ();
+      out_off = 0; out_bytes = 0; ws = take_workspace t; closed = false;
+      last_activity = Pacor_route.Clock.now_mono (); is_stdio }
+  in
+  if stdio then conns := [ mk_conn ~is_stdio:true Unix.stdin Unix.stdout ];
   let stop = ref false in
   let close_conn c =
     if not c.closed then begin
       c.closed <- true;
       return_workspace t c.ws;
-      if c.fd != Unix.stdin then (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      if c.is_stdio then
+        (* stdin/stdout belong to the process, not the connection; just
+           undo the non-blocking flag we set. *)
+        (try Unix.clear_nonblock c.out_fd with Unix.Unix_error _ -> ())
+      else (try Unix.close c.fd with Unix.Unix_error _ -> ());
       conns := List.filter (fun c' -> c' != c) !conns
     end
   in
+  (* Drain as much of the outgoing queue as the peer will take right now;
+     never blocks. EAGAIN leaves the rest for the select write set. *)
+  let rec flush_some c =
+    if (not c.closed) && c.out_bytes > 0 then begin
+      let head = Queue.peek c.outq in
+      let len = String.length head in
+      match Unix.write_substring c.out_fd head c.out_off (len - c.out_off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_some c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn c
+      | written ->
+        c.out_bytes <- c.out_bytes - written;
+        if c.out_off + written = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0;
+          flush_some c
+        end
+        else c.out_off <- c.out_off + written
+    end
+  in
+  (* Queue one response line. A peer that reads slower than it asks — the
+     classic slow-client stall — accumulates here instead of blocking the
+     loop; past the high-water mark the connection is shed outright. *)
+  let queue_line c s =
+    if not c.closed then begin
+      Queue.add (s ^ "\n") c.outq;
+      c.out_bytes <- c.out_bytes + String.length s + 1;
+      if c.out_bytes > t.max_outgoing_obs then t.max_outgoing_obs <- c.out_bytes;
+      flush_some c;
+      if c.out_bytes > high_water then begin
+        t.shed <- t.shed + 1;
+        Printf.eprintf
+          "pacor-serve: shedding connection %d bytes behind (high water %d)\n%!"
+          c.out_bytes high_water;
+        close_conn c
+      end
+    end
+  in
+  let busy_line =
+    Protocol.render_error ~id:Json.Null ~cls:Protocol.Busy
+      ~message:
+        (Printf.sprintf "server at connection capacity (%d); retry later" max_conns)
+    ^ "\n"
+  in
+  let reap_idle now =
+    List.iter
+      (fun c ->
+         (* The stdio connection is the daemon's lifeline to its parent; an
+            idle terminal is not a dead peer. TCP idlers give their leased
+            workspace back. *)
+         if (not c.is_stdio) && now -. c.last_activity > idle_timeout_s then begin
+           t.idle_reaped <- t.idle_reaped + 1;
+           close_conn c
+         end)
+      !conns
+  in
   let chunk = Bytes.create 65536 in
+  let last_tick = ref (Pacor_route.Clock.now_mono ()) in
   while (not !stop) && (!conns <> [] || listen_fd <> None) do
-    let watch =
+    let read_watch =
       (match listen_fd with Some fd -> [ fd ] | None -> [])
       @ List.map (fun c -> c.fd) !conns
     in
-    match Unix.select watch [] [] (-1.0) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
-      (match listen_fd with
-       | Some lfd when List.mem lfd ready ->
-         (match Unix.accept lfd with
-          | fd, _ ->
-            conns :=
-              { fd; out_fd = fd; pending = Buffer.create 256;
-                ws = take_workspace t; closed = false }
-              :: !conns
-          | exception Unix.Unix_error _ -> ())
-       | _ -> ());
-      List.iter
-        (fun c ->
-           if (not !stop) && (not c.closed) && List.memq c.fd ready then
-             match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-             | exception Unix.Unix_error _ -> close_conn c
-             | 0 -> close_conn c
-             | n ->
-               Buffer.add_subbytes c.pending chunk 0 n;
-               List.iter
-                 (fun line ->
-                    if (not !stop) && (not c.closed) && String.trim line <> "" then begin
-                      let out = handle ~workspace:c.ws t line in
-                      (try write_all c.out_fd (out.line ^ "\n") with
-                       | Unix.Unix_error _ -> close_conn c);
-                      if out.stop then stop := true
-                    end)
-                 (drain_lines c))
-        !conns
+    let write_watch =
+      List.filter_map (fun c -> if c.out_bytes > 0 then Some c.out_fd else None) !conns
+    in
+    (* Bounded tick (satellite: the old -1.0 select never woke for
+       housekeeping): idle reaping and journal compaction run even when no
+       client sends a byte. *)
+    (match Unix.select read_watch write_watch [] tick_s with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | ready, wready, _ ->
+       List.iter
+         (fun c -> if (not c.closed) && List.memq c.out_fd wready then flush_some c)
+         !conns;
+       (match listen_fd with
+        | Some lfd when List.mem lfd ready ->
+          (match Unix.accept lfd with
+           | fd, _ ->
+             if List.length !conns >= max_conns then begin
+               (* Shed at the door: one busy error line, close, and never
+                  lease a workspace. The fresh socket's buffer is empty, so
+                  this short write cannot block. *)
+               t.busy_rejected <- t.busy_rejected + 1;
+               (try write_all fd busy_line with Unix.Unix_error _ -> ());
+               (try Unix.close fd with Unix.Unix_error _ -> ())
+             end
+             else conns := mk_conn ~is_stdio:false fd fd :: !conns
+           | exception Unix.Unix_error _ -> ())
+        | _ -> ());
+       List.iter
+         (fun c ->
+            if (not !stop) && (not c.closed) && List.memq c.fd ready then
+              match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error _ -> close_conn c
+              | 0 -> close_conn c
+              | n ->
+                c.last_activity <- Pacor_route.Clock.now_mono ();
+                let events = Linebuf.feed c.lbuf chunk 0 n in
+                if Linebuf.high_water c.lbuf > t.max_pending_obs then
+                  t.max_pending_obs <- Linebuf.high_water c.lbuf;
+                List.iter
+                  (fun ev ->
+                     if (not !stop) && not c.closed then
+                       match ev with
+                       | Linebuf.Overflow ->
+                         t.oversized_lines <- t.oversized_lines + 1;
+                         t.error_count <- t.error_count + 1;
+                         queue_line c
+                           (Protocol.render_error ~id:Json.Null ~cls:Protocol.Parse
+                              ~message:
+                                (Printf.sprintf
+                                   "request line exceeds %d bytes; dropped" max_line))
+                       | Linebuf.Line line ->
+                         if String.trim line <> "" then begin
+                           let out = handle ~workspace:c.ws t line in
+                           queue_line c out.line;
+                           if out.stop then stop := true
+                         end)
+                  events)
+         !conns);
+    let now = Pacor_route.Clock.now_mono () in
+    if now -. !last_tick >= tick_s then begin
+      last_tick := now;
+      reap_idle now;
+      match t.journal with None -> () | Some j -> Journal.maybe_compact j
+    end
   done;
+  (* Shutdown: the response that acknowledged it may still be queued. Give
+     each peer a blocking best-effort flush before closing. *)
+  List.iter
+    (fun c ->
+       if (not c.closed) && c.out_bytes > 0 then begin
+         (try Unix.clear_nonblock c.out_fd with Unix.Unix_error _ -> ());
+         try
+           Queue.iter
+             (fun s ->
+                if c.out_off > 0 then begin
+                  write_all c.out_fd (String.sub s c.out_off (String.length s - c.out_off));
+                  c.out_off <- 0
+                end
+                else write_all c.out_fd s)
+             c.outq
+         with Unix.Unix_error _ -> ()
+       end)
+    !conns;
   List.iter (fun c -> try close_conn c with _ -> ()) !conns;
   (match listen_fd with
    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())

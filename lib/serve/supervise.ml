@@ -1,0 +1,107 @@
+type outcome = {
+  restarts : int;
+  killed : int;
+  crashes : int;
+  clean_exit : bool;
+  gave_up : bool;
+}
+
+(* splitmix64: deterministic jitter without perturbing any global RNG. *)
+let mix state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let unit_float state =
+  Int64.to_float (Int64.shift_right_logical (mix state) 11) /. 9007199254740992.0
+
+let write_pidfile path pid =
+  try
+    let oc = open_out path in
+    Printf.fprintf oc "%d\n" pid;
+    close_out oc
+  with Sys_error e -> Printf.eprintf "pacor-supervise: pidfile: %s\n%!" e
+
+let run ?(max_restarts = 100) ?(backoff_base_s = 0.05) ?(backoff_max_s = 5.0)
+    ?(healthy_after_s = 30.0) ?(seed = 1) ?pidfile
+    ?(report = fun s -> Printf.eprintf "pacor-supervise: %s\n%!" s) body =
+  let rng = ref (Int64.of_int seed) in
+  let restarts = ref 0 and killed = ref 0 and crashes = ref 0 in
+  let clean = ref false and gave_up = ref false in
+  let backoff = ref backoff_base_s in
+  let running = ref true in
+  while !running do
+    (* Flush buffered channels so the fork doesn't duplicate pending bytes
+       into the worker's copies. *)
+    flush stdout;
+    flush stderr;
+    let born = Pacor_route.Clock.now_mono () in
+    match Unix.fork () with
+    | 0 ->
+      (* Worker. Never return into the supervisor loop. *)
+      let code = try body () with exn ->
+        Printf.eprintf "pacor-serve: worker died: %s\n%!" (Printexc.to_string exn);
+        3
+      in
+      Stdlib.exit code
+    | pid -> (
+      (match pidfile with Some p -> write_pidfile p pid | None -> ());
+      let rec wait () =
+        match Unix.waitpid [] pid with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | _, status -> status
+      in
+      let status = wait () in
+      let lifetime = Pacor_route.Clock.now_mono () -. born in
+      match status with
+      | Unix.WEXITED 0 ->
+        report (Printf.sprintf "worker %d exited cleanly" pid);
+        clean := true;
+        running := false
+      | abnormal ->
+        (* waitpid reports OCaml's internal signal numbers; name the usual
+           suspects instead of printing a negative integer. *)
+        let signal_name s =
+          if s = Sys.sigkill then "SIGKILL"
+          else if s = Sys.sigterm then "SIGTERM"
+          else if s = Sys.sigsegv then "SIGSEGV"
+          else if s = Sys.sigint then "SIGINT"
+          else if s = Sys.sigabrt then "SIGABRT"
+          else if s = Sys.sigbus then "SIGBUS"
+          else Printf.sprintf "signal %d" s
+        in
+        let describe = function
+          | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+          | Unix.WSIGNALED s -> signal_name s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped (%s)" (signal_name s)
+        in
+        (match abnormal with
+         | Unix.WSIGNALED _ -> incr killed
+         | _ -> incr crashes);
+        if !restarts >= max_restarts then begin
+          report
+            (Printf.sprintf "worker %d died (%s); restart budget exhausted (%d)"
+               pid (describe abnormal) max_restarts);
+          gave_up := true;
+          running := false
+        end
+        else begin
+          if lifetime > healthy_after_s then backoff := backoff_base_s;
+          let jitter = 0.5 +. unit_float rng in  (* 0.5x .. 1.5x *)
+          let sleep = Float.min backoff_max_s (!backoff *. jitter) in
+          report
+            (Printf.sprintf "worker %d died (%s) after %.3fs; restart #%d in %.3fs"
+               pid (describe abnormal) lifetime (!restarts + 1) sleep);
+          incr restarts;
+          backoff := Float.min backoff_max_s (!backoff *. 2.0);
+          (try ignore (Unix.select [] [] [] sleep) with Unix.Unix_error _ -> ())
+        end)
+  done;
+  (match pidfile with
+   | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+   | None -> ());
+  { restarts = !restarts; killed = !killed; crashes = !crashes;
+    clean_exit = !clean; gave_up = !gave_up }

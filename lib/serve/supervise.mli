@@ -1,0 +1,47 @@
+(** Crash-only watchdog: fork a worker, restart it with jittered
+    exponential backoff whenever it exits abnormally, stop when it exits
+    cleanly.
+
+    This extends PR 7's poison-set idea ("don't re-crash on the same
+    input") from the request level to the process level: a worker that
+    dies — its own bug, the OOM killer, an operator's [kill -9] — comes
+    back up, and with a journal passed through ([pacor serve --supervise
+    --journal PATH]) it comes back up {e with its sessions}.
+
+    The supervisor owns nothing but the wait loop; in particular a TCP
+    listen socket bound {e before} {!run} is inherited by every worker
+    (see {!Server.listen}), so restarts never race a rebind and clients
+    reconnect to the same port. *)
+
+type outcome = {
+  restarts : int;      (** abnormal exits that were answered with a restart *)
+  killed : int;        (** of those, deaths by signal (SIGKILL included) *)
+  crashes : int;       (** of those, abnormal {e exit codes} — a worker
+                           abort, as opposed to an external kill *)
+  clean_exit : bool;   (** the worker exited 0 (a [shutdown] request) *)
+  gave_up : bool;      (** [max_restarts] exhausted *)
+}
+
+val run :
+  ?max_restarts:int ->
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  ?healthy_after_s:float ->
+  ?seed:int ->
+  ?pidfile:string ->
+  ?report:(string -> unit) ->
+  (unit -> int) ->
+  outcome
+(** [run body] forks; the child runs [body ()] and exits with its return
+    value (any escaped exception exits 3). The parent waits: exit 0 stops
+    the supervisor; anything else — nonzero exit or death by signal —
+    sleeps a jittered exponential backoff ([backoff_base_s], doubling, cap
+    [backoff_max_s]; deterministic in [seed]) and forks again, at most
+    [max_restarts] times (default 100). A worker that survived longer than
+    [healthy_after_s] (default 30s) resets the backoff ladder, so one
+    crash a day never escalates to the cap.
+
+    [pidfile], when given, receives the current worker's pid after every
+    fork (and is best-effort removed at the end) — it is how the chaos
+    harness and CI aim their SIGKILLs. [report] gets one human-readable
+    line per lifecycle event (default: stderr). *)

@@ -177,4 +177,88 @@ sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$servejson" | while IFS= read -r
 done
 rm -f "$servejson"
 
+echo "== chaos-soak smoke + BENCH_chaos.json drift check =="
+chaosjson=$(mktemp)
+chaosjson2=$(mktemp)
+./_build/default/bench/main.exe --chaos-soak --smoke --json-out "$chaosjson" > /dev/null
+# Schema drift: committed record and fresh smoke run both carry the
+# sections the robustness claims rest on.
+for key in '"bench": "pacor-chaos-soak"' '"faults"' '"survival"' \
+           '"bounded_memory"' '"sessions"'; do
+  grep -qF "$key" BENCH_chaos.json || {
+    echo "BENCH_chaos.json schema drift: missing $key" >&2; exit 1; }
+  grep -qF "$key" "$chaosjson" || {
+    echo "chaos-soak smoke output schema drift: missing $key" >&2; exit 1; }
+done
+# Survival invariants — zero daemon aborts, zero lost acknowledged
+# sessions, bounded memory — must hold in the committed 1000-request
+# record AND in the fresh smoke run.
+for rec in BENCH_chaos.json "$chaosjson"; do
+  grep -qF '"daemon_aborts": 0' "$rec" || {
+    echo "$rec: a worker aborted on its own (not a harness kill)" >&2; exit 1; }
+  grep -qF '"sessions_lost": 0' "$rec" || {
+    echo "$rec: an acknowledged session was lost across recovery" >&2; exit 1; }
+  grep -qF '"within_caps": true' "$rec" || {
+    echo "$rec: a memory gauge exceeded its cap under chaos" >&2; exit 1; }
+done
+# Determinism drift: the soak's fault schedule and final session
+# fingerprints are a pure function of the seed, so a second smoke run
+# must reproduce them byte-for-byte. (The smoke trace is shorter than the
+# committed 1000-request run, so its fingerprints are checked against a
+# replay, not against the committed record.)
+./_build/default/bench/main.exe --chaos-soak --smoke --json-out "$chaosjson2" > /dev/null
+fp1=$(sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$chaosjson")
+fp2=$(sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p' "$chaosjson2")
+faults1=$(sed -n 's/.*"faults": {\(.*\)}.*/\1/p' "$chaosjson")
+faults2=$(sed -n 's/.*"faults": {\(.*\)}.*/\1/p' "$chaosjson2")
+if [ -z "$fp1" ] || [ "$fp1" != "$fp2" ] || [ "$faults1" != "$faults2" ]; then
+  echo "chaos-soak determinism drift: two seeded smoke runs disagreed" >&2
+  diff "$chaosjson" "$chaosjson2" >&2 || true
+  exit 1
+fi
+rm -f "$chaosjson" "$chaosjson2"
+
+echo "== supervised serve smoke: kill -9 mid-trace, journal recovery =="
+chaosdir=$(mktemp -d)
+./_build/default/bin/pacor_cli.exe designs --emit S1 > "$chaosdir/s1.pacor"
+./_build/default/bin/pacor_cli.exe serve --supervise --no-stdio --port 0 \
+  --journal "$chaosdir/sessions.journal" --pidfile "$chaosdir/worker.pid" \
+  2> "$chaosdir/serve.err" &
+suppid=$!
+# The ephemeral port is announced on stderr; wait for it (and the worker).
+port=
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$chaosdir/serve.err" | head -1)
+  [ -n "$port" ] && [ -f "$chaosdir/worker.pid" ] && break
+  sleep 0.05
+done
+if [ -z "$port" ]; then
+  echo "supervised smoke: daemon never announced its port" >&2
+  kill "$suppid" 2>/dev/null || true; exit 1
+fi
+# Bind a session (journaled before the ack), remember its fingerprint.
+fp_before=$(printf '{"id":1,"op":"route","file":"%s","session":"ci"}\n' "$chaosdir/s1.pacor" \
+  | ./_build/default/bin/pacor_cli.exe client --connect "127.0.0.1:$port" --check \
+  | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+if [ -z "$fp_before" ]; then
+  echo "supervised smoke: initial route failed" >&2
+  kill "$suppid" 2>/dev/null || true; exit 1
+fi
+# Kill the worker mid-trace. The supervisor must restart it, the restarted
+# worker must recover the session from the journal, and the client must
+# retry its way to the same answer.
+kill -9 "$(cat "$chaosdir/worker.pid")"
+fp_after=$(printf '{"id":2,"op":"get","session":"ci"}\n' \
+  | ./_build/default/bin/pacor_cli.exe client --connect "127.0.0.1:$port" --check --retries 8 \
+  | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+if [ "$fp_before" != "$fp_after" ]; then
+  echo "supervised smoke: recovered session fingerprint drifted ($fp_before -> ${fp_after:-lost})" >&2
+  kill "$suppid" 2>/dev/null || true; exit 1
+fi
+printf '{"id":3,"op":"shutdown"}\n' \
+  | ./_build/default/bin/pacor_cli.exe client --connect "127.0.0.1:$port" --check > /dev/null
+wait "$suppid" || {
+  echo "supervised smoke: supervisor exited abnormally" >&2; exit 1; }
+rm -rf "$chaosdir"
+
 echo "ci: OK"

@@ -379,6 +379,332 @@ let test_budget_classification () =
             ("strict", Json.Bool true);
           ]))
 
+(* ---------- line reassembly under torn chunking ---------- *)
+
+(* Requests whose response bytes are a pure function of daemon state — no
+   wall-clock fields — so two fresh daemons fed the same lines must answer
+   byte-identically. Unicode and escape-heavy ids make sure a chunk split
+   can land inside a UTF-8 sequence or a JSON escape. *)
+let deterministic_line_gen =
+  let open QCheck.Gen in
+  let spicy_id =
+    oneofl
+      [ Json.String "é😀torn"; Json.String "a\"b\\c\nd"; Json.Int 7;
+        Json.String "plain"; Json.Null ]
+  in
+  oneof
+    [
+      map (fun id -> req [ ("id", id); ("op", Json.String "ping") ]) spicy_id;
+      map
+        (fun id ->
+           req
+             [ ("id", id); ("op", Json.String "get");
+               ("session", Json.String "nonesuch") ])
+        spicy_id;
+      map (fun id -> req [ ("id", id); ("op", Json.String "frobnicate") ]) spicy_id;
+      (* line noise: must cost exactly one parse error *)
+      oneofl [ "{nope"; "[1,2"; "!!!garbage!!!"; "\"é😀" ];
+    ]
+
+let prop_torn_chunking =
+  QCheck.Test.make
+    ~name:"trace split at random byte boundaries answers byte-identically"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (lines, sizes) ->
+         String.concat "\n" lines ^ Printf.sprintf " / chunks %s"
+           (String.concat "," (List.map string_of_int sizes)))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 12) deterministic_line_gen)
+           (list_size (int_range 1 64) (int_range 1 5))))
+    (fun (lines, sizes) ->
+       let whole = Server.create () in
+       let chunked = Server.create () in
+       let expected =
+         List.map (fun l -> (Server.handle whole l).Server.line) lines
+       in
+       (* The same trace as one byte stream, cut at arbitrary boundaries —
+          including mid-UTF-8 and mid-escape — through the daemon's own
+          line reassembly. *)
+       let stream = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+       let lbuf = Linebuf.create () in
+       let got = ref [] in
+       let pos = ref 0 in
+       let cycle = Array.of_list sizes in
+       let ci = ref 0 in
+       while !pos < String.length stream do
+         let n = min cycle.(!ci mod Array.length cycle) (String.length stream - !pos) in
+         incr ci;
+         List.iter
+           (function
+             | Linebuf.Line l ->
+               got := (Server.handle chunked l).Server.line :: !got
+             | Linebuf.Overflow -> QCheck.Test.fail_reportf "unexpected overflow")
+           (Linebuf.feed_string lbuf (String.sub stream !pos n));
+         pos := !pos + n
+       done;
+       let got = List.rev !got in
+       if List.length got <> List.length expected then
+         QCheck.Test.fail_reportf "reassembled %d lines, expected %d"
+           (List.length got) (List.length expected);
+       List.iter2
+         (fun e g ->
+            if e <> g then
+              QCheck.Test.fail_reportf "response drifted:\n  whole:   %s\n  chunked: %s" e g)
+         expected got;
+       true)
+
+let test_linebuf_oversized () =
+  let lb = Linebuf.create ~max_line:32 () in
+  (* A line that crosses the cap fires exactly one Overflow, at the moment
+     of crossing, and the rest of it is discarded silently. *)
+  let events = Linebuf.feed_string lb (String.make 100 'x') in
+  Alcotest.(check int) "one overflow" 1
+    (List.length (List.filter (fun e -> e = Linebuf.Overflow) events));
+  Alcotest.(check int) "nothing buffered while discarding" 0 (Linebuf.pending lb);
+  (* More of the same oversized line: no second event. *)
+  Alcotest.(check int) "still one overflow" 0
+    (List.length (Linebuf.feed_string lb (String.make 50 'y')));
+  (* The newline ends discard mode; the next line is delivered intact. *)
+  let events = Linebuf.feed_string lb "\nhello\n" in
+  Alcotest.(check bool) "recovers after newline" true
+    (events = [ Linebuf.Line "hello" ]);
+  (* An exactly-at-cap line still fits. *)
+  let line = String.make 32 'z' in
+  Alcotest.(check bool) "cap-sized line fits" true
+    (Linebuf.feed_string lb (line ^ "\n") = [ Linebuf.Line line ])
+
+let test_linebuf_garbage_flood () =
+  let cap = 128 in
+  let lb = Linebuf.create ~max_line:cap () in
+  let overflows = ref 0 in
+  (* A megabyte of newline-free garbage in ragged chunks: pending memory
+     must never pass the cap and the whole flood costs one Overflow. *)
+  for i = 0 to 4095 do
+    let chunk = String.make (17 + (i mod 13)) (Char.chr (33 + (i mod 90))) in
+    List.iter
+      (function
+        | Linebuf.Overflow -> incr overflows
+        | Linebuf.Line _ -> Alcotest.fail "no newline was ever sent")
+      (Linebuf.feed_string lb chunk);
+    if Linebuf.pending lb > cap then Alcotest.fail "pending exceeded the cap"
+  done;
+  Alcotest.(check int) "one overflow for the whole flood" 1 !overflows;
+  Alcotest.(check bool) "high-water bounded" true (Linebuf.high_water lb <= cap)
+
+(* ---------- the session journal ---------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "pacor-test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let journal_exn path =
+  match Journal.open_ ~path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "journal open: %s" e
+
+let live_t = Alcotest.(list (triple string int string))
+
+let test_journal_replay () =
+  with_temp_journal (fun path ->
+      let j = journal_exn path in
+      Journal.record_bind j ~session:"a" ~revision:0 ~problem_text:inst_text;
+      Journal.record_bind j ~session:"b" ~revision:0 ~problem_text:inst_text;
+      Journal.record_bind j ~session:"a" ~revision:1 ~problem_text:(inst_text ^ "pin 1 0\n");
+      Journal.record_close j ~session:"b";
+      Alcotest.check live_t "last record per session wins"
+        [ ("a", 1, inst_text ^ "pin 1 0\n") ]
+        (Journal.live j);
+      Journal.close j;
+      (* A fresh open replays the same live set from disk. *)
+      let j2 = journal_exn path in
+      Alcotest.check live_t "replayed from disk"
+        [ ("a", 1, inst_text ^ "pin 1 0\n") ]
+        (Journal.live j2);
+      Journal.close j2)
+
+let test_journal_torn_tail () =
+  with_temp_journal (fun path ->
+      let j = journal_exn path in
+      Journal.record_bind j ~session:"a" ~revision:0 ~problem_text:inst_text;
+      Journal.record_bind j ~session:"b" ~revision:2 ~problem_text:inst_text;
+      Journal.close j;
+      (* Simulate a crash mid-append: a torn, newline-less final record. *)
+      let oc = open_out_gen [ Open_append ] 0o600 path in
+      output_string oc "{\"v\":1,\"op\":\"bind\",\"session\":\"c\",\"rev";
+      close_out oc;
+      let j2 = journal_exn path in
+      Alcotest.check live_t "torn tail dropped, prefix intact"
+        [ ("a", 0, inst_text); ("b", 2, inst_text) ]
+        (Journal.live j2);
+      (* The journal stays appendable after the torn tail. *)
+      Journal.record_bind j2 ~session:"c" ~revision:0 ~problem_text:inst_text;
+      Journal.close j2;
+      let j3 = journal_exn path in
+      Alcotest.(check int) "new record survives" 3 (List.length (Journal.live j3));
+      Journal.close j3)
+
+let test_journal_compaction () =
+  with_temp_journal (fun path ->
+      let j = journal_exn path in
+      (* One live session rebound many times: history >> live set. *)
+      for r = 0 to 99 do
+        Journal.record_bind j ~session:"s" ~revision:r ~problem_text:inst_text
+      done;
+      let before = (Unix.stat path).Unix.st_size in
+      Journal.maybe_compact j;
+      let after = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "compaction ran" true (Journal.compactions j >= 1);
+      Alcotest.(check bool) "file shrank" true (after < before);
+      Alcotest.check live_t "live set preserved" [ ("s", 99, inst_text) ]
+        (Journal.live j);
+      Journal.close j;
+      let j2 = journal_exn path in
+      Alcotest.check live_t "compacted file replays" [ ("s", 99, inst_text) ]
+        (Journal.live j2);
+      Journal.close j2)
+
+let test_recover () =
+  with_temp_journal (fun path ->
+      (* Daemon A journals a session through a delta... *)
+      let ja = journal_exn path in
+      let a = Server.create ~journal:ja () in
+      let _ =
+        handle_ok a
+          (req
+             [ ("id", Json.Int 1); ("op", Json.String "route");
+               ("problem", Json.String inst_text); ("session", Json.String "s") ])
+      in
+      let _, jd =
+        handle_ok a
+          (req
+             [ ("id", Json.Int 2); ("op", Json.String "set_delta");
+               ("session", Json.String "s"); ("delta", Json.Int 2) ])
+      in
+      let fp_after_delta = result_str jd "fingerprint" in
+      Journal.close ja;
+      (* ...daemon B (a restart after kill -9) recovers it from the path. *)
+      let jb = journal_exn path in
+      let b = Server.create ~journal:jb () in
+      Alcotest.(check int) "one session recovered" 1 (Server.recover b);
+      let _, jg =
+        handle_ok b (req [ ("op", Json.String "get"); ("session", Json.String "s") ])
+      in
+      Alcotest.(check string) "recovered at the delta'd problem" fp_after_delta
+        (result_str jg "fingerprint");
+      Alcotest.(check int) "recovered revision" 1 (result_int jg "revision");
+      Journal.close jb)
+
+(* ---------- the retry replay cache ---------- *)
+
+let test_replay_cache () =
+  let server = Server.create () in
+  let _ =
+    handle_ok server
+      (req
+         [ ("id", Json.Int 1); ("op", Json.String "route");
+           ("problem", Json.String inst_text); ("session", Json.String "s") ])
+  in
+  let delta_fields d =
+    [ ("id", Json.Int 2); ("op", Json.String "set_delta");
+      ("session", Json.String "s"); ("delta", Json.Int d) ]
+  in
+  let first, _ = handle_ok server (req (delta_fields 2)) in
+  (* The client lost the response and re-sends with retry:true: the daemon
+     replays the stored bytes instead of executing the delta twice. *)
+  let replayed, _ =
+    handle_ok server (req (delta_fields 2 @ [ ("retry", Json.Bool true) ]))
+  in
+  Alcotest.(check string) "replay is byte-identical" first replayed;
+  let _, jg =
+    handle_ok server (req [ ("op", Json.String "get"); ("session", Json.String "s") ])
+  in
+  Alcotest.(check int) "delta applied exactly once" 1 (result_int jg "revision");
+  (* Without the retry flag the same id executes normally. *)
+  let _ = handle_ok server (req (delta_fields 1)) in
+  let _, jg2 =
+    handle_ok server (req [ ("op", Json.String "get"); ("session", Json.String "s") ])
+  in
+  Alcotest.(check int) "plain re-send executes" 2 (result_int jg2 "revision");
+  (* A retry for an id the daemon never saw executes normally too. *)
+  let _, jp =
+    handle_ok server
+      (req [ ("id", Json.Int 99); ("op", Json.String "ping"); ("retry", Json.Bool true) ])
+  in
+  Alcotest.(check bool) "unknown retry id executes" true
+    (Option.get
+       (Option.bind (Option.bind (Json.member "result" jp) (Json.member "pong"))
+          Json.bool_opt))
+
+(* ---------- the serve loop under overload (live socket) ---------- *)
+
+let read_line_ic ic = try Some (input_line ic) with End_of_file -> None
+
+let error_class_of line =
+  match Json.of_string line with
+  | Ok j ->
+    Option.value ~default:"?"
+      (Option.bind
+         (Option.bind (Json.member "error" j) (Json.member "class"))
+         Json.string_opt)
+  | Error _ -> "?"
+
+let test_serve_loop_overload () =
+  let listen_fd, port = Server.listen ~port:0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* The daemon, capped tight: 2 connections, 256-byte lines. *)
+    let t = Server.create () in
+    (try Server.serve_loop ~stdio:false ~listen_fd ~max_conns:2 ~max_line:256 t
+     with _ -> ());
+    Stdlib.exit 0
+  | child ->
+    Unix.close listen_fd;
+    let connect () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    in
+    let _, ic_a, oc_a = connect () in
+    (* Oversized line: one parse error, and the connection stays usable. *)
+    output_string oc_a (String.make 4096 'x');
+    output_string oc_a "\n";
+    flush oc_a;
+    (match read_line_ic ic_a with
+     | Some l -> Alcotest.(check string) "oversized is parse-class" "parse" (error_class_of l)
+     | None -> Alcotest.fail "no response to the oversized line");
+    output_string oc_a "{\"id\":1,\"op\":\"ping\"}\n";
+    flush oc_a;
+    (match read_line_ic ic_a with
+     | Some l ->
+       Alcotest.(check bool) "connection survived the flood" true
+         (match Json.of_string l with
+          | Ok j -> Option.bind (Json.member "ok" j) Json.bool_opt = Some true
+          | Error _ -> false)
+     | None -> Alcotest.fail "no response after the oversized line");
+    (* Fill the connection cap, then one more: a single busy line, then EOF. *)
+    let _, ic_b, oc_b = connect () in
+    output_string oc_b "{\"id\":2,\"op\":\"ping\"}\n";
+    flush oc_b;
+    ignore (read_line_ic ic_b);
+    let _, ic_c, _ = connect () in
+    (match read_line_ic ic_c with
+     | Some l -> Alcotest.(check string) "third connection is busy-class" "busy" (error_class_of l)
+     | None -> Alcotest.fail "no busy line on the excess connection");
+    Alcotest.(check (option string)) "busy connection is closed" None
+      (read_line_ic ic_c);
+    (* Shut the daemon down and reap it. *)
+    output_string oc_a "{\"op\":\"shutdown\"}\n";
+    flush oc_a;
+    (match Unix.waitpid [] child with
+     | _, Unix.WEXITED 0 -> ()
+     | _, _ -> Alcotest.fail "daemon exited abnormally")
+
 (* ---------- delta equivalence against from-scratch routing ---------- *)
 
 let free_cells (p : Pacor.Problem.t) =
@@ -569,6 +895,23 @@ let () =
         [
           Alcotest.test_case "request trace" `Quick test_handler_trace;
           Alcotest.test_case "budget classification" `Quick test_budget_classification;
+          Alcotest.test_case "retry replay cache" `Quick test_replay_cache;
         ] );
+      ( "linebuf",
+        [
+          QCheck_alcotest.to_alcotest prop_torn_chunking;
+          Alcotest.test_case "oversized line" `Quick test_linebuf_oversized;
+          Alcotest.test_case "garbage flood stays bounded" `Quick
+            test_linebuf_garbage_flood;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "replay" `Quick test_journal_replay;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "compaction" `Quick test_journal_compaction;
+          Alcotest.test_case "server recovery" `Quick test_recover;
+        ] );
+      ( "overload",
+        [ Alcotest.test_case "serve loop under fire" `Quick test_serve_loop_overload ] );
       ("deltas", [ QCheck_alcotest.to_alcotest prop_delta_never_worse ]);
     ]
