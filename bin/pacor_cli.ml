@@ -44,9 +44,28 @@ let pos_int_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+let hier_conv =
+  let parse s =
+    match Pacor.Config.hier_mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown hier mode %S (auto|on|off)" s))
+  in
+  let print ppf m = Format.fprintf ppf "%s" (Pacor.Config.hier_mode_name m) in
+  Arg.conv (parse, print)
+
+(* Built-in designs: the Table 1 set first, then the synthetic Scaled
+   family (Scaled1..Scaled8) behind it. *)
+let load_design name =
+  match Pacor_designs.Table1.load name with
+  | Ok p -> Ok p
+  | Error e -> (
+    match Pacor_designs.Scaled.of_name name with
+    | Some s -> Pacor_designs.Scaled.load s
+    | None -> Error e)
+
 let load_problem ~design ~file =
   match design, file with
-  | Some d, None -> Pacor_designs.Table1.load d
+  | Some d, None -> load_design d
   | None, Some path -> Pacor.Problem_io.load ~path
   | Some _, Some _ -> Error "pass either --design or --file, not both"
   | None, None -> Error "pass --design NAME or --file PATH"
@@ -78,6 +97,14 @@ let limits_term =
     Pacor_route.Budget.limits ?timeout_s ?max_expansions ()
   in
   Term.(const make $ timeout_arg $ max_expansions_arg)
+
+let hier_arg =
+  Arg.(value & opt hier_conv Pacor.Config.Hier_auto & info [ "hier" ] ~docv:"MODE"
+         ~doc:"Hierarchical two-stage routing: $(b,auto) (engage on grids of \
+               200k+ cells), $(b,on), or $(b,off). The hierarchy plans tile \
+               corridors globally and confines detailed searches to them; a \
+               never-worse ladder (byte identity, certificate, race) keeps \
+               results equal or better than flat routing on every instance.")
 
 (* ---- route ---- *)
 
@@ -115,7 +142,7 @@ let route_cmd =
            ~doc:"Print a machine-readable JSON solution summary (the serve \
                  protocol's result schema) instead of the human-readable report.")
   in
-  let run design file variant verbose render skew save svg json limits retries =
+  let run design file variant verbose render skew save svg json limits retries hier =
     match load_problem ~design ~file with
     | Error msg -> fail exit_parse "%s" msg
     | Ok problem ->
@@ -142,7 +169,7 @@ let route_cmd =
            | _ -> Ok sol)
       in
       let config =
-        { (Pacor.Config.make ~variant ()) with Pacor.Config.verbose; limits }
+        { (Pacor.Config.make ~variant ()) with Pacor.Config.verbose; limits; hier }
       in
       (match attempt config retries with
        | Error e -> fail exit_engine "engine failed at %s: %s" e.stage e.message
@@ -189,7 +216,7 @@ let route_cmd =
   in
   Cmd.v info
     Term.(const run $ design $ file $ variant $ verbose $ render $ skew $ save $ svg
-          $ json $ limits_term $ retries_arg)
+          $ json $ limits_term $ retries_arg $ hier_arg)
 
 (* ---- designs (Table 1) ---- *)
 
@@ -198,12 +225,14 @@ let designs_cmd =
     Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"NAME"
            ~doc:"Print the canonical instance text of built-in design $(docv) \
                  to stdout (feed it to --file or the daemon's route op) \
-                 instead of the parameter table.")
+                 instead of the parameter table. Besides the Table 1 set, \
+                 the synthetic scaling family $(b,Scaled1)..$(b,Scaled8) \
+                 (Chip1-like content on a 168s-square grid) is available.")
   in
   let run emit =
     match emit with
     | Some name -> (
-      match Pacor_designs.Table1.load name with
+      match load_design name with
       | Error msg -> fail exit_parse "%s" msg
       | Ok problem ->
         print_string (Pacor.Problem_io.to_string problem);
@@ -216,6 +245,18 @@ let designs_cmd =
            Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@." r.design r.width r.height
              r.valves r.control_pins r.obstacles r.multi_clusters)
         Pacor_designs.Table1.rows;
+      List.iter
+        (fun s ->
+           let sp = Pacor_designs.Scaled.spec s in
+           Format.printf "%-7s %dx%-6d %8d %8d %8d %10d@."
+             (Pacor_designs.Scaled.name s) sp.Pacor_designs.Synthetic.width
+             sp.Pacor_designs.Synthetic.height
+             (sp.Pacor_designs.Synthetic.singleton_valves
+              + List.fold_left ( + ) 0 sp.Pacor_designs.Synthetic.lm_cluster_sizes)
+             sp.Pacor_designs.Synthetic.pin_count
+             sp.Pacor_designs.Synthetic.obstacle_cells
+             (List.length sp.Pacor_designs.Synthetic.lm_cluster_sizes))
+        Pacor_designs.Scaled.scales;
       0
   in
   let info =
@@ -348,11 +389,13 @@ let batch_cmd =
     Arg.(value & opt variant_conv Pacor.Config.Full & info [ "variant"; "v" ]
            ~docv:"VARIANT" ~doc:"Flow variant: full, wosel or detour-first.")
   in
-  let run dir variant jobs limits retries =
+  let run dir variant jobs limits retries hier =
     match Pacor_par.Batch.load_dir dir with
     | Error msg -> fail exit_parse "%s" msg
     | Ok named ->
-      let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits } in
+      let config =
+        { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits; hier }
+      in
       let summary = Pacor_par.Batch.run_problems ~jobs ~retries ~config named in
       Format.printf "%a" Pacor_par.Batch.pp_summary summary;
       (* Healthy jobs all completed: the exit code reflects the worst
@@ -385,7 +428,8 @@ let batch_cmd =
             failing instances are retried, then quarantined, without aborting the \
             healthy ones."
   in
-  Cmd.v info Term.(const run $ dir $ variant $ jobs_arg $ limits_term $ retries_arg)
+  Cmd.v info
+    Term.(const run $ dir $ variant $ jobs_arg $ limits_term $ retries_arg $ hier_arg)
 
 (* ---- repair: route, inject faults, re-route only around them ---- *)
 
@@ -535,7 +579,7 @@ let serve_cmd =
                  (default 600).")
   in
   let run port no_stdio _stdio cache journal_path supervise pidfile max_conns
-      max_line idle_timeout limits =
+      max_line idle_timeout limits hier =
     if no_stdio && port = None then fail exit_parse "--no-stdio requires --port"
     else begin
       let stdio = not no_stdio in
@@ -550,7 +594,9 @@ let serve_cmd =
               Printf.eprintf "pacor-serve: cannot open journal %s: %s\n%!" path e;
               Stdlib.exit exit_parse)
         in
-        let t = Pacor_serve.Server.create ~cache_capacity:cache ~limits ?journal () in
+        let t =
+          Pacor_serve.Server.create ~cache_capacity:cache ~limits ~hier ?journal ()
+        in
         let recovered = Pacor_serve.Server.recover t in
         if recovered > 0 then
           Printf.eprintf "pacor-serve: recovered %d session(s) from journal\n%!"
@@ -596,7 +642,7 @@ let serve_cmd =
   in
   Cmd.v info
     Term.(const run $ port $ no_stdio $ stdio $ cache $ journal $ supervise
-          $ pidfile $ max_conns $ max_line $ idle_timeout $ limits_term)
+          $ pidfile $ max_conns $ max_line $ idle_timeout $ limits_term $ hier_arg)
 
 (* ---- client: drive a daemon from scripts ---- *)
 
@@ -702,7 +748,7 @@ let check_cmd =
     Arg.(value & flag & info [ "static-only" ]
            ~doc:"Stop after the pre-flight analysis; do not route.")
   in
-  let run design file variant static_only limits =
+  let run design file variant static_only limits hier =
     match load_problem ~design ~file with
     | Error msg -> fail exit_parse "%s" msg
     | Ok problem ->
@@ -726,7 +772,9 @@ let check_cmd =
         (* Route and hold the result to the independent validator — the
            check fails (exit 1) on any design-rule violation and exit 3
            on a structural engine failure, naming the failing stage. *)
-        let config = { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits } in
+        let config =
+          { (Pacor.Config.make ~variant ()) with Pacor.Config.limits = limits; hier }
+        in
         match Pacor.Engine.run ~config problem with
         | Error e -> fail exit_engine "engine failed at stage %s: %s" e.stage e.message
         | Ok sol ->
@@ -750,7 +798,8 @@ let check_cmd =
             and run the independent solution validator. Exit codes: 1 validation \
             violation, 2 parse/load error, 3 engine error."
   in
-  Cmd.v info Term.(const run $ design $ file $ variant $ static_only $ limits_term)
+  Cmd.v info
+    Term.(const run $ design $ file $ variant $ static_only $ limits_term $ hier_arg)
 
 let () =
   let info =

@@ -44,7 +44,7 @@ let detour ~workspace ~grid ~delta ~theta ~valve_cells ~escapes routed_list =
   in
   Detour_stage.run ~workspace ~grid ~delta ~theta ~blocked routed_list
 
-let route_inner ~config ~workspace ~budget (problem : Problem.t) =
+let route_inner ~config ~workspace ~budget ~hier (problem : Problem.t) =
   (* Monotonic wall-clock (not process CPU, not gettimeofday) time: with several engine runs in flight
      on concurrent domains, [Sys.time] charges every domain's work to each
      run and misreports per-instance runtime and batch speedup. *)
@@ -102,6 +102,28 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
     in
     log config "clustering: %d clusters (%d multi-valve)" (List.length clusters)
       initial_multi_clusters;
+    (* Hierarchical global stage: coarsen, plan corridors, and confine the
+       detailed stages below through the workspace mask. [None] (flat
+       mode, or a grid too small to tile) leaves every search untouched. *)
+    let hplan =
+      if hier then
+        timed "hier-plan" (fun () ->
+          Hier.plan ~alive ~workspace ~config problem clusters)
+      else None
+    in
+    (match hplan with
+     | Some plan ->
+       log config
+         "hier: %dx%d tiles, %d detail / %d escape / %d post corridor tiles, \
+          %d/%d escapes assigned"
+         (Pacor_grid.Tile_graph.tiles_x plan.Hier.tg)
+         (Pacor_grid.Tile_graph.tiles_y plan.Hier.tg)
+         (List.length plan.Hier.cluster_tiles)
+         (List.length plan.Hier.escape_tiles)
+         (List.length plan.Hier.post_tiles)
+         plan.Hier.assigned plan.Hier.requests;
+       Hier.install_detail workspace plan
+     | None -> ());
     let next_id =
       ref (1 + List.fold_left (fun m (c : Cluster.t) -> max m c.id) 0 clusters)
     in
@@ -196,10 +218,29 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
         escape_length = 0;
       }
     in
+    (* The escape flow network is confined to the plan's NARROW corridor
+       (assigned tile chains + start-tile rings), independently of the
+       wider workspace mask the surrounding A*-based searches run under —
+       the flow's per-augmentation cost is proportional to network size,
+       so this is where the hierarchy's asymptotic win lives. *)
+    let escape_corridor =
+      match hplan with
+      | None -> None
+      | Some plan -> Some (Hier.escape_predicate workspace plan)
+    in
+    let escape_corridor_fallback =
+      match hplan with
+      | None -> None
+      | Some plan -> Some (Hier.post_predicate workspace plan)
+    in
     let rec escape_loop round routed_list =
       if not (alive ()) then Ok (routed_list, unrouted_escape routed_list)
       else
-      match Escape_stage.run ~alive ~workspace ~grid ~pins:problem.Problem.pins routed_list with
+      match
+        Escape_stage.run ~alive ~workspace ?corridor:escape_corridor
+          ?corridor_fallback:escape_corridor_fallback ~grid
+          ~pins:problem.Problem.pins routed_list
+      with
       | Error message -> Error { stage = "escape"; message }
       | Ok out ->
         (* The budget is also polled inside the flow solve (once per
@@ -353,6 +394,9 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
           end
         end
     in
+    (* From the escape stage on, searches may legitimately travel between
+       clusters and the boundary: widen the mask to the post corridor. *)
+    (match hplan with Some plan -> Hier.install_post workspace plan | None -> ());
     (match timed "escape" (fun () -> escape_loop 0 (lm_routed @ plain_out.Plain_route.routed)) with
      | Error e -> Error e
      | Ok (routed_list, escape_out) ->
@@ -655,7 +699,38 @@ let route_inner ~config ~workspace ~budget (problem : Problem.t) =
            budget_exhausted = Pacor_route.Budget.exhausted budget;
          })
 
-let run ?(config = Config.default) ?workspace (problem : Problem.t) =
+type hier_tier =
+  | Flat_mode
+  | Hier_identical
+  | Hier_certified
+  | Hier_race_won
+  | Hier_race_flat
+  | Hier_error_flat
+
+let tier_name = function
+  | Flat_mode -> "flat"
+  | Hier_identical -> "identical"
+  | Hier_certified -> "certified"
+  | Hier_race_won -> "race-won"
+  | Hier_race_flat -> "race-flat"
+  | Hier_error_flat -> "error-flat"
+
+type report = {
+  solution : Solution.t;
+  tier : hier_tier;
+  hier_search : Pacor_route.Search_stats.snapshot option;
+  flat_search : Pacor_route.Search_stats.snapshot option;
+  clips : int;
+  fallbacks : int;
+  bidir : int;
+}
+
+let search_total (sol : Solution.t) =
+  List.fold_left
+    (fun acc (_, s) -> Pacor_route.Search_stats.add acc s)
+    Pacor_route.Search_stats.zero sol.Solution.stage_search
+
+let run_report ?(config = Config.default) ?workspace (problem : Problem.t) =
   (* One search workspace for the whole problem: every stage's A* /
      bounded-A* calls reuse its arrays (O(1) epoch reset, no grid-sized
      allocation per search) and accumulate into its counters. A caller
@@ -667,6 +742,13 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
     | Some w -> w
     | None -> Pacor_route.Workspace.create ()
   in
+  let cells = Pacor_grid.Routing_grid.cells problem.Problem.grid in
+  (* One-time growth to the instance's size: a cold workspace on a
+     1000x1000+ grid pays a single allocation event here instead of a
+     doubling cascade inside the first searches; a pooled workspace grows
+     monotonically and reuses its arrays across differently-sized
+     problems. *)
+  Pacor_route.Workspace.prepare workspace ~cells;
   (* The budget rides on the workspace so every search this run performs —
      and nothing outside it — is charged; the caller's budget (normally
      unlimited) is restored on every exit path. *)
@@ -675,9 +757,79 @@ let run ?(config = Config.default) ?workspace (problem : Problem.t) =
   Pacor_route.Workspace.set_budget workspace budget;
   Pacor_route.Budget.arm budget;
   Fun.protect
-    ~finally:(fun () -> Pacor_route.Workspace.set_budget workspace saved)
+    ~finally:(fun () ->
+      Pacor_route.Workspace.corridor_clear workspace;
+      Pacor_route.Workspace.set_budget workspace saved)
     (fun () ->
-      try route_inner ~config ~workspace ~budget problem with
-      | Stack_overflow ->
-        Error { stage = "internal"; message = "stack overflow" }
-      | exn -> Error { stage = "internal"; message = Printexc.to_string exn })
+      let attempt ~hier =
+        try route_inner ~config ~workspace ~budget ~hier problem with
+        | Stack_overflow ->
+          Error { stage = "internal"; message = "stack overflow" }
+        | exn -> Error { stage = "internal"; message = Printexc.to_string exn }
+      in
+      let report ?hier_search ?flat_search ?(clips = 0) ?(fallbacks = 0)
+          ?(bidir = 0) tier solution =
+        { solution; tier; hier_search; flat_search; clips; fallbacks; bidir }
+      in
+      if not (Config.hier_enabled config ~cells) then
+        Result.map
+          (fun sol -> report ~flat_search:(search_total sol) Flat_mode sol)
+          (attempt ~hier:false)
+      else begin
+        (* The never-worse ladder (see {!Hier}): confined run first, then
+           prove it safe as cheaply as possible. *)
+        Pacor_route.Workspace.corridor_reset_counters workspace;
+        let hier_result = attempt ~hier:true in
+        Pacor_route.Workspace.corridor_clear workspace;
+        let clips = Pacor_route.Workspace.corridor_clips workspace in
+        let fallbacks = Pacor_route.Workspace.corridor_fallbacks workspace in
+        let bidir = Pacor_route.Workspace.corridor_bidir workspace in
+        let report = report ~clips ~fallbacks ~bidir in
+        log config "hier: clips=%d fallbacks=%d bidir=%d" clips fallbacks bidir;
+        match hier_result with
+        | Error _ ->
+          (* A structural failure under confinement (not plain congestion
+             — that returns [Ok] with failures listed): rerun flat. *)
+          Result.map
+            (fun sol -> report ~flat_search:(search_total sol) Hier_error_flat sol)
+            (attempt ~hier:false)
+        | Ok sol ->
+          let hier_search = search_total sol in
+          log config "hier attempt: %a" Pacor_route.Search_stats.pp hier_search;
+          if config.Config.verbose then
+            List.iter
+              (fun (stage, s) ->
+                log config "hier attempt %-14s %a" stage
+                  Pacor_route.Search_stats.pp s)
+              sol.Solution.stage_search;
+          if clips = 0 && fallbacks = 0 && bidir = 0 then begin
+            (* Tier 1: confinement never changed a relaxation; this IS the
+               flat solution. *)
+            log config "hier ladder: byte-identical to flat";
+            Ok (report ~hier_search Hier_identical sol)
+          end
+          else begin
+            match Hier.certify_failure sol with
+            | None ->
+              (* Tier 2: lower bounds prove no flat run can beat it. *)
+              log config "hier ladder: certified optimal-under-bounds";
+              Ok (report ~hier_search Hier_certified sol)
+            | Some reason ->
+              (* Tier 3: race. Keep the hierarchical solution only when
+                 strictly better under {!Hier.score}. *)
+              log config "hier ladder: uncertified (%s), racing flat" reason;
+              (match attempt ~hier:false with
+               | Error _ -> Ok (report ~hier_search Hier_race_won sol)
+               | Ok flat_sol ->
+                 let flat_search = search_total flat_sol in
+                 let keep_hier = Hier.score sol > Hier.score flat_sol in
+                 log config "hier ladder: raced flat, kept %s"
+                   (if keep_hier then "hierarchical" else "flat");
+                 if keep_hier then
+                   Ok (report ~hier_search ~flat_search Hier_race_won sol)
+                 else Ok (report ~hier_search ~flat_search Hier_race_flat flat_sol))
+          end
+      end)
+
+let run ?config ?workspace problem =
+  Result.map (fun r -> r.solution) (run_report ?config ?workspace problem)

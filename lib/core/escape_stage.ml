@@ -41,7 +41,7 @@ let single ?workspace ~grid ~claimed ~pins ~start_cells () =
            path }
      | None -> None)
 
-let run ?alive ?workspace ~grid ~pins routed_clusters =
+let run ?alive ?workspace ?corridor ?corridor_fallback ~grid ~pins routed_clusters =
   let claimed =
     List.fold_left
       (fun acc (r : Routed.t) -> Point.Set.union acc r.claimed)
@@ -53,7 +53,10 @@ let run ?alive ?workspace ~grid ~pins routed_clusters =
          { Pacor_flow.Escape.cluster_idx = i; start_cells = Routed.start_cells r })
       routed_clusters
   in
-  match Pacor_flow.Escape.route ?alive ?workspace ~grid ~claimed ~pins requests with
+  match
+    Pacor_flow.Escape.route ?alive ?workspace ?corridor ?corridor_fallback ~grid
+      ~claimed ~pins requests
+  with
   | Error _ as e -> e
   | Ok out ->
     let by_idx = Hashtbl.create 16 in

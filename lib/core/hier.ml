@@ -1,0 +1,234 @@
+(* Hierarchical two-stage routing: tile-level planning and the
+   never-worse ladder's certificate.
+
+   The plan is computed once per run, right after clustering: a
+   [Tile_graph] coarsens the grid, a geometric pass collects the tiles
+   every cluster's internal channels can plausibly need, and the
+   [Global_route] flow assigns each cluster's escape to a concrete tile
+   corridor. The detailed stages then search only inside the installed
+   corridor (plus its one-tile halo) via the workspace mask — each search
+   falling back to the whole grid when its corridor starves it, so the
+   hierarchy can only remove work, never solutions. *)
+
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+
+type plan = {
+  tg : Tile_graph.t;
+  cluster_tiles : int list;
+  escape_tiles : int list;
+  post_tiles : int list;
+  escape_mask : Bytes.t;
+  post_mask : Bytes.t;
+  requests : int;
+  assigned : int;
+}
+
+(* Round the configured tile edge up to a power of two so the cell->tile
+   map stays a shift. *)
+let pow2_at_least k =
+  let rec go v = if v >= k then v else go (v * 2) in
+  go 1
+
+let plan ?alive ?workspace ~config (problem : Problem.t) clusters =
+  let grid = problem.Problem.grid in
+  let k = pow2_at_least (max 2 config.Config.hier_tile) in
+  let tg = Tile_graph.create grid ~k in
+  (* A hierarchy over a handful of tiles cannot prune anything the halo
+     does not immediately re-admit; run flat instead. *)
+  if Tile_graph.tiles_x tg < 3 || Tile_graph.tiles_y tg < 3 then None
+  else begin
+    let margin = problem.Problem.delta + 2 in
+    let cluster_rects =
+      List.filter_map
+        (fun c ->
+          match Cluster.positions c with
+          | [] -> None
+          | ps -> Some (Rect.inflate (Rect.of_point_list ps) margin))
+        clusters
+    in
+    let cluster_tiles =
+      Tile_graph.expand tg
+        (List.concat_map (Tile_graph.tiles_of_rect tg) cluster_rects)
+    in
+    (* Global escape assignment: one flow unit per cluster, from the tiles
+       under its valves to any tile holding candidate pins. *)
+    let pins_per_tile = Array.make (Tile_graph.tile_count tg) 0 in
+    List.iter
+      (fun p ->
+        if Routing_grid.in_bounds grid p then begin
+          let t = Tile_graph.tile_of_point tg p in
+          pins_per_tile.(t) <- pins_per_tile.(t) + 1
+        end)
+      problem.Problem.pins;
+    let start_tiles =
+      List.filter_map
+        (fun c ->
+          match Cluster.positions c with
+          | [] -> None
+          | ps -> Some (Tile_graph.tiles_of_rect tg (Rect.of_point_list ps)))
+        clusters
+    in
+    let assigned =
+      Pacor_flow.Global_route.assign ?alive ?workspace tg ~pins_per_tile ~start_tiles
+    in
+    (* The escape corridor is deliberately NARROW — the assigned tile
+       chains plus a haloed ring around each cluster's start tiles, not
+       the cluster bounding boxes. The escape flow network is built from
+       exactly these tiles, so its size (and the 0-1-BFS work per
+       augmentation) scales with corridor area rather than chip area.
+       Requests the global flow could not place (congestion or pins
+       unreachable at tile granularity) contribute only their start tiles
+       and rely on the escape solver's staged fallback. *)
+    let escape_tiles =
+      let acc = ref (List.concat start_tiles) in
+      Array.iter
+        (function
+          | Some tiles -> acc := List.rev_append tiles !acc
+          | None -> ())
+        assigned;
+      List.sort_uniq compare !acc
+    in
+    (* The workspace mask for the escape stage onwards: rip-up re-routes,
+       detouring and rematching may travel anywhere a cluster or an escape
+       plausibly reaches. *)
+    let post_tiles =
+      Tile_graph.expand tg (List.rev_append cluster_tiles escape_tiles)
+    in
+    let escape_mask = Tile_graph.cell_mask tg escape_tiles in
+    let post_mask = Tile_graph.cell_mask tg post_tiles in
+    let assigned_count =
+      Array.fold_left
+        (fun acc c -> if c <> None then acc + 1 else acc)
+        0 assigned
+    in
+    Some
+      { tg; cluster_tiles; escape_tiles; post_tiles; escape_mask; post_mask;
+        requests = Array.length assigned; assigned = assigned_count }
+  end
+
+let install ws plan tiles =
+  Pacor_route.Workspace.corridor_install ws
+    ~width:(Tile_graph.grid_width plan.tg)
+    ~tiles_x:(Tile_graph.tiles_x plan.tg)
+    ~tile_count:(Tile_graph.tile_count plan.tg)
+    ~shift:(Tile_graph.shift plan.tg)
+    tiles
+
+let install_detail ws plan = install ws plan plan.cluster_tiles
+let install_post ws plan = install ws plan plan.post_tiles
+
+let escape_predicate ws plan i =
+  if Tile_graph.mask_mem plan.tg plan.escape_mask i then true
+  else begin
+    Pacor_route.Workspace.corridor_note_clip ws;
+    false
+  end
+
+let post_predicate ws plan i =
+  if Tile_graph.mask_mem plan.tg plan.post_mask i then true
+  else begin
+    Pacor_route.Workspace.corridor_note_clip ws;
+    false
+  end
+
+(* -- Certificate -------------------------------------------------------- *)
+
+let rect_distance (p : Point.t) (r : Rect.t) =
+  let dx = max 0 (max (r.Rect.x0 - p.x) (p.x - r.Rect.x1)) in
+  let dy = max 0 (max (r.Rect.y0 - p.y) (p.y - r.Rect.y1)) in
+  dx + dy
+
+(* Lower bound on the escape length any routing of this cluster's chosen
+   topology can achieve: the channels of a Manhattan-minimal routing stay
+   inside their edges' bounding boxes, an escape starts on a channel (or
+   valve) cell, so its length is at least the distance from its pin to the
+   nearest box — minimised over every candidate pin since the certificate
+   may not assume flat picks the same one. A routing that pushes a channel
+   [d] cells outside its box to get closer to a pin pays at least [2d]
+   internal length for at most [d] of escape gain, so the bound holds for
+   non-minimal channels too. *)
+let escape_lb ~pins (r : Routed.t) =
+  let rects =
+    List.map (fun p -> Rect.of_points (Path.source p) (Path.target p)) r.Routed.paths
+    @ List.map (fun v -> Rect.of_points v v) (Cluster.positions r.Routed.cluster)
+  in
+  match rects with
+  | [] -> 1
+  | _ ->
+    let best = ref max_int in
+    List.iter
+      (fun pin ->
+        List.iter (fun rect -> best := min !best (rect_distance pin rect)) rects)
+      pins;
+    max 1 !best
+
+let certify_failure (sol : Solution.t) =
+  let pins = sol.Solution.problem.Problem.pins in
+  if sol.Solution.budget_exhausted <> None then Some "budget exhausted"
+  else if
+    not
+      (List.for_all
+         (fun (_, o) -> o = Solution.Completed)
+         sol.Solution.stage_outcomes)
+  then Some "a stage degraded"
+  else if
+    (* Every cluster escaped: the routed-valve count is at its maximum. *)
+    not
+      (List.for_all (fun (c : Solution.routed_cluster) -> c.escape <> None)
+         sol.Solution.clusters)
+  then Some "a cluster failed to escape"
+  else if
+    (* No demotion or declustering: every initially multi-valve cluster is
+       still routed under the length-matching regime, and matched. A flat
+       run can therefore at best tie the matched count. *)
+    List.length
+      (List.filter
+         (fun (c : Solution.routed_cluster) ->
+           Routed.is_length_matched_shape c.routed && c.matched)
+         sol.Solution.clusters)
+    <> sol.Solution.initial_multi_clusters
+  then Some "a multi-valve cluster was demoted or left unmatched"
+  else if
+    not
+      (List.for_all
+         (fun (c : Solution.routed_cluster) ->
+           (* Every internal channel at the Manhattan minimum of its
+              endpoints. *)
+           List.for_all
+             (fun p ->
+               Path.length p = Point.manhattan (Path.source p) (Path.target p))
+             c.routed.Routed.paths)
+         sol.Solution.clusters)
+  then Some "an internal channel exceeds its Manhattan minimum"
+  else if
+    not
+      (List.for_all
+         (fun (c : Solution.routed_cluster) ->
+           match c.escape with
+           | None -> false
+           | Some e ->
+             Path.length e.Pacor_flow.Escape.path <= escape_lb ~pins c.routed)
+         sol.Solution.clusters)
+  then Some "an escape exceeds its pin-to-channel-box lower bound"
+  else None
+
+let certified sol = certify_failure sol = None
+
+let score (sol : Solution.t) =
+  let routed_valves =
+    List.fold_left
+      (fun acc (c : Solution.routed_cluster) ->
+        if c.escape <> None then acc + Cluster.size c.routed.Routed.cluster else acc)
+      0 sol.Solution.clusters
+  in
+  let matched =
+    List.length (List.filter (fun (c : Solution.routed_cluster) -> c.matched) sol.Solution.clusters)
+  in
+  let total_length =
+    List.fold_left
+      (fun acc c -> acc + Solution.cluster_total_length c)
+      0 sol.Solution.clusters
+  in
+  (routed_valves, matched, -total_length)

@@ -1,0 +1,95 @@
+(** Hierarchical two-stage routing: tile-level global planning plus the
+    never-worse ladder the engine uses to keep hierarchical results
+    certifiably no worse than flat ones.
+
+    The ladder has three tiers, cheapest first:
+
+    + {e byte identity} — if the whole run recorded zero corridor clips,
+      zero fallbacks and zero bidirectional searches, confinement never
+      changed a single relaxation and the solution {e is} the flat one;
+    + {e certificate} — {!certified} proves by lower bounds that no flat
+      run could beat the solution on (routed valves, matched clusters,
+      total length);
+    + {e race} — otherwise the engine also runs flat and keeps the better
+      solution by {!score}.
+
+    All three live here so the engine, the bench and the qcheck property
+    agree on the exact criteria. *)
+
+open Pacor_valve
+
+type plan = {
+  tg : Pacor_grid.Tile_graph.t;
+  cluster_tiles : int list;
+      (** corridor for the internal stages: every tile a cluster's
+          channels can plausibly need (inflated bounding boxes + halo) *)
+  escape_tiles : int list;
+      (** the escape flow network's tiles — narrow by design: the tile
+          corridors the global flow assigned plus a haloed ring around
+          each cluster's start tiles. The escape solve's per-augmentation
+          cost scales with this corridor's area, not the chip's *)
+  post_tiles : int list;
+      (** workspace mask from the escape stage onwards: [cluster_tiles]
+          union [escape_tiles], haloed — rip-up re-routes, detouring and
+          rematching may travel anywhere a cluster or escape reaches *)
+  escape_mask : Bytes.t;
+      (** per-tile membership table of [escape_tiles] (see
+          {!Pacor_grid.Tile_graph.mask_mem}) *)
+  post_mask : Bytes.t;  (** per-tile membership table of [post_tiles] *)
+  requests : int;  (** escape requests the global flow planned over *)
+  assigned : int;  (** how many of them got a tile corridor *)
+}
+
+val plan :
+  ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
+  config:Config.t ->
+  Problem.t ->
+  Cluster.t list ->
+  plan option
+(** Coarsen the grid at [config.hier_tile] (rounded up to a power of two)
+    and plan corridors for the given clustering. [None] when the grid is
+    too small for the hierarchy to prune anything (under 3x3 tiles) — the
+    engine then runs plainly flat. *)
+
+val install_detail : Pacor_route.Workspace.t -> plan -> unit
+(** Activate the internal-stage corridor ([cluster_tiles]) on the
+    workspace mask. *)
+
+val install_post : Pacor_route.Workspace.t -> plan -> unit
+(** Activate the escape-and-after workspace corridor ([post_tiles]);
+    replaces the detail corridor. *)
+
+val escape_predicate : Pacor_route.Workspace.t -> plan -> int -> bool
+(** Membership in the narrow escape corridor ([escape_mask]) as a cell
+    predicate for {!Pacor_flow.Escape.route}'s [corridor] argument,
+    counting every refusal as a clip on the workspace. Independent of the
+    installed workspace mask, so the escape network can be narrower than
+    the mask the surrounding A*-based stages search under. *)
+
+val post_predicate : Pacor_route.Workspace.t -> plan -> int -> bool
+(** Same, over [post_mask] — the wider corridor passed as
+    {!Pacor_flow.Escape.route}'s [corridor_fallback], so a starved escape
+    retries on the cluster-plus-corridor region before paying for the
+    whole grid. *)
+
+val escape_lb : pins:Pacor_geom.Point.t list -> Routed.t -> int
+(** Lower bound (in edges) on the escape length {e any} routing of this
+    cluster's topology can achieve, minimised over all candidate pins.
+    Exposed for the certificate tests. *)
+
+val certify_failure : Solution.t -> string option
+(** [None] when the tier-2 certificate holds; otherwise the first
+    condition that failed, for diagnostics. *)
+
+val certified : Solution.t -> bool
+(** Tier-2 certificate: the solution routed every valve, kept and matched
+    every initially multi-valve cluster, ran every stage to completion
+    within budget, and has every internal channel at its Manhattan minimum
+    and every escape at {!escape_lb}. Such a solution is equal-or-better
+    than any flat run on (routed valves, matched clusters, total length),
+    so the race is unnecessary. *)
+
+val score : Solution.t -> int * int * int
+(** Race ordering: [(routed valves, matched clusters, -total length)],
+    compared lexicographically (larger wins). *)

@@ -19,25 +19,47 @@ type outcome = {
   total_length : int;
 }
 
-(* Cell roles in the flow network, packed one byte per cell. Precedence
+(* Cell roles in the flow network, packed two bits per cell. Precedence
    (highest wins): blocked > pin > start > claimed > boundary > ordinary. *)
-let role_excluded = '\000'  (* obstacle, non-pin boundary, foreign claim *)
-let role_ordinary = '\001'  (* free interior transit cell *)
-let role_pin = '\002'       (* candidate control pin: sink only *)
-let role_start = '\003'     (* claimed cell usable as some cluster's source *)
+let role_excluded = 0  (* obstacle, non-pin boundary, foreign claim *)
+let role_ordinary = 1  (* free interior transit cell *)
+let role_pin = 2       (* candidate control pin: sink only *)
+let role_start = 3     (* claimed cell usable as some cluster's source *)
 
-(* Dense role array indexed by [Routing_grid.index]: the
+(* Dense role layer indexed by [Routing_grid.index]: the
    O(log n)-per-probe [Point.Set.mem] lookups of the old builder become
-   one byte read per cell and per neighbour. The overlay order below
+   one two-bit read per cell and per neighbour. The overlay order below
    realises the precedence: later writes win, and the pin/start writes
-   are guarded by [free_i] so a blocked cell stays excluded. *)
-let compute_roles ~grid ~claimed ~pins requests =
-  let roles = Bytes.create (Routing_grid.cells grid) in
-  Routing_grid.fill_interior_free grid roles;
+   are guarded by [free_i] so a blocked cell stays excluded. The backing
+   bytes come from the workspace scratch pool when one is supplied, so
+   repeated escape solves on a warm workspace allocate nothing.
+
+   [corridor] (the hierarchical engine's union-of-request-corridors mask)
+   demotes ordinary transit cells outside the mask to excluded; starts and
+   pins are exempt, mirroring the detailed searchers' source/target
+   exemption. The predicate is consulted only on otherwise-usable interior
+   cells, so the caller can count every [false] as a genuine clip. *)
+let compute_roles ?workspace ?corridor ~grid ~claimed ~pins requests =
+  let cells = Routing_grid.cells grid in
+  let roles =
+    match workspace with
+    | Some ws ->
+      Packed_roles.wrap ~len:cells
+        (Pacor_route.Workspace.scratch_bytes ws ~len:(Packed_roles.bytes_needed cells))
+    | None -> Packed_roles.create cells
+  in
+  Routing_grid.fill_interior_free_packed grid roles;
+  (match corridor with
+   | None -> ()
+   | Some allow ->
+     for i = 0 to cells - 1 do
+       if Packed_roles.get roles i = role_ordinary && not (allow i) then
+         Packed_roles.set roles i role_excluded
+     done);
   Point.Set.iter
     (fun p ->
        if Routing_grid.in_bounds grid p then
-         Bytes.set roles (Routing_grid.index grid p) role_excluded)
+         Packed_roles.set roles (Routing_grid.index grid p) role_excluded)
     claimed;
   List.iter
     (fun r ->
@@ -45,7 +67,7 @@ let compute_roles ~grid ~claimed ~pins requests =
          (fun p ->
             if Routing_grid.in_bounds grid p then begin
               let i = Routing_grid.index grid p in
-              if Routing_grid.free_i grid i then Bytes.set roles i role_start
+              if Routing_grid.free_i grid i then Packed_roles.set roles i role_start
             end)
          r.start_cells)
     requests;
@@ -53,7 +75,7 @@ let compute_roles ~grid ~claimed ~pins requests =
     (fun p ->
        if Routing_grid.in_bounds grid p then begin
          let i = Routing_grid.index grid p in
-         if Routing_grid.free_i grid i then Bytes.set roles i role_pin
+         if Routing_grid.free_i grid i then Packed_roles.set roles i role_pin
        end)
     pins;
   roles
@@ -69,14 +91,14 @@ let emit_network ~grid ~roles requests ~emit =
   let nreq = List.length requests in
   let source = (2 * cells) + nreq and sink = (2 * cells) + nreq + 1 in
   for i = 0 to cells - 1 do
-    let role = Bytes.unsafe_get roles i in
+    let role = Packed_roles.get roles i in
     if role <> role_excluded then begin
       let out_node = (2 * i) + 1 in
       if role = role_pin then emit (2 * i) sink 0
       else begin
         if role = role_ordinary then emit (2 * i) out_node 0;
         Routing_grid.iter_neighbours4 grid i (fun j ->
-          let rj = Bytes.unsafe_get roles j in
+          let rj = Packed_roles.get roles j in
           if rj = role_ordinary || rj = role_pin then emit out_node (2 * j) 1)
       end
     end
@@ -144,7 +166,7 @@ let feasibility_bound ?workspace ~grid ~claimed ~pins requests =
   match validate ~grid ~pins requests with
   | Error _ -> 0
   | Ok () ->
-    let roles = compute_roles ~grid ~claimed ~pins requests in
+    let roles = compute_roles ?workspace ~grid ~claimed ~pins requests in
     let net, _source, _sink = build_grid_network ~grid ~roles requests in
     Mcmf_grid.max_flow ?workspace net
 
@@ -153,11 +175,9 @@ type solver =
   | Spfa
   | Grid
 
-let route ?(alive = fun () -> true) ?workspace ?(solver = Grid) ~grid ~claimed ~pins
-    requests =
-  match validate ~grid ~pins requests with
-  | Error _ as e -> e
-  | Ok () ->
+(* One confined (or flat) min-cost-flow solve, no escalation: the ladder
+   in [route] composes these. Inputs are assumed validated. *)
+let solve_once ~alive ?workspace ~solver ?corridor ~grid ~claimed ~pins requests =
     let cells = Routing_grid.cells grid in
     let nreq = List.length requests in
     let n = (2 * cells) + nreq + 2 in
@@ -166,7 +186,7 @@ let route ?(alive = fun () -> true) ?workspace ?(solver = Grid) ~grid ~claimed ~
        threshold: augment while a path still costs less than beta, which is
        larger than any possible augmenting-path cost — so the flow first
        maximises the number of routed clusters, then total length. *)
-    let roles = compute_roles ~grid ~claimed ~pins requests in
+    let roles = compute_roles ?workspace ?corridor ~grid ~claimed ~pins requests in
     let node_paths =
       match solver with
       | Grid ->
@@ -238,4 +258,102 @@ let route ?(alive = fun () -> true) ?workspace ?(solver = Grid) ~grid ~claimed ~
         requests
     in
     let total_length = List.fold_left (fun acc r -> acc + Path.length r.path) 0 routed in
-    Ok { routed; failed; total_length }
+    { routed; failed; total_length }
+
+(* A corridored solve that fails any request may be the corridor's fault —
+   the flow network excluded transit cells a flat network keeps. [route]
+   escalates through residual retries (failed requests re-solved with the
+   already-routed escapes committed as claimed cells and their pins
+   retired), noting each fallback on the workspace's corridor counters so
+   the run no longer certifies as confinement-free.
+
+   With [corridor_fallback] (the hierarchical engine's wider post-corridor):
+   retry the failed requests inside the wider region, then retry any
+   stragglers unconfined. Each retry costs [|failed|] augmentations on the
+   residual; there is deliberately {e no} whole-instance flat re-solve —
+   a request failing even the unconfined residual is almost always
+   infeasible for flat too (the engine's race tier covers the remainder),
+   and the full re-solve used to charge a whole flat solve per rip-up
+   round whenever one genuinely infeasible request was present.
+
+   Without [corridor_fallback] (bare-corridor callers): one unconfined
+   residual retry, then the historical whole-instance flat re-solve, which
+   keeps the strict guarantee that a corridored call never routes fewer
+   requests than a flat one. *)
+let route ?(alive = fun () -> true) ?workspace ?(solver = Grid) ?corridor
+    ?corridor_fallback ~grid ~claimed ~pins requests =
+  match validate ~grid ~pins requests with
+  | Error _ as e -> e
+  | Ok () ->
+    let base = solve_once ~alive ?workspace ~solver ?corridor ~grid ~claimed ~pins requests in
+    if corridor = None || base.failed = [] || not (alive ()) then Ok base
+    else begin
+      let note () =
+        match workspace with
+        | Some ws -> Pacor_route.Workspace.corridor_note_fallback ws
+        | None -> ()
+      in
+      note ();
+      (* Residual instance after committing [acc]'s escapes. *)
+      let residual acc =
+        let claimed' =
+          List.fold_left
+            (fun s r ->
+              List.fold_left (fun s p -> Point.Set.add p s) s (Path.points r.path))
+            claimed acc.routed
+        in
+        let pins' =
+          List.filter
+            (fun p -> not (List.exists (fun r -> Point.equal p r.pin) acc.routed))
+            pins
+        in
+        let failed_reqs =
+          List.filter (fun r -> List.mem r.cluster_idx acc.failed) requests
+        in
+        (claimed', pins', failed_reqs)
+      in
+      (* Combine, restoring input request order. *)
+      let merge acc rest =
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun r -> Hashtbl.replace tbl r.idx r) acc.routed;
+        List.iter (fun r -> Hashtbl.replace tbl r.idx r) rest.routed;
+        let routed =
+          List.filter_map (fun r -> Hashtbl.find_opt tbl r.cluster_idx) requests
+        in
+        let failed =
+          List.filter_map
+            (fun r ->
+              if Hashtbl.mem tbl r.cluster_idx then None else Some r.cluster_idx)
+            requests
+        in
+        { routed; failed; total_length = acc.total_length + rest.total_length }
+      in
+      match corridor_fallback with
+      | Some wide ->
+        let claimed', pins', failed_reqs = residual base in
+        let step1 =
+          merge base
+            (solve_once ~alive ?workspace ~solver ~corridor:wide ~grid
+               ~claimed:claimed' ~pins:pins' failed_reqs)
+        in
+        if step1.failed = [] || not (alive ()) then Ok step1
+        else begin
+          note ();
+          let claimed'', pins'', failed_reqs' = residual step1 in
+          Ok
+            (merge step1
+               (solve_once ~alive ?workspace ~solver ~grid ~claimed:claimed''
+                  ~pins:pins'' failed_reqs'))
+        end
+      | None ->
+        let claimed', pins', failed_reqs = residual base in
+        let rest =
+          solve_once ~alive ?workspace ~solver ~grid ~claimed:claimed'
+            ~pins:pins' failed_reqs
+        in
+        if rest.failed = [] then Ok (merge base rest)
+        else begin
+          note ();
+          Ok (solve_once ~alive ?workspace ~solver ~grid ~claimed ~pins requests)
+        end
+    end

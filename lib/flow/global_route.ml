@@ -1,0 +1,71 @@
+(* Tile-level global assignment for hierarchical routing.
+
+   Reuses the escape solver's CSR min-cost-flow machinery one level up:
+   nodes are tiles instead of cells, arcs are tile-boundary crossings
+   instead of cell steps, and each request (a cluster's escape, in the
+   engine's use) is one unit of flow from its start tiles to any tile
+   holding unclaimed pins. Crossing arcs cost 1 and are replicated up to
+   [max_parallel] per boundary (capped by the boundary's free-cell-pair
+   capacity), so the optimum routes as many requests as possible first
+   and then minimises total crossings — spreading traffic across parallel
+   boundaries once a corridor saturates, which is the congestion term of
+   the global stage. Tile-interior capacity is deliberately not modelled:
+   the detailed stage negotiates cell conflicts, and the corridors only
+   need to be {e plausible}, never binding (every detailed search falls
+   back to the whole grid when its corridor fails). *)
+
+open Pacor_grid
+
+(* Crossing arcs replicated per tile boundary: enough that a few escapes
+   can share a corridor, few enough that the arc count stays linear in
+   tiles. *)
+let max_parallel = 16
+
+let assign ?alive ?workspace tg ~pins_per_tile ~start_tiles =
+  let tcount = Tile_graph.tile_count tg in
+  if Array.length pins_per_tile <> tcount then
+    invalid_arg "Global_route.assign: pins_per_tile length mismatch";
+  let reqs = Array.of_list (List.map (List.sort_uniq compare) start_tiles) in
+  let nreq = Array.length reqs in
+  let result = Array.make nreq None in
+  if nreq = 0 then result
+  else begin
+    let n = tcount + nreq + 2 in
+    let source = tcount + nreq and sink = tcount + nreq + 1 in
+    let emit_arcs f =
+      for t = 0 to tcount - 1 do
+        Tile_graph.iter_neighbours tg t (fun u ->
+          let c = min max_parallel (Tile_graph.boundary_capacity tg t u) in
+          for _ = 1 to c do
+            f ~src:t ~dst:u ~cost:1
+          done);
+        for _ = 1 to pins_per_tile.(t) do
+          f ~src:t ~dst:sink ~cost:0
+        done
+      done;
+      Array.iteri
+        (fun k tiles ->
+          f ~src:source ~dst:(tcount + k) ~cost:0;
+          List.iter
+            (fun t ->
+              if t >= 0 && t < tcount then f ~src:(tcount + k) ~dst:t ~cost:0)
+            tiles)
+        reqs
+    in
+    let net = Mcmf_grid.build ~n ~source ~sink ~emit_arcs in
+    (* Crossing costs are at most one per tile on a simple path, so
+       [tcount + 16] upper-bounds every augmenting path — the same
+       maximise-count-first threshold trick as the escape stage's beta. *)
+    let (_ : Mcmf_grid.outcome) =
+      Mcmf_grid.solve ?alive ?workspace ~stop_when_cost_reaches:(tcount + 16) net
+    in
+    List.iter
+      (fun nodes ->
+        match nodes with
+        | _src :: rnode :: rest when rnode >= tcount && rnode < tcount + nreq ->
+          let tiles = List.filter (fun v -> v < tcount) rest in
+          result.(rnode - tcount) <- Some tiles
+        | _ -> ())
+      (Mcmf_grid.decompose_paths net);
+    result
+  end

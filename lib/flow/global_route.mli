@@ -1,0 +1,31 @@
+(** Tile-level global assignment: the coarse stage of hierarchical routing.
+
+    Plans each request's escape traffic over the {!Pacor_grid.Tile_graph}
+    with the same CSR min-cost-flow solver the escape stage uses at cell
+    level. A request is one unit of flow from its start tiles to any tile
+    with spare pins; boundary crossings cost 1 and are capacity-limited by
+    the boundary's free cell pairs (capped at 16 parallel crossings), so
+    the optimum maximises the number of assigned requests, then minimises
+    and load-balances crossings. The resulting per-request tile sequences
+    become detailed-stage corridors — advisory, not binding: the detailed
+    searchers fall back to the whole grid when a corridor starves them. *)
+
+val max_parallel : int
+(** Parallel crossing arcs per tile boundary (capacity cap). *)
+
+val assign :
+  ?alive:(unit -> bool) ->
+  ?workspace:Pacor_route.Workspace.t ->
+  Pacor_grid.Tile_graph.t ->
+  pins_per_tile:int array ->
+  start_tiles:int list list ->
+  int list option array
+(** [assign tg ~pins_per_tile ~start_tiles] returns, per request (input
+    order), [Some corridor] — the tile sequence its flow takes, start tile
+    through pin tile — or [None] when the global flow could not assign it
+    (the caller widens to a geometric or whole-grid corridor).
+    [pins_per_tile.(t)] is the number of free, unclaimed candidate pins in
+    tile [t] (array length must be the tile count); [start_tiles] gives
+    each request's candidate entry tiles (deduplicated internally).
+    Deterministic for fixed inputs: arc emission order is fixed and the
+    flow decomposition tie-breaks on CSR index. *)

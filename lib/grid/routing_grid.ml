@@ -97,6 +97,20 @@ let fill_interior_free t b =
     done
   done
 
+(* Packed variant of [fill_interior_free]: role 1 for free interior cells,
+   role 0 elsewhere, two bits per cell. *)
+let fill_interior_free_packed t pk =
+  let w = t.width and h = t.height in
+  if Packed_roles.length pk < w * h then
+    invalid_arg "Routing_grid.fill_interior_free_packed: layer smaller than the grid";
+  Packed_roles.clear pk;
+  for y = 1 to h - 2 do
+    let row = y * w in
+    for x = 1 to w - 2 do
+      if Obstacle_map.free_i t.obstacles (row + x) then Packed_roles.set pk (row + x) 1
+    done
+  done
+
 (* Row-stride neighbour iteration for the search inner loops: no
    intermediate [Point.t] list, only in-bounds cells, and the emission
    order matches [Point.neighbours4] ([x+1; x-1; y+1; y-1]) so that

@@ -65,6 +65,12 @@ val fill_interior_free : t -> Bytes.t -> unit
     is statically free {e and} off the boundary ring, ['\000'] otherwise.
     The baseline for role arrays layered by the flow network builder. *)
 
+val fill_interior_free_packed : t -> Packed_roles.t -> unit
+(** {!fill_interior_free} into a two-bit {!Packed_roles} layer (role [1]
+    for free interior cells, [0] otherwise) — the allocation-light baseline
+    the escape network builder layers pins and starts onto. The layer must
+    hold at least {!cells} cells. *)
+
 val iter_neighbours4 : t -> int -> (int -> unit) -> unit
 (** [iter_neighbours4 t i f] applies [f] to the dense indices of the
     in-bounds 4-neighbours of cell [i], by row-stride arithmetic — no

@@ -1,0 +1,135 @@
+(* KxK coarsening of the routing grid for the hierarchical global stage. *)
+
+open Pacor_geom
+
+type t = {
+  width : int;
+  height : int;
+  k : int;
+  shift : int;
+  tiles_x : int;
+  tiles_y : int;
+  free : int array;
+  cap_right : int array;
+  cap_down : int array;
+}
+
+let is_pow2 k = k > 0 && k land (k - 1) = 0
+
+let shift_of k =
+  let rec go s v = if v <= 1 then s else go (s + 1) (v lsr 1) in
+  go 0 k
+
+let create grid ~k =
+  if not (is_pow2 k) then invalid_arg "Tile_graph.create: tile edge must be a power of two";
+  let width = Routing_grid.width grid and height = Routing_grid.height grid in
+  let shift = shift_of k in
+  let tiles_x = (width + k - 1) lsr shift in
+  let tiles_y = (height + k - 1) lsr shift in
+  let tc = tiles_x * tiles_y in
+  let free = Array.make tc 0 in
+  let cap_right = Array.make tc 0 in
+  let cap_down = Array.make tc 0 in
+  (* One row-major pass: count free cells per tile and free adjacent pairs
+     across each tile boundary. A pair contributes to the boundary between
+     the tile owning the lower-index cell and its +x / +y neighbour tile. *)
+  for y = 0 to height - 1 do
+    let ty = y lsr shift in
+    let trow = ty * tiles_x in
+    let row = y * width in
+    for x = 0 to width - 1 do
+      let i = row + x in
+      if Routing_grid.free_i grid i then begin
+        let tx = x lsr shift in
+        let tid = trow + tx in
+        free.(tid) <- free.(tid) + 1;
+        (* +x crossing: x is the last column of its tile and x+1 exists. *)
+        if x land (k - 1) = k - 1 && x + 1 < width && Routing_grid.free_i grid (i + 1)
+        then cap_right.(tid) <- cap_right.(tid) + 1;
+        (* +y crossing: y is the last row of its tile and y+1 exists. *)
+        if y land (k - 1) = k - 1 && y + 1 < height && Routing_grid.free_i grid (i + width)
+        then cap_down.(tid) <- cap_down.(tid) + 1
+      end
+    done
+  done;
+  { width; height; k; shift; tiles_x; tiles_y; free; cap_right; cap_down }
+
+let k t = t.k
+let shift t = t.shift
+let tiles_x t = t.tiles_x
+let tiles_y t = t.tiles_y
+let tile_count t = t.tiles_x * t.tiles_y
+let grid_width t = t.width
+
+let tile_index t ~tx ~ty = (ty * t.tiles_x) + tx
+
+let tile_of_index t i =
+  let x = i mod t.width and y = i / t.width in
+  ((y lsr t.shift) * t.tiles_x) + (x lsr t.shift)
+
+let tile_of_point t (p : Point.t) =
+  ((p.y lsr t.shift) * t.tiles_x) + (p.x lsr t.shift)
+
+let rect t tid =
+  let tx = tid mod t.tiles_x and ty = tid / t.tiles_x in
+  let x0 = tx lsl t.shift and y0 = ty lsl t.shift in
+  Rect.make ~x0 ~y0
+    ~x1:(min (x0 + t.k - 1) (t.width - 1))
+    ~y1:(min (y0 + t.k - 1) (t.height - 1))
+
+let free_cells t tid = t.free.(tid)
+
+let boundary_capacity t a b =
+  let d = b - a in
+  if d = 1 && b mod t.tiles_x <> 0 then t.cap_right.(a)
+  else if d = -1 && a mod t.tiles_x <> 0 then t.cap_right.(b)
+  else if d = t.tiles_x then t.cap_down.(a)
+  else if d = -t.tiles_x then t.cap_down.(b)
+  else invalid_arg "Tile_graph.boundary_capacity: tiles not adjacent"
+
+(* Emission order matches the cell-level searchers ([x+1; x-1; y+1; y-1])
+   so tile-level tie-breaking is the same shape as cell-level. *)
+let iter_neighbours t tid f =
+  let tx = tid mod t.tiles_x in
+  if tx + 1 < t.tiles_x then f (tid + 1);
+  if tx > 0 then f (tid - 1);
+  if tid + t.tiles_x < t.tiles_x * t.tiles_y then f (tid + t.tiles_x);
+  if tid >= t.tiles_x then f (tid - t.tiles_x)
+
+let tiles_of_rect t (r : Rect.t) =
+  let tx0 = max 0 (r.x0 lsr t.shift)
+  and ty0 = max 0 (r.y0 lsr t.shift)
+  and tx1 = min (t.tiles_x - 1) (r.x1 lsr t.shift)
+  and ty1 = min (t.tiles_y - 1) (r.y1 lsr t.shift) in
+  let acc = ref [] in
+  for ty = ty1 downto ty0 do
+    for tx = tx1 downto tx0 do
+      acc := tile_index t ~tx ~ty :: !acc
+    done
+  done;
+  !acc
+
+let cell_mask t tiles =
+  let mask = Bytes.make (tile_count t) '\000' in
+  List.iter (fun tid -> Bytes.unsafe_set mask tid '\001') tiles;
+  mask
+
+let mask_mem t mask i =
+  Bytes.unsafe_get mask (tile_of_index t i) <> '\000'
+
+let expand t tiles =
+  let seen = Hashtbl.create 64 in
+  let add tid = if not (Hashtbl.mem seen tid) then Hashtbl.add seen tid () in
+  List.iter
+    (fun tid ->
+      let tx = tid mod t.tiles_x and ty = tid / t.tiles_x in
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          let nx = tx + dx and ny = ty + dy in
+          if nx >= 0 && nx < t.tiles_x && ny >= 0 && ny < t.tiles_y then
+            add (tile_index t ~tx:nx ~ty:ny)
+        done
+      done)
+    tiles;
+  let out = Hashtbl.fold (fun tid () acc -> tid :: acc) seen [] in
+  List.sort compare out

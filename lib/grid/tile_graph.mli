@@ -1,0 +1,67 @@
+(** KxK coarsening of the routing grid for hierarchical global routing.
+
+    The global stage plans over tiles instead of cells: each tile records
+    how many statically free cells it holds, and each pair of adjacent
+    tiles records its {e boundary capacity} — the number of free adjacent
+    cell pairs straddling the shared edge, an upper bound on how many
+    disjoint routes can cross it. The tile edge [k] must be a power of two
+    so the cell→tile map is a shift, cheap enough to sit inside the
+    detailed searchers' relax loop (via the workspace corridor mask).
+
+    Tiles are indexed row-major: [tid = ty * tiles_x + tx]. Partial tiles
+    on the right/bottom edges are clipped to the grid. *)
+
+open Pacor_geom
+
+type t
+
+val create : Routing_grid.t -> k:int -> t
+(** One row-major pass over the grid; raises [Invalid_argument] unless [k]
+    is a power of two. *)
+
+val k : t -> int
+val shift : t -> int
+(** [log2 k] — the cell→tile coordinate shift. *)
+
+val tiles_x : t -> int
+val tiles_y : t -> int
+val tile_count : t -> int
+val grid_width : t -> int
+(** Width in cells of the underlying grid (for corridor installation). *)
+
+val tile_index : t -> tx:int -> ty:int -> int
+val tile_of_index : t -> int -> int
+(** Tile owning a dense {e cell} index. *)
+
+val tile_of_point : t -> Point.t -> int
+
+val rect : t -> int -> Rect.t
+(** Cell-space extent of a tile, clipped to the grid. *)
+
+val free_cells : t -> int -> int
+(** Statically free cells inside the tile. *)
+
+val boundary_capacity : t -> int -> int -> int
+(** [boundary_capacity t a b] for {e adjacent} tiles [a], [b]: the number
+    of free cell pairs straddling their shared edge. Symmetric; raises
+    [Invalid_argument] when the tiles are not 4-adjacent. *)
+
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+(** 4-adjacent tiles, emitted [tx+1; tx-1; ty+1; ty-1] to match the
+    cell-level searchers' tie-break order. *)
+
+val tiles_of_rect : t -> Rect.t -> int list
+(** Tiles overlapping a cell-space rectangle (clipped), ascending. *)
+
+val cell_mask : t -> int list -> Bytes.t
+(** One byte per tile, ['\001'] on the given tiles — a membership table
+    for {!mask_mem}. *)
+
+val mask_mem : t -> Bytes.t -> int -> bool
+(** [mask_mem t mask i] — whether the tile owning dense cell index [i] is
+    in the masked set. *)
+
+val expand : t -> int list -> int list
+(** One-tile Chebyshev halo around a tile set: the set plus all 8-adjacent
+    tiles, deduplicated and sorted ascending. The corridor construction —
+    a halo keeps the detailed search from hugging tile walls. *)

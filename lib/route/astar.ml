@@ -1,7 +1,7 @@
 open Pacor_geom
 open Pacor_grid
 
-let cost_scale = 1000
+let cost_scale = Astar_cost.scale
 
 type spec = {
   usable : int -> bool;
@@ -17,56 +17,67 @@ let point_spec ~grid ~usable ~extra_cost =
     extra_cost = (fun i -> extra_cost (Routing_grid.point_of_index grid i));
   }
 
-let search ?workspace ~grid ~spec ~sources ~targets () =
-  match sources, targets with
-  | [], _ | _, [] -> None
-  | _ :: _, _ :: _ ->
-    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
-    let n = Routing_grid.cells grid in
-    let width = Routing_grid.width grid in
-    (* Admissible heuristic: Manhattan distance to the bounding box of the
-       target set (0 inside the box), in cost_scale units. The box spans
-       the {e raw} target list — out-of-bounds targets widen it exactly as
-       they did in the point-based implementation, keeping expansion order
-       (and therefore returned paths) unchanged. *)
-    let box = Rect.of_point_list targets in
-    let h i =
-      let x = i mod width and y = i / width in
-      let dx = max 0 (max (box.Rect.x0 - x) (x - box.Rect.x1)) in
-      let dy = max 0 (max (box.Rect.y0 - y) (y - box.Rect.y1)) in
-      (dx + dy) * cost_scale
-    in
-    Workspace.begin_search ws ~cells:n;
-    let idx p = Routing_grid.index grid p in
-    (* Out-of-bounds sources/targets can never be reached or entered, so
-       skipping them preserves the old Point.Set semantics. *)
-    List.iter
-      (fun p -> if Routing_grid.in_bounds grid p then Workspace.mark_target ws (idx p))
-      targets;
-    List.iter
-      (fun p ->
-         if Routing_grid.in_bounds grid p then begin
-           let i = idx p in
-           Workspace.mark_source ws i;
-           Workspace.set_dist ws i 0;
-           Workspace.push ws ~prio:(h i) i
-         end)
-      sources;
-    let rec reconstruct i acc =
-      let p = Routing_grid.point_of_index grid i in
-      let j = Workspace.parent ws i in
-      if j = -1 then p :: acc else reconstruct j (p :: acc)
-    in
-    let stats = Workspace.stats ws in
-    (* One closure for the whole search, reading the current expansion
-       through mutable cells — no per-pop closure or neighbour list. *)
-    let cur = ref 0 and cur_dist = ref 0 in
-    let relax j =
-      Search_stats.touched stats;
+(* One confined-or-flat attempt; whether the corridor applies is read from
+   the workspace at call time, so the fallback wrapper below re-runs the
+   same closure with the corridor suspended. *)
+let attempt ws ~grid ~spec ~sources ~targets =
+  let n = Routing_grid.cells grid in
+  let width = Routing_grid.width grid in
+  (* Admissible heuristic: Manhattan distance to the bounding box of the
+     target set (0 inside the box), in cost_scale units. The box spans
+     the {e raw} target list — out-of-bounds targets widen it exactly as
+     they did in the point-based implementation, keeping expansion order
+     (and therefore returned paths) unchanged. *)
+  let box = Rect.of_point_list targets in
+  let h i =
+    let x = i mod width and y = i / width in
+    let dx = max 0 (max (box.Rect.x0 - x) (x - box.Rect.x1)) in
+    let dy = max 0 (max (box.Rect.y0 - y) (y - box.Rect.y1)) in
+    (dx + dy) * cost_scale
+  in
+  Workspace.begin_search ws ~cells:n;
+  let idx p = Routing_grid.index grid p in
+  (* Out-of-bounds sources/targets can never be reached or entered, so
+     skipping them preserves the old Point.Set semantics. *)
+  List.iter
+    (fun p -> if Routing_grid.in_bounds grid p then Workspace.mark_target ws (idx p))
+    targets;
+  List.iter
+    (fun p ->
+       if Routing_grid.in_bounds grid p then begin
+         let i = idx p in
+         Workspace.mark_source ws i;
+         Workspace.set_dist ws i 0;
+         Workspace.push ws ~prio:(h i) i
+       end)
+    sources;
+  let rec reconstruct i acc =
+    let p = Routing_grid.point_of_index grid i in
+    let j = Workspace.parent ws i in
+    if j = -1 then p :: acc else reconstruct j (p :: acc)
+  in
+  let stats = Workspace.stats ws in
+  let confined = Workspace.corridor_active ws in
+  (* One closure for the whole search, reading the current expansion
+     through mutable cells — no per-pop closure or neighbour list. *)
+  let cur = ref 0 and cur_dist = ref 0 in
+  let relax j =
+    Search_stats.touched stats;
+    if
+      (spec.usable j || Workspace.is_target ws j || Workspace.is_source ws j)
+      && not (Workspace.closed ws j)
+    then begin
+      (* Corridor confinement prunes otherwise-enterable cells only;
+         sources and targets are always exempt. [confined] is false on
+         every flat run, so this branch costs one test there and the
+         search below is byte-identical to the pre-hierarchy searcher. *)
       if
-        (spec.usable j || Workspace.is_target ws j || Workspace.is_source ws j)
-        && not (Workspace.closed ws j)
-      then begin
+        confined
+        && not (Workspace.corridor_allows ws j)
+        && not (Workspace.is_target ws j)
+        && not (Workspace.is_source ws j)
+      then Workspace.corridor_note_clip ws
+      else begin
         Search_stats.relaxed stats;
         let nd = !cur_dist + cost_scale + spec.extra_cost j in
         if nd < Workspace.dist ws j then begin
@@ -75,23 +86,58 @@ let search ?workspace ~grid ~spec ~sources ~targets () =
           Workspace.push ws ~prio:(nd + h j) j
         end
       end
-    in
-    let rec loop () =
-      let i = Workspace.pop_cell ws in
-      if i < 0 then None
-      else if Workspace.closed ws i then loop ()
+    end
+  in
+  let rec loop () =
+    let i = Workspace.pop_cell ws in
+    if i < 0 then None
+    else if Workspace.closed ws i then loop ()
+    else begin
+      Workspace.close ws i;
+      if Workspace.is_target ws i then Some (Path.of_points (reconstruct i []))
       else begin
-        Workspace.close ws i;
-        if Workspace.is_target ws i then Some (Path.of_points (reconstruct i []))
-        else begin
-          cur := i;
-          cur_dist := Workspace.dist ws i;
-          Routing_grid.iter_neighbours4 grid i relax;
-          loop ()
-        end
+        cur := i;
+        cur_dist := Workspace.dist ws i;
+        Routing_grid.iter_neighbours4 grid i relax;
+        loop ()
       end
+    end
+  in
+  loop ()
+
+let search ?workspace ~grid ~spec ~sources ~targets () =
+  match sources, targets with
+  | [], _ | _, [] -> None
+  | _ :: _, _ :: _ ->
+    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
+    let confined = Workspace.corridor_active ws in
+    let first =
+      (* Long single-pair connections under a corridor go bidirectional:
+         same path cost, roughly half the expansions. Never engaged on a
+         flat run, so flat searches stay byte-identical. *)
+      match confined, sources, targets with
+      | true, [ a ], [ b ]
+        when Routing_grid.in_bounds grid a
+             && Routing_grid.in_bounds grid b
+             && Point.manhattan a b >= Bidir_astar.min_manhattan ->
+        Bidir_astar.search ~ws ~grid ~usable:spec.usable ~extra_cost:spec.extra_cost
+          ~source:a ~target:b
+      | _ -> attempt ws ~grid ~spec ~sources ~targets
     in
-    loop ()
+    (match first with
+     | Some _ as r -> r
+     | None ->
+       if confined then begin
+         (* The corridor may have severed the only route; certify the
+            failure against the whole grid before reporting it, so a
+            confined run never loses a connection a flat run would find. *)
+         Workspace.corridor_note_fallback ws;
+         Workspace.corridor_suspend ws;
+         Fun.protect
+           ~finally:(fun () -> Workspace.corridor_resume ws)
+           (fun () -> attempt ws ~grid ~spec ~sources ~targets)
+       end
+       else None)
 
 let shortest ?workspace ~grid ~obstacles a b =
   search ?workspace ~grid ~spec:(obstacle_spec obstacles) ~sources:[ a ] ~targets:[ b ] ()

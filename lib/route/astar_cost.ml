@@ -1,0 +1,5 @@
+(* Shared cost scale of the grid searchers. Lives in its own module so
+   [Astar] and [Bidir_astar] can agree on it without a dependency cycle
+   ([Astar] delegates long confined connections to [Bidir_astar]). *)
+
+let scale = 1000

@@ -1,0 +1,5 @@
+(** The fixed-point cost scale shared by {!Astar} and {!Bidir_astar}:
+    a unit grid step costs [scale], and congestion/history surcharges are
+    expressed in the same units. *)
+
+val scale : int

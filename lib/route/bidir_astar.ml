@@ -1,0 +1,147 @@
+(* Bidirectional A* for long single-source single-target connections.
+
+   Two frontiers share one workspace epoch and one priority queue: an
+   element is [(cell lsl 1) lor dir] with dir 0 = forward (from the
+   source, per-cell state in dist/parent/closed) and dir 1 = backward
+   (from the target, state in dist_b/parent_b/closed_b). Costs mirror the
+   unidirectional searcher exactly: entering cell [j] costs
+   [cost_scale + extra_cost j], so the forward g includes the entered
+   cell's extra while the backward g of a cell excludes its own extra —
+   at a meeting cell [m], [g_f m + g_b m] is precisely the unidirectional
+   cost of the concatenated path.
+
+   [mu] tracks the best meeting-cost seen; with consistent Manhattan
+   heuristics on both sides, popping any element whose key is >= mu
+   proves no cheaper meeting exists (the popped key lower-bounds the cost
+   of any path through the popped frontier), so the search stops there.
+
+   Only engaged under an active corridor (the engine's hierarchical
+   mode): flat runs never take this path, keeping them byte-identical to
+   the pre-hierarchy searcher. *)
+
+open Pacor_geom
+open Pacor_grid
+
+let cost_scale = Astar_cost.scale
+
+(* Below this source-target Manhattan distance the unidirectional searcher
+   wins on constant factors; above it the two half-radius frontiers beat
+   one full-radius frontier. *)
+let min_manhattan = 96
+
+let search ~ws ~grid ~usable ~extra_cost ~source ~target =
+  let n = Routing_grid.cells grid in
+  let width = Routing_grid.width grid in
+  let si = Routing_grid.index grid source and ti = Routing_grid.index grid target in
+  if si = ti then Some (Path.of_points [ source ])
+  else begin
+    Workspace.begin_search ws ~cells:n;
+    Workspace.corridor_note_bidir ws;
+    let tx = target.Point.x and ty = target.Point.y in
+    let sx = source.Point.x and sy = source.Point.y in
+    let h_f i =
+      let x = i mod width and y = i / width in
+      (abs (x - tx) + abs (y - ty)) * cost_scale
+    in
+    let h_b i =
+      let x = i mod width and y = i / width in
+      (abs (x - sx) + abs (y - sy)) * cost_scale
+    in
+    let stats = Workspace.stats ws in
+    let confined = Workspace.corridor_active ws in
+    let mu = ref max_int and meet = ref (-1) in
+    Workspace.set_dist ws si 0;
+    Workspace.set_dist_b ws ti 0;
+    Workspace.push ws ~prio:(h_f si) (si lsl 1);
+    Workspace.push ws ~prio:(h_b ti) ((ti lsl 1) lor 1);
+    let cur = ref 0 and cur_dist = ref 0 and cur_step = ref 0 in
+    let relax_f j =
+      Search_stats.touched stats;
+      if (usable j || j = ti || j = si) && not (Workspace.closed ws j) then begin
+        if confined && j <> ti && j <> si && not (Workspace.corridor_allows ws j) then
+          Workspace.corridor_note_clip ws
+        else begin
+          Search_stats.relaxed stats;
+          let nd = !cur_dist + cost_scale + extra_cost j in
+          if nd < Workspace.dist ws j then begin
+            Workspace.set_dist ws j nd;
+            Workspace.set_parent ws j !cur;
+            Workspace.push ws ~prio:(nd + h_f j) (j lsl 1);
+            let db = Workspace.dist_b ws j in
+            if db <> max_int && nd + db < !mu then begin
+              mu := nd + db;
+              meet := j
+            end
+          end
+        end
+      end
+    in
+    let relax_b j =
+      Search_stats.touched stats;
+      if (usable j || j = ti || j = si) && not (Workspace.closed_b ws j) then begin
+        if confined && j <> ti && j <> si && not (Workspace.corridor_allows ws j) then
+          Workspace.corridor_note_clip ws
+        else begin
+          Search_stats.relaxed stats;
+          (* The backward step j -> cur pays for entering cur, so the step
+             cost is shared by every neighbour and hoisted into cur_step. *)
+          let nd = !cur_dist + !cur_step in
+          if nd < Workspace.dist_b ws j then begin
+            Workspace.set_dist_b ws j nd;
+            Workspace.set_parent_b ws j !cur;
+            Workspace.push ws ~prio:(nd + h_b j) ((j lsl 1) lor 1);
+            let df = Workspace.dist ws j in
+            if df <> max_int && df + nd < !mu then begin
+              mu := df + nd;
+              meet := j
+            end
+          end
+        end
+      end
+    in
+    let finish () =
+      let m = !meet in
+      let rec fwd i acc =
+        let p = Routing_grid.point_of_index grid i in
+        let j = Workspace.parent ws i in
+        if j = -1 then p :: acc else fwd j (p :: acc)
+      in
+      let rec bwd i acc =
+        let j = Workspace.parent_b ws i in
+        if j = -1 then List.rev acc
+        else bwd j (Routing_grid.point_of_index grid j :: acc)
+      in
+      Some (Path.of_points (fwd m [] @ bwd m []))
+    in
+    let rec loop () =
+      match Workspace.pop ws with
+      | None -> if !meet >= 0 then finish () else None
+      | Some (prio, e) ->
+        if !mu <> max_int && prio >= !mu then finish ()
+        else begin
+          let i = e lsr 1 in
+          if e land 1 = 0 then begin
+            if Workspace.closed ws i then loop ()
+            else begin
+              Workspace.close ws i;
+              cur := i;
+              cur_dist := Workspace.dist ws i;
+              Routing_grid.iter_neighbours4 grid i relax_f;
+              loop ()
+            end
+          end
+          else begin
+            if Workspace.closed_b ws i then loop ()
+            else begin
+              Workspace.close_b ws i;
+              cur := i;
+              cur_dist := Workspace.dist_b ws i;
+              cur_step := cost_scale + extra_cost i;
+              Routing_grid.iter_neighbours4 grid i relax_b;
+              loop ()
+            end
+          end
+        end
+    in
+    loop ()
+  end

@@ -1,0 +1,34 @@
+(** Bidirectional A* for long corridor-confined connections.
+
+    Grows a frontier from each endpoint through one shared workspace
+    priority queue and stops when the cheapest remaining key can no longer
+    beat the best meeting found — on a long connection each frontier covers
+    roughly half the radius, so expansions drop by up to 2x versus the
+    unidirectional searcher while returned path {e cost} is identical
+    (tie-break order among equal-cost paths may differ, which is why the
+    engine only engages this under an active corridor, where the
+    never-worse certificate or race already arbitrates).
+
+    Cost model matches {!Astar}: entering cell [j] costs
+    [Astar_cost.scale + extra_cost j]; source and target are always
+    enterable and exempt from the corridor mask. *)
+
+open Pacor_geom
+open Pacor_grid
+
+val min_manhattan : int
+(** Engagement threshold: below this source-target Manhattan distance the
+    unidirectional searcher wins on constant factors. *)
+
+val search :
+  ws:Workspace.t ->
+  grid:Routing_grid.t ->
+  usable:(int -> bool) ->
+  extra_cost:(int -> int) ->
+  source:Point.t ->
+  target:Point.t ->
+  Path.t option
+(** Shortest path under the cost model above, confined to the workspace
+    corridor when one is active (noting a bidir engagement and any clips
+    in the corridor counters). [None] when no path exists or the budget
+    runs dry with no meeting found; endpoints must be in bounds. *)

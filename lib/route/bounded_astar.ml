@@ -12,14 +12,8 @@ open Pacor_grid
    neighbour iteration, index-based [usable], and a Manhattan heuristic
    computed from index arithmetic. *)
 
-let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source
-    ~target ~min_length () =
-  if min_length < 0 then invalid_arg "Bounded_astar.search: negative bound";
-  if max_visits_per_cell < 1 then
-    invalid_arg "Bounded_astar.search: max_visits_per_cell < 1";
-  if not (Routing_grid.in_bounds grid source && Routing_grid.in_bounds grid target) then None
-  else begin
-    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
+let attempt ws ~grid ~usable ~max_visits_per_cell ~pop_budget ~source ~target ~min_length =
+  begin
     let cells = Routing_grid.cells grid in
     let width = Routing_grid.width grid in
     let budget = if pop_budget > 0 then pop_budget else 50 * cells in
@@ -66,15 +60,23 @@ let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0)
      | -1 -> ()
      | slot -> Workspace.push ws ~prio:(prio 0 source_i) slot);
     let stats = Workspace.stats ws in
+    let confined = Workspace.corridor_active ws in
     let cur_slot = ref (-1) and cur_g = ref 0 in
     let relax j =
       Search_stats.touched stats;
       if enterable j then begin
+        if
+          confined
+          && j <> source_i && j <> target_i
+          && not (Workspace.corridor_allows ws j)
+        then Workspace.corridor_note_clip ws
+        else begin
         Search_stats.relaxed stats;
         let g' = !cur_g + 1 in
-        match add_entry j g' !cur_slot with
-        | -1 -> ()
-        | slot' -> Workspace.push ws ~prio:(prio g' j) slot'
+        (match add_entry j g' !cur_slot with
+         | -1 -> ()
+         | slot' -> Workspace.push ws ~prio:(prio g' j) slot')
+        end
       end
     in
     let pops = ref 0 in
@@ -103,4 +105,32 @@ let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0)
       end
     in
     loop ()
+  end
+
+let search ?workspace ~grid ~usable ?(max_visits_per_cell = 8) ?(pop_budget = 0) ~source
+    ~target ~min_length () =
+  if min_length < 0 then invalid_arg "Bounded_astar.search: negative bound";
+  if max_visits_per_cell < 1 then
+    invalid_arg "Bounded_astar.search: max_visits_per_cell < 1";
+  if not (Routing_grid.in_bounds grid source && Routing_grid.in_bounds grid target) then None
+  else begin
+    let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
+    match
+      attempt ws ~grid ~usable ~max_visits_per_cell ~pop_budget ~source ~target ~min_length
+    with
+    | Some _ as r -> r
+    | None ->
+      if Workspace.corridor_active ws then begin
+        (* Length-matching detours wander by design; when the corridor
+           starves one, certify the failure against the whole grid so a
+           confined run never misses a detour a flat run would find. *)
+        Workspace.corridor_note_fallback ws;
+        Workspace.corridor_suspend ws;
+        Fun.protect
+          ~finally:(fun () -> Workspace.corridor_resume ws)
+          (fun () ->
+            attempt ws ~grid ~usable ~max_visits_per_cell ~pop_budget ~source ~target
+              ~min_length)
+      end
+      else None
   end

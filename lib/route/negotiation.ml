@@ -58,8 +58,15 @@ let route ?workspace ?(config = default_config) ~grid ~obstacles edges =
       cost_of_bumps.(k) <- int_of_float (!h *. float_of_int Astar.cost_scale)
     done
   in
-  let bumps = Array.make n 0 in
-  let hcost = Array.make n 0 in
+  (* The four grid-sized per-cell arrays lease workspace scratch slots
+     instead of allocating per call: at 1000x1000+ cells the old
+     [Array.make]s dominated negotiation setup and GC churn. An explicit
+     fill of the leading [n] cells (memset-speed) replaces the allocator's
+     zeroing. *)
+  let bumps = Workspace.scratch_int ws ~slot:0 ~cells:n in
+  let hcost = Workspace.scratch_int ws ~slot:1 ~cells:n in
+  Array.fill bumps 0 n 0;
+  Array.fill hcost 0 n 0;
   let bump_cell i =
     if bumps.(i) < max_bumps then begin
       bumps.(i) <- bumps.(i) + 1;
@@ -72,7 +79,8 @@ let route ?workspace ?(config = default_config) ~grid ~obstacles edges =
      Shared branch-point cells are refcounted; their owner is the last
      claimant (a deliberate heuristic — ripping either sibling frees the
      contended region). *)
-  let owner = Array.make n (-1) in
+  let owner = Workspace.scratch_int ws ~slot:2 ~cells:n in
+  Array.fill owner 0 n (-1);
   let claim_path slot path =
     List.iter
       (fun p ->
@@ -127,7 +135,8 @@ let route ?workspace ?(config = default_config) ~grid ~obstacles edges =
   reset_order ();
   (* Which round last bumped a cell — a round bumps each cell at most once
      even when several ideal paths cross it. *)
-  let bump_round = Array.make n (-1) in
+  let bump_round = Workspace.scratch_int ws ~slot:3 ~cells:n in
+  Array.fill bump_round 0 n (-1);
   (* Outcome of the current [paths] array, in input (slot) order. *)
   let snapshot r =
     let acc = ref [] in

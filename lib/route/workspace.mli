@@ -144,3 +144,87 @@ val entry_parent : t -> int -> int
 val append_entry : t -> cell:int -> g:int -> parent:int -> int
 (** Unchecked append (caller enforces [entry_count < max_visits_per_cell]);
     returns the new slot id. *)
+
+(** {2 One-time growth} *)
+
+val prepare : t -> cells:int -> unit
+(** Grow every per-cell array (and the bounded-search entry pool at the
+    default visit stride) to [cells] in one step. The engine calls this
+    once per run with the instance's cell count, so 1000x1000+ grids pay a
+    single allocation event on a cold workspace and none at all on a warm
+    one — a pooled workspace grows monotonically across differently-sized
+    problems and never shrinks. *)
+
+(** {2 Backward-search state (bidirectional A-star)}
+
+    A second dist/parent/closed set on the shared epoch, so
+    {!Bidir_astar} runs two frontiers against one [begin_search] reset.
+    Same stamping semantics as the forward accessors. *)
+
+val dist_b : t -> int -> int
+val set_dist_b : t -> int -> int -> unit
+val parent_b : t -> int -> int
+val set_parent_b : t -> int -> int -> unit
+val closed_b : t -> int -> bool
+val close_b : t -> int -> unit
+
+(** {2 Corridor mask (hierarchical routing)}
+
+    A generation-stamped per-tile membership mask installed by the
+    engine's global stage: cell index [i] maps to tile
+    [((i / width) lsr shift) * tiles_x + ((i mod width) lsr shift)], and a
+    search confined by the corridor may only enter cells of stamped tiles
+    (its own sources and targets are exempt, enforced by the searchers).
+    Install is O(corridor tiles); clearing or re-installing is O(1)+O(tiles)
+    via the epoch bump. The clip / fallback / bidir counters instrument the
+    never-worse ladder: a {e clip} is an otherwise-usable cell pruned by the
+    corridor, a {e fallback} a confined search (or escape solve) that was
+    re-run unconfined after failing, and {e bidir} counts bidirectional
+    searches taken. All three zero means the confined run executed
+    byte-identical searches to an unconfined one. *)
+
+val corridor_install :
+  t -> width:int -> tiles_x:int -> tile_count:int -> shift:int -> int list -> unit
+(** Activate the corridor for the given tile ids (out-of-range ids are
+    ignored). [width] is the grid width in cells; [shift] is [log2] of the
+    tile edge. Replaces any previous corridor. *)
+
+val corridor_clear : t -> unit
+(** Deactivate (O(1)); counters are left for the caller to read. *)
+
+val corridor_active : t -> bool
+(** Installed and not currently suspended. *)
+
+val corridor_suspend : t -> unit
+val corridor_resume : t -> unit
+(** Nestable suspension bracket for whole-grid fallback searches. *)
+
+val corridor_allows : t -> int -> bool
+(** Membership test for a dense cell index. Only meaningful while
+    {!corridor_active}. *)
+
+val corridor_note_clip : t -> unit
+val corridor_note_fallback : t -> unit
+val corridor_note_bidir : t -> unit
+val corridor_clips : t -> int
+val corridor_fallbacks : t -> int
+val corridor_bidir : t -> int
+val corridor_reset_counters : t -> unit
+
+(** {2 Scratch pools}
+
+    Grid-sized arrays leased by stages that historically allocated per
+    call (negotiation's history/owner arrays, the escape stage's role
+    mask). Contents are arbitrary between leases: the borrower must fill
+    every element it later reads. Arrays grow monotonically and are shared
+    by slot, so two concurrent borrowers of one slot would corrupt each
+    other — the workspace is single-threaded, as documented above. *)
+
+val scratch_slots : int
+(** Number of independent int slots (currently 4). *)
+
+val scratch_int : t -> slot:int -> cells:int -> int array
+(** An int array of length >= [cells] for [slot] (0-based). *)
+
+val scratch_bytes : t -> len:int -> Bytes.t
+(** A byte buffer of length >= [len]. One per workspace. *)

@@ -33,14 +33,14 @@ type t = {
 }
 
 let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits)
-    ?(replay_capacity = 256) ?journal () =
+    ?(hier = Pacor.Config.Hier_auto) ?(replay_capacity = 256) ?journal () =
   {
     cache = Lru.create ~capacity:cache_capacity;
     sessions = Hashtbl.create 16;
     pool = [];
     pool_limit = 8;
     poisoned = Hashtbl.create 4;
-    config = { Pacor.Config.default with limits };
+    config = { Pacor.Config.default with limits; hier };
     started_at = Pacor_route.Clock.now_mono ();
     journal;
     replay = Lru.create ~capacity:replay_capacity;

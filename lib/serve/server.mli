@@ -39,14 +39,17 @@ type t
 val create :
   ?cache_capacity:int ->
   ?limits:Pacor_route.Budget.limits ->
+  ?hier:Pacor.Config.hier_mode ->
   ?replay_capacity:int ->
   ?journal:Journal.t ->
   unit ->
   t
 (** Fresh daemon state. [cache_capacity] bounds the solution LRU (default
     64 entries); [limits] is the default per-request budget (default
-    unlimited); [replay_capacity] bounds the retry replay cache (default
-    256 responses); [journal] makes every session mutation durable. *)
+    unlimited); [hier] selects hierarchical routing for every served run
+    (default [Hier_auto]); [replay_capacity] bounds the retry replay cache
+    (default 256 responses); [journal] makes every session mutation
+    durable. *)
 
 val recover : t -> int
 (** Replay the attached journal's surviving sessions into the session

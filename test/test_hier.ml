@@ -1,0 +1,465 @@
+(* Tests for the hierarchical two-stage routing layer: tile-graph
+   coarsening and capacity accounting, corridor masks on the workspace,
+   the packed role layer, bidirectional-search equivalence, the staged
+   escape fallback, workspace reuse across grid sizes, the tier-2
+   certificate, and the engine-level never-worse property (hier validates
+   and is equal-or-better than flat on every random instance). *)
+
+open Pacor_geom
+open Pacor_grid
+open Pacor_valve
+open Pacor
+
+let seq s =
+  match Activation.sequence_of_string s with
+  | Ok x -> x
+  | Error e -> Alcotest.failf "bad sequence: %s" e
+
+let mk_valve id x y s = Valve.make ~id ~position:(Point.make x y) ~sequence:(seq s)
+
+(* ---------- Tile_graph: coarsening boundaries ---------- *)
+
+let test_tile_graph_coarsening () =
+  (* 20x13 at k=8: partial tiles on both clipped edges. *)
+  let grid = Routing_grid.create ~width:20 ~height:13 () in
+  let tg = Tile_graph.create grid ~k:8 in
+  Alcotest.(check int) "tiles_x" 3 (Tile_graph.tiles_x tg);
+  Alcotest.(check int) "tiles_y" 2 (Tile_graph.tiles_y tg);
+  Alcotest.(check int) "tile_count" 6 (Tile_graph.tile_count tg);
+  Alcotest.(check int) "shift" 3 (Tile_graph.shift tg);
+  Alcotest.(check int) "origin cell -> tile 0" 0
+    (Tile_graph.tile_of_point tg (Point.make 0 0));
+  Alcotest.(check int) "boundary cell x=7 stays in tile 0" 0
+    (Tile_graph.tile_of_point tg (Point.make 7 7));
+  Alcotest.(check int) "cell x=8 crosses into tile 1" 1
+    (Tile_graph.tile_of_point tg (Point.make 8 7));
+  Alcotest.(check int) "far corner -> last tile" 5
+    (Tile_graph.tile_of_point tg (Point.make 19 12));
+  (* The bottom-right partial tile's rect is clipped to the grid. *)
+  let r = Tile_graph.rect tg 5 in
+  Alcotest.(check int) "clip x0" 16 r.Rect.x0;
+  Alcotest.(check int) "clip x1" 19 r.Rect.x1;
+  Alcotest.(check int) "clip y0" 8 r.Rect.y0;
+  Alcotest.(check int) "clip y1" 12 r.Rect.y1;
+  (* Per-tile free-cell counts partition the (obstacle-free) grid. *)
+  let total =
+    List.init (Tile_graph.tile_count tg) (Tile_graph.free_cells tg)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "free cells partition the grid" (20 * 13) total;
+  (* tiles_of_rect clips and stays ascending. *)
+  let tiles = Tile_graph.tiles_of_rect tg (Rect.of_points (Point.make 6 6) (Point.make 9 9)) in
+  Alcotest.(check (list int)) "rect straddling four tiles" [ 0; 1; 3; 4 ] tiles
+
+let test_tile_graph_free_cell_accounting () =
+  let obstacles = [ Rect.of_points (Point.make 2 2) (Point.make 5 3) ] in
+  let grid = Routing_grid.create ~width:16 ~height:16 ~obstacles () in
+  let tg = Tile_graph.create grid ~k:8 in
+  (* The 4x2 blockage sits entirely inside tile 0. *)
+  Alcotest.(check int) "tile 0 loses the blocked cells" (64 - 8)
+    (Tile_graph.free_cells tg 0);
+  Alcotest.(check int) "tile 1 untouched" 64 (Tile_graph.free_cells tg 1)
+
+(* ---------- Tile_graph: boundary capacity ---------- *)
+
+let test_tile_graph_boundary_capacity () =
+  (* Two tiles side by side; block 3 of the 8 straddling pairs at x=7/8. *)
+  let obstacles = [ Rect.of_points (Point.make 7 0) (Point.make 7 2) ] in
+  let grid = Routing_grid.create ~width:16 ~height:8 ~obstacles () in
+  let tg = Tile_graph.create grid ~k:8 in
+  Alcotest.(check int) "capacity excludes blocked pairs" 5
+    (Tile_graph.boundary_capacity tg 0 1);
+  Alcotest.(check int) "capacity is symmetric" 5
+    (Tile_graph.boundary_capacity tg 1 0);
+  (match Tile_graph.boundary_capacity tg 0 0 with
+   | _ -> Alcotest.fail "expected Invalid_argument for non-adjacent tiles"
+   | exception Invalid_argument _ -> ())
+
+(* ---------- Tile_graph: halo, cell masks ---------- *)
+
+let test_tile_graph_halo_and_masks () =
+  let grid = Routing_grid.create ~width:24 ~height:24 () in
+  let tg = Tile_graph.create grid ~k:8 in
+  Alcotest.(check int) "3x3 tiles" 9 (Tile_graph.tile_count tg);
+  Alcotest.(check (list int)) "middle tile halo covers all nine" [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (Tile_graph.expand tg [ 4 ]);
+  Alcotest.(check (list int)) "corner halo stays clipped" [ 0; 1; 3; 4 ]
+    (Tile_graph.expand tg [ 0 ]);
+  Alcotest.(check (list int)) "halo of opposite corners skips the far edges"
+    [ 0; 1; 3; 4; 5; 7; 8 ]
+    (Tile_graph.expand tg [ 0; 8 ]);
+  let mask = Tile_graph.cell_mask tg [ 4 ] in
+  Alcotest.(check bool) "centre cell in mask" true
+    (Tile_graph.mask_mem tg mask (Routing_grid.index grid (Point.make 12 12)));
+  Alcotest.(check bool) "origin cell out of mask" false
+    (Tile_graph.mask_mem tg mask (Routing_grid.index grid (Point.make 0 0)))
+
+(* ---------- Workspace corridor mask ---------- *)
+
+let test_corridor_install_suspend_resume () =
+  let grid = Routing_grid.create ~width:24 ~height:24 () in
+  let tg = Tile_graph.create grid ~k:8 in
+  let ws = Pacor_route.Workspace.create () in
+  let install tiles =
+    Pacor_route.Workspace.corridor_install ws
+      ~width:(Tile_graph.grid_width tg)
+      ~tiles_x:(Tile_graph.tiles_x tg)
+      ~tile_count:(Tile_graph.tile_count tg)
+      ~shift:(Tile_graph.shift tg)
+      tiles
+  in
+  (* corridor_allows is only meaningful while corridor_active — mirror the
+     searchers' guard. *)
+  let allowed i =
+    (not (Pacor_route.Workspace.corridor_active ws))
+    || Pacor_route.Workspace.corridor_allows ws i
+  in
+  let centre = Routing_grid.index grid (Point.make 12 12) in
+  let corner = Routing_grid.index grid (Point.make 0 0) in
+  Alcotest.(check bool) "no corridor: inactive" false
+    (Pacor_route.Workspace.corridor_active ws);
+  Alcotest.(check bool) "no corridor: everything allowed" true (allowed corner);
+  install [ 4 ];
+  Alcotest.(check bool) "corridor active" true (Pacor_route.Workspace.corridor_active ws);
+  Alcotest.(check bool) "in-corridor cell allowed" true (allowed centre);
+  Alcotest.(check bool) "out-of-corridor cell refused" false (allowed corner);
+  Pacor_route.Workspace.corridor_suspend ws;
+  Alcotest.(check bool) "suspended: inactive" false
+    (Pacor_route.Workspace.corridor_active ws);
+  Alcotest.(check bool) "suspended: everything allowed" true (allowed corner);
+  Pacor_route.Workspace.corridor_resume ws;
+  Alcotest.(check bool) "resumed: refusal is back" false (allowed corner);
+  (* Re-install replaces (generation stamping, no clearing pass needed). *)
+  install [ 0 ];
+  Alcotest.(check bool) "new corridor admits the corner" true (allowed corner);
+  Alcotest.(check bool) "new corridor refuses the centre" false (allowed centre);
+  Pacor_route.Workspace.corridor_clear ws;
+  Alcotest.(check bool) "cleared: everything allowed" true (allowed centre)
+
+(* ---------- Packed_roles ---------- *)
+
+let test_packed_roles_roundtrip () =
+  let len = 37 in
+  (* odd length: exercises the partial last byte *)
+  let roles = Packed_roles.create len in
+  Alcotest.(check int) "length" len (Packed_roles.length roles);
+  for i = 0 to len - 1 do
+    Packed_roles.set roles i (i mod 4)
+  done;
+  for i = 0 to len - 1 do
+    Alcotest.(check int) (Printf.sprintf "cell %d" i) (i mod 4) (Packed_roles.get roles i)
+  done;
+  Packed_roles.clear roles;
+  for i = 0 to len - 1 do
+    Alcotest.(check int) "cleared" 0 (Packed_roles.get roles i)
+  done;
+  (* wrap keeps buffer contents; higher role bits are masked off. *)
+  let buf = Bytes.make (Packed_roles.bytes_needed len) '\255' in
+  let wrapped = Packed_roles.wrap ~len buf in
+  Alcotest.(check int) "wrap keeps contents" 3 (Packed_roles.get wrapped 13);
+  (* The hot-path set masks roles to two bits; the checked variant raises. *)
+  Packed_roles.set wrapped 13 (4 + 2);
+  Alcotest.(check int) "role masked to two bits" 2 (Packed_roles.checked_get wrapped 13);
+  (match Packed_roles.checked_set wrapped 13 6 with
+   | () -> Alcotest.fail "checked_set must refuse roles above 3"
+   | exception Invalid_argument _ -> ())
+
+(* ---------- Bidirectional A-star equivalence ---------- *)
+
+let prop_bidir_matches_astar =
+  QCheck.Test.make ~name:"bidirectional A-star matches unidirectional cost" ~count:60
+    QCheck.(make Gen.(int_range 1 100_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let width = 40 and height = 40 in
+      let source = Point.make 1 1 and target = Point.make 38 38 in
+      let blocked =
+        List.init 220 (fun _ ->
+            Point.make (Random.State.int rng width) (Random.State.int rng height))
+        |> List.filter (fun p -> not (Point.equal p source || Point.equal p target))
+      in
+      let grid =
+        Routing_grid.with_extra_obstacles
+          (Routing_grid.create ~width ~height ())
+          blocked
+      in
+      let ws = Pacor_route.Workspace.create () in
+      let usable i = Routing_grid.free_i grid i in
+      let uni =
+        Pacor_route.Astar.search ~workspace:ws ~grid
+          ~spec:{ Pacor_route.Astar.usable; extra_cost = Fun.const 0 }
+          ~sources:[ source ] ~targets:[ target ] ()
+      in
+      let bi =
+        Pacor_route.Bidir_astar.search ~ws ~grid ~usable ~extra_cost:(Fun.const 0)
+          ~source ~target
+      in
+      match (uni, bi) with
+      | None, None -> true
+      | Some p, Some q -> Path.length p = Path.length q
+      | Some _, None | None, Some _ -> false)
+
+(* ---------- Staged escape fallback ---------- *)
+
+let test_escape_staged_fallback () =
+  let grid = Routing_grid.create ~width:12 ~height:12 () in
+  let pins = [ Point.make 4 0; Point.make 8 0 ] in
+  let requests =
+    [ { Pacor_flow.Escape.cluster_idx = 0; start_cells = [ Point.make 4 6 ] };
+      { Pacor_flow.Escape.cluster_idx = 1; start_cells = [ Point.make 8 6 ] } ]
+  in
+  let solve ?workspace ?corridor ?corridor_fallback () =
+    match
+      Pacor_flow.Escape.route ?workspace ?corridor ?corridor_fallback ~grid
+        ~claimed:Point.Set.empty ~pins requests
+    with
+    | Ok out -> out
+    | Error e -> Alcotest.failf "escape: %s" e
+  in
+  let flat = solve () in
+  Alcotest.(check int) "flat routes both" 2 (List.length flat.Pacor_flow.Escape.routed);
+  (* A corridor refusing every transit cell: the bare-corridor ladder must
+     still deliver the flat outcome via the whole-instance re-solve. *)
+  let ws = Pacor_route.Workspace.create () in
+  let starved = solve ~workspace:ws ~corridor:(fun _ -> false) () in
+  Alcotest.(check int) "starved corridor still routes both" 2
+    (List.length starved.Pacor_flow.Escape.routed);
+  Alcotest.(check int) "same total length as flat" flat.Pacor_flow.Escape.total_length
+    starved.Pacor_flow.Escape.total_length;
+  Alcotest.(check bool) "fallback counted" true
+    (Pacor_route.Workspace.corridor_fallbacks ws > 0);
+  (* With a wide corridor_fallback the middle tier rescues on the residual
+     without a whole-instance re-solve. *)
+  let ws2 = Pacor_route.Workspace.create () in
+  let rescued =
+    solve ~workspace:ws2 ~corridor:(fun _ -> false) ~corridor_fallback:(fun _ -> true) ()
+  in
+  Alcotest.(check int) "fallback corridor routes both" 2
+    (List.length rescued.Pacor_flow.Escape.routed);
+  Alcotest.(check int) "fallback corridor matches flat length"
+    flat.Pacor_flow.Escape.total_length rescued.Pacor_flow.Escape.total_length
+
+(* ---------- Hier.plan geometry ---------- *)
+
+let test_hier_plan_small_grid_is_none () =
+  let grid = Routing_grid.create ~width:16 ~height:16 () in
+  let v = mk_valve 0 4 4 "01" in
+  let problem = Problem.create_exn ~grid ~valves:[ v ] ~lm_clusters:[] ~pins:[ Point.make 4 0 ] () in
+  let cluster = Cluster.make_exn ~id:0 ~length_matched:false [ v ] in
+  Alcotest.(check bool) "under 3x3 tiles: no plan" true
+    (Hier.plan ~config:Config.default problem [ cluster ] = None)
+
+let test_hier_plan_corridors () =
+  let grid = Routing_grid.create ~width:64 ~height:64 () in
+  let v0 = mk_valve 0 20 20 "01" and v1 = mk_valve 1 20 28 "01" in
+  let cluster = Cluster.make_exn ~id:0 ~length_matched:true [ v0; v1 ] in
+  let pins = [ Point.make 20 0; Point.make 0 24; Point.make 50 0; Point.make 63 40 ] in
+  let problem =
+    Problem.create_exn ~grid ~valves:[ v0; v1; mk_valve 2 50 50 "10" ]
+      ~lm_clusters:[ cluster ] ~pins ()
+  in
+  match Hier.plan ~config:Config.default problem [ cluster ] with
+  | None -> Alcotest.fail "expected a plan on an 8x8-tile grid"
+  | Some plan ->
+    Alcotest.(check int) "one escape request" 1 plan.Hier.requests;
+    Alcotest.(check int) "assigned by the global flow" 1 plan.Hier.assigned;
+    (* post corridor covers both the cluster corridor and the escape
+       corridor. *)
+    let subset a b = List.for_all (fun t -> List.mem t b) a in
+    Alcotest.(check bool) "cluster tiles within post tiles" true
+      (subset plan.Hier.cluster_tiles plan.Hier.post_tiles);
+    Alcotest.(check bool) "escape tiles within post tiles" true
+      (subset plan.Hier.escape_tiles plan.Hier.post_tiles);
+    (* The predicates agree with the masks and count refusals as clips. *)
+    let ws = Pacor_route.Workspace.create () in
+    let far = Routing_grid.index grid (Point.make 63 63) in
+    let near = Routing_grid.index grid (Point.make 20 24) in
+    Alcotest.(check bool) "cluster interior in escape corridor" true
+      (Hier.escape_predicate ws plan near);
+    Alcotest.(check bool) "far corner outside escape corridor" false
+      (Hier.escape_predicate ws plan far);
+    Alcotest.(check bool) "far corner outside post corridor" false
+      (Hier.post_predicate ws plan far);
+    Alcotest.(check bool) "refusals counted as clips" true
+      (Pacor_route.Workspace.corridor_clips ws >= 2)
+
+(* ---------- Tier-2 certificate ---------- *)
+
+let certificate_problem ~obstacles =
+  let grid = Routing_grid.create ~width:13 ~height:13 ~obstacles () in
+  let v = mk_valve 0 6 6 "01" in
+  Problem.create_exn ~grid ~valves:[ v ] ~lm_clusters:[] ~pins:[ Point.make 6 0 ] ()
+
+let test_certificate_straight_escape () =
+  match Engine.run (certificate_problem ~obstacles:[]) with
+  | Error e -> Alcotest.failf "engine: %s" e.message
+  | Ok sol ->
+    Alcotest.(check bool) "straight escape certifies" true (Hier.certified sol);
+    Alcotest.(check (option string)) "no failing condition" None (Hier.certify_failure sol)
+
+let test_certificate_detoured_escape_fails () =
+  (* A wall above the valve forces the escape around: its length exceeds
+     the pin-to-channel-box lower bound, so the certificate must refuse. *)
+  let obstacles = [ Rect.of_points (Point.make 4 3) (Point.make 8 3) ] in
+  match Engine.run (certificate_problem ~obstacles) with
+  | Error e -> Alcotest.failf "engine: %s" e.message
+  | Ok sol ->
+    Alcotest.(check bool) "detoured escape does not certify" false (Hier.certified sol)
+
+(* ---------- Workspace reuse across grid sizes ---------- *)
+
+let synth ~width ~height ~seed =
+  Pacor_designs.Synthetic.generate_exn
+    { Pacor_designs.Synthetic.name = "ws-reuse";
+      width;
+      height;
+      obstacle_cells = 10;
+      lm_cluster_sizes = [ 2 ];
+      singleton_valves = 2;
+      pin_count = 30;
+      seed = Int64.of_int seed;
+      delta = 1 }
+
+let test_workspace_cross_size_reuse () =
+  let stats = Pacor_route.Search_stats.create () in
+  let ws = Pacor_route.Workspace.create ~stats () in
+  let small = synth ~width:26 ~height:26 ~seed:7 in
+  let big = synth ~width:96 ~height:96 ~seed:8 in
+  let run problem =
+    match Engine.run ~workspace:ws problem with
+    | Ok sol -> sol
+    | Error e -> Alcotest.failf "engine: %s" e.message
+  in
+  let s1 = run small in
+  let _b1 = run big in
+  let warm = Pacor_route.Search_stats.snapshot stats in
+  (* Warm reuse across sizes in both directions: the workspace has grown
+     to the biggest instance and must not allocate again. *)
+  let s2 = run small in
+  let b2 = run big in
+  let after = Pacor_route.Search_stats.snapshot stats in
+  Alcotest.(check int) "no grid allocations on warm cross-size reuse" 0
+    (Pacor_route.Search_stats.diff after warm).Pacor_route.Search_stats.grid_allocs;
+  Alcotest.(check bool) "small validates warm" true (Solution.validate s2 = Ok ());
+  Alcotest.(check bool) "big validates warm" true (Solution.validate b2 = Ok ());
+  (* Workspace warmth never changes results (runtime_s is wall clock, so
+     compare everything but it). *)
+  let fresh =
+    match Engine.run small with
+    | Ok sol -> sol
+    | Error e -> Alcotest.failf "engine: %s" e.message
+  in
+  let key sol =
+    let s = Solution.stats sol in
+    ( s.Solution.clusters,
+      s.Solution.matched_clusters,
+      s.Solution.matched_length,
+      s.Solution.total_length,
+      s.Solution.completion )
+  in
+  Alcotest.(check bool) "warm == cold solution stats" true
+    (key s2 = key fresh && key s1 = key fresh)
+
+let test_pool_cross_size_reuse () =
+  (* One worker domain: every problem funnels through the same pooled
+     workspace, exercising grow-then-shrink-then-grow request orders. *)
+  let pool = Pacor_par.Pool.create ~jobs:1 in
+  Fun.protect
+    ~finally:(fun () -> Pacor_par.Pool.shutdown pool)
+    (fun () ->
+      let problems =
+        [ synth ~width:26 ~height:26 ~seed:11;
+          synth ~width:96 ~height:96 ~seed:12;
+          synth ~width:26 ~height:26 ~seed:13 ]
+      in
+      let sols =
+        Pacor_par.Pool.map_ctx pool
+          (fun worker problem ->
+            match
+              Engine.run ~workspace:(Pacor_par.Pool.worker_workspace worker) problem
+            with
+            | Ok sol -> sol
+            | Error e -> failwith e.Engine.message)
+          problems
+      in
+      List.iteri
+        (fun i sol ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pooled solution %d validates" i)
+            true
+            (Solution.validate sol = Ok ()))
+        sols)
+
+(* ---------- Never-worse property ---------- *)
+
+let arb_hier_spec =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 1 100_000 in
+      let* n_pairs = int_range 0 2 in
+      let* n_triples = int_range 0 1 in
+      let* singles = int_range 1 3 in
+      return
+        { Pacor_designs.Synthetic.name = "hier-prop";
+          width = 32;
+          height = 32;
+          obstacle_cells = 14;
+          lm_cluster_sizes =
+            List.init n_pairs (fun _ -> 2) @ List.init n_triples (fun _ -> 3);
+          singleton_valves = singles;
+          pin_count = 30;
+          seed = Int64.of_int seed;
+          delta = 1 })
+
+let prop_hier_never_worse =
+  QCheck.Test.make
+    ~name:"hier validates and is equal-or-better than flat (never-worse ladder)"
+    ~count:200 arb_hier_spec (fun spec ->
+      match Pacor_designs.Synthetic.generate spec with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok problem ->
+        let run hier =
+          Engine.run_report ~config:{ Config.default with Config.hier } problem
+        in
+        (match (run Config.Hier_off, run Config.Hier_on) with
+         | Ok flat, Ok hier ->
+           Solution.validate hier.Engine.solution = Ok ()
+           && Hier.score hier.Engine.solution >= Hier.score flat.Engine.solution
+           && (match hier.Engine.tier with
+               | Engine.Hier_identical ->
+                 (* tier 1 means confinement never bit: byte identity *)
+                 hier.Engine.solution.Solution.clusters
+                 = flat.Engine.solution.Solution.clusters
+               | Engine.Hier_certified | Engine.Hier_race_won
+               | Engine.Hier_race_flat | Engine.Flat_mode ->
+                 true
+               | Engine.Hier_error_flat -> false)
+         | _ -> false))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_bidir_matches_astar; prop_hier_never_worse ]
+
+let () =
+  Alcotest.run "hier"
+    [ ( "tile_graph",
+        [ Alcotest.test_case "coarsening boundaries" `Quick test_tile_graph_coarsening;
+          Alcotest.test_case "free-cell accounting" `Quick test_tile_graph_free_cell_accounting;
+          Alcotest.test_case "boundary capacity" `Quick test_tile_graph_boundary_capacity;
+          Alcotest.test_case "halo and cell masks" `Quick test_tile_graph_halo_and_masks ] );
+      ( "corridor",
+        [ Alcotest.test_case "install/suspend/resume" `Quick test_corridor_install_suspend_resume ] );
+      ( "packed_roles",
+        [ Alcotest.test_case "round-trip" `Quick test_packed_roles_roundtrip ] );
+      ( "escape_fallback",
+        [ Alcotest.test_case "staged escalation" `Quick test_escape_staged_fallback ] );
+      ( "plan",
+        [ Alcotest.test_case "small grid runs flat" `Quick test_hier_plan_small_grid_is_none;
+          Alcotest.test_case "corridor geometry" `Quick test_hier_plan_corridors ] );
+      ( "certificate",
+        [ Alcotest.test_case "straight escape certifies" `Quick test_certificate_straight_escape;
+          Alcotest.test_case "detoured escape refuses" `Quick test_certificate_detoured_escape_fails ] );
+      ( "workspace_reuse",
+        [ Alcotest.test_case "cross-size engine reuse" `Quick test_workspace_cross_size_reuse;
+          Alcotest.test_case "cross-size pool reuse" `Quick test_pool_cross_size_reuse ] );
+      ("properties", qcheck_cases);
+    ]
