@@ -24,6 +24,8 @@ let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 let jobs_scaling_only = Array.exists (String.equal "--jobs-scaling") Sys.argv
 
+let steal_bench_only = Array.exists (String.equal "--steal-bench") Sys.argv
+
 let route_bench_only = Array.exists (String.equal "--route-bench") Sys.argv
 
 let escape_bench_only = Array.exists (String.equal "--escape-bench") Sys.argv
@@ -444,25 +446,88 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
     Format.printf "budget: %a, retries=%d@." Pacor_route.Budget.pp_limits
       bench_limits bench_retries;
   let config = { Pacor.Config.default with Pacor.Config.limits = bench_limits } in
+  (* One unmeasured warm-up batch: the first run in the process pays heap
+     growth and code warm-up for everyone after it, which used to show up
+     as a fake >1x "speedup" for whichever jobs count ran second. *)
+  let warm =
+    Pacor_par.Batch.run_problems ~jobs:1 ~retries:bench_retries ~config named
+  in
+  (* Interleaved rounds, per-jobs minimum: sampling every jobs count in
+     each round spreads shared-machine load drift evenly across the
+     column, and the min over rounds estimates the contention-free floor
+     — raw single samples jitter +-15% on a busy box, far above the 3%
+     no-regression bound asserted below. Routing results are identical
+     across rounds (determinism contract), so keeping any round's
+     summary is sound. *)
+  (* Process CPU time alongside wall clock: on one core every jobs count
+     runs on a single domain (the pool clamps), so CPU time is a
+     like-for-like overhead measure that a busy neighbour on a shared
+     box cannot inflate — wall clock there jitters +-15%, an order of
+     magnitude above the 3% bound asserted below. On > 1 core CPU time
+     sums across domains and only wall clock measures speedup. Each CPU
+     sample spans [reps] consecutive batches, sized from the warm-up
+     batch so a sample covers >= 0.5s — [Sys.time]'s 10ms tick would
+     otherwise eat the whole bound on a small (smoke-sized) batch. *)
+  let rounds = 3 in
+  let reps =
+    let per_batch = Float.max warm.Pacor_par.Batch.elapsed_s 0.01 in
+    max 3 (min 50 (int_of_float (Float.ceil (0.5 /. per_batch))))
+  in
+  let samples =
+    List.init rounds (fun _ ->
+        List.map
+          (fun jobs ->
+             let c0 = Sys.time () in
+             let batches =
+               List.init reps (fun _ ->
+                   Pacor_par.Batch.run_problems ~jobs ~retries:bench_retries
+                     ~config named)
+             in
+             let cpu = (Sys.time () -. c0) /. float_of_int reps in
+             let s =
+               List.fold_left
+                 (fun (b : Pacor_par.Batch.summary) (s : Pacor_par.Batch.summary) ->
+                    if s.Pacor_par.Batch.elapsed_s < b.Pacor_par.Batch.elapsed_s
+                    then s
+                    else b)
+                 (List.hd batches) (List.tl batches)
+             in
+             (jobs, (s, cpu)))
+          jobs_list)
+  in
   let runs =
     List.map
       (fun jobs ->
-         let s =
-           Pacor_par.Batch.run_problems ~jobs ~retries:bench_retries ~config named
+         let best =
+           List.fold_left
+             (fun acc round ->
+                let (s', cpu') = List.assoc jobs round in
+                match acc with
+                | Some ((b : Pacor_par.Batch.summary), bc) ->
+                  Some
+                    (( (if s'.Pacor_par.Batch.elapsed_s
+                        < b.Pacor_par.Batch.elapsed_s
+                        then s'
+                        else b),
+                       min bc cpu' ))
+                | None -> Some (s', cpu'))
+             None samples
          in
-         (jobs, s, batch_fingerprint s))
+         let s, cpu = Option.get best in
+         (jobs, s, cpu, batch_fingerprint s))
       jobs_list
   in
   let base_elapsed =
-    match runs with (_, s, _) :: _ -> s.Pacor_par.Batch.elapsed_s | [] -> 0.0
+    match runs with (_, s, _, _) :: _ -> s.Pacor_par.Batch.elapsed_s | [] -> 0.0
   in
-  let base_fp = match runs with (_, _, fp) :: _ -> fp | [] -> (0, 0) in
-  Format.printf "%6s %10s %12s %10s %13s %9s %12s@." "jobs" "elapsed" "sequential"
+  let base_cpu = match runs with (_, _, c, _) :: _ -> c | [] -> 0.0 in
+  let base_fp = match runs with (_, _, _, fp) :: _ -> fp | [] -> (0, 0) in
+  Format.printf "%6s %10s %10s %10s %13s %9s %12s@." "jobs" "elapsed" "cpu"
     "speedup" "deterministic" "degraded" "quarantined";
   List.iter
-    (fun (jobs, (s : Pacor_par.Batch.summary), fp) ->
-       Format.printf "%6d %9.2fs %11.2fs %9.2fx %13s %9d %12d@." jobs
-         s.Pacor_par.Batch.elapsed_s s.Pacor_par.Batch.sequential_s
+    (fun (jobs, (s : Pacor_par.Batch.summary), cpu, fp) ->
+       Format.printf "%6d %9.2fs %9.2fs %9.2fx %13s %9d %12d@." jobs
+         s.Pacor_par.Batch.elapsed_s cpu
          (if s.Pacor_par.Batch.elapsed_s > 0.0 then
             base_elapsed /. s.Pacor_par.Batch.elapsed_s
           else 1.0)
@@ -481,19 +546,261 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
       (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "%S" n) named));
     Printf.bprintf buf "  \"results\": [\n";
     List.iteri
-      (fun i (jobs, (s : Pacor_par.Batch.summary), fp) ->
+      (fun i (jobs, (s : Pacor_par.Batch.summary), cpu, fp) ->
          let matched, total = fp in
          Printf.bprintf buf
-           "    {\"jobs\": %d, \"elapsed_s\": %.4f, \"sequential_s\": %.4f, \
-            \"speedup_vs_jobs1\": %.3f, \"matched\": %d, \"total_length\": %d, \
+           "    {\"jobs\": %d, \"elapsed_s\": %.4f, \"cpu_s\": %.4f, \
+            \"speedup_vs_jobs1\": %.3f, \"cpu_vs_jobs1\": %.3f, \
+            \"matched\": %d, \"total_length\": %d, \
             \"deterministic\": %b}%s\n"
-           jobs s.Pacor_par.Batch.elapsed_s s.Pacor_par.Batch.sequential_s
+           jobs s.Pacor_par.Batch.elapsed_s cpu
            (if s.Pacor_par.Batch.elapsed_s > 0.0 then
               base_elapsed /. s.Pacor_par.Batch.elapsed_s
             else 1.0)
+           (if cpu > 0.0 then base_cpu /. cpu else 1.0)
            matched total (fp = base_fp)
            (if i = List.length runs - 1 then "" else ","))
       runs;
+    Buffer.add_string buf "  ]\n}\n";
+    Buffer.contents buf
+  in
+  Format.printf "@.%s@." json;
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc json;
+     close_out oc;
+     Format.printf "jobs-scaling JSON written to %s@." path);
+  (* Assertions, conditional on the recorded core count. Determinism
+     holds everywhere. With one core every jobs count runs on a single
+     domain, so the honest no-regression bound (jobs > 1 within 3% of
+     jobs=1 — the old locked-queue pool lost up to 18% here) is checked
+     on process CPU time, which shared-machine load cannot inflate.
+     With real cores, wall-clock speedup at jobs=4 must clear 1.5x. *)
+  let failures = ref [] in
+  let speedup (s : Pacor_par.Batch.summary) =
+    if s.Pacor_par.Batch.elapsed_s > 0.0 then
+      base_elapsed /. s.Pacor_par.Batch.elapsed_s
+    else 1.0
+  in
+  List.iter
+    (fun (jobs, s, _cpu, fp) ->
+       if fp <> base_fp then
+         failures :=
+           Printf.sprintf "jobs=%d results differ from jobs=1 (determinism)" jobs
+           :: !failures;
+       (* Per-round ratio, best round: jobs=1 and jobs=N sampled within
+          the same round share the same heap/GC state, so slow drift
+          across the process lifetime cancels; one clean round is enough
+          to show the scheduler itself costs < 3%, while the old locked
+          queue's 10-18% overhead failed every round decisively. *)
+       let best_ratio =
+         List.fold_left
+           (fun acc round ->
+              let _, c1 = List.assoc 1 round in
+              let _, cn = List.assoc jobs round in
+              if cn > 0.0 then Float.max acc (c1 /. cn) else acc)
+           0.0 samples
+       in
+       if cores = 1 && jobs > 1 && best_ratio < 0.97 then
+         failures :=
+           Printf.sprintf
+             "jobs=%d CPU time is %.3fx of jobs=1 on 1 core (bound: 0.97x)"
+             jobs best_ratio
+           :: !failures;
+       if cores > 1 && jobs = 4 && speedup s < 1.5 then
+         failures :=
+           Printf.sprintf "jobs=4 is %.3fx of jobs=1 on %d cores (bound: 1.5x)"
+             (speedup s) cores
+           :: !failures)
+    runs;
+  match !failures with
+  | [] -> Format.printf "jobs-scaling assertions: OK@."
+  | fs ->
+    List.iter (fun f -> Format.eprintf "jobs-scaling ASSERT FAIL: %s@." f)
+      (List.rev fs);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Steal bench: scheduler micro-benchmark — a sequential loop vs one   *)
+(* locked shared queue vs the work-stealing deques, on uniform and     *)
+(* skewed task-size distributions. The JSON record is committed as     *)
+(* BENCH_steal.json; each spec's fingerprint (task shape + checksum, a *)
+(* pure function of the spec — mode- and domain-independent) is what   *)
+(* CI checks for drift. Wall-clock, steals and parks are machine-      *)
+(* dependent and excluded from the fingerprint.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic spin the optimiser cannot delete: a small LCG whose
+   result feeds the run checksum. *)
+let spin_work iters =
+  let acc = ref 1 in
+  for i = 1 to iters do
+    acc := ((!acc * 48271) + i) land 0x3FFFFFF
+  done;
+  !acc
+
+(* Equal total work across distributions so rows are comparable. Uniform
+   gives every task [w]; skewed gives task 0 half the total and spreads
+   the rest evenly — the shape that degrades a single shared queue (one
+   worker disappears into the big task while everyone else serialises on
+   the lock for crumbs) and that work-stealing absorbs (the big task's
+   worker keeps its deque, the others drain the remainder cheaply). *)
+let steal_tasks ~dist ~ntasks ~w =
+  match dist with
+  | `Uniform -> Array.make ntasks w
+  | `Skewed ->
+    let total = ntasks * w in
+    let rest = max 1 (total / 2 / max 1 (ntasks - 1)) in
+    Array.init ntasks (fun i -> if i = 0 then total / 2 else rest)
+
+let steal_checksum sum = sum land 0xFFFFFF
+
+let run_steal_sequential tasks =
+  let acc = ref 0 in
+  Array.iter (fun w -> acc := !acc + spin_work w) tasks;
+  steal_checksum !acc
+
+(* The pre-work-stealing pool shape: every worker pops from one
+   mutex-protected queue. *)
+let run_steal_single_queue ~domains tasks =
+  let q = Queue.create () in
+  let m = Mutex.create () in
+  Array.iter (fun w -> Queue.push w q) tasks;
+  let acc = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      Mutex.lock m;
+      let t = if Queue.is_empty q then None else Some (Queue.pop q) in
+      Mutex.unlock m;
+      match t with
+      | Some w ->
+        ignore (Atomic.fetch_and_add acc (spin_work w));
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  steal_checksum (Atomic.get acc)
+
+(* The real scheduler: one pool task forks every work item through
+   parallel_for, so items start on the forking worker's deque and reach
+   the other domains only by stealing. *)
+let run_steal_ws ~domains tasks =
+  Pacor_par.Pool.with_pool ~domains ~jobs:domains (fun pool ->
+    let sched = Pacor_par.Pool.sched pool in
+    let acc = Atomic.make 0 in
+    ignore
+      (Pacor_par.Pool.map_ctx pool
+         (fun _ () ->
+            Pacor_sched.Sched.parallel_for sched ~n:(Array.length tasks)
+              (fun i -> ignore (Atomic.fetch_and_add acc (spin_work tasks.(i)))))
+         [ () ]);
+    (steal_checksum (Atomic.get acc), Pacor_par.Pool.sched_stats pool))
+
+let print_steal_bench () =
+  Format.printf "@.== Steal bench: sequential vs single queue vs work stealing ==@.";
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "%d core(s) visible to the runtime@." cores;
+  let specs =
+    (* Smoke specs are a strict subset of the full run, so every smoke
+       fingerprint must appear verbatim in the committed record. *)
+    if smoke || quick then [ (512, 800) ] else [ (512, 800); (2048, 2000) ]
+  in
+  let domains_list = if smoke || quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let rows =
+    List.concat_map
+      (fun (ntasks, w) ->
+         List.map
+           (fun dist ->
+              let tasks = steal_tasks ~dist ~ntasks ~w in
+              let t0 = Unix.gettimeofday () in
+              let seq_sum = run_steal_sequential tasks in
+              let seq_s = Unix.gettimeofday () -. t0 in
+              let modes =
+                List.concat_map
+                  (fun domains ->
+                     let t0 = Unix.gettimeofday () in
+                     let sq_sum = run_steal_single_queue ~domains tasks in
+                     let sq_s = Unix.gettimeofday () -. t0 in
+                     let t0 = Unix.gettimeofday () in
+                     let ws_sum, st = run_steal_ws ~domains tasks in
+                     let ws_s = Unix.gettimeofday () -. t0 in
+                     (* Scheduling cost per task, spread over the domains
+                        that paid it — meaningful as pure overhead at
+                        domains=1, an efficiency gauge above that. *)
+                     let ns_per_task elapsed =
+                       (elapsed *. float_of_int domains -. seq_s)
+                       /. float_of_int ntasks *. 1e9
+                     in
+                     [ ("single-queue", domains, sq_s, sq_sum, None,
+                        ns_per_task sq_s);
+                       ("work-stealing", domains, ws_s, ws_sum, Some st,
+                        ns_per_task ws_s) ])
+                  domains_list
+              in
+              (dist, ntasks, w, seq_sum, seq_s, modes))
+           [ `Uniform; `Skewed ])
+      specs
+  in
+  Format.printf "%8s %7s %6s %14s %8s %10s %9s %8s %7s %6s@." "dist" "ntasks"
+    "work" "mode" "domains" "elapsed" "speedup" "ns/task" "steals" "parks";
+  List.iter
+    (fun (dist, ntasks, w, seq_sum, seq_s, modes) ->
+       let dist_name = match dist with `Uniform -> "uniform" | `Skewed -> "skewed" in
+       Format.printf "%8s %7d %6d %14s %8s %9.4fs %9s %8s %7s %6s@." dist_name
+         ntasks w "sequential" "-" seq_s "1.00x" "-" "-" "-";
+       List.iter
+         (fun (mode, domains, elapsed, sum, st, ns) ->
+            if sum <> seq_sum then
+              Format.printf "!! %s domains=%d checksum mismatch (BUG)@." mode domains;
+            Format.printf "%8s %7d %6d %14s %8d %9.4fs %8.2fx %8.0f %7s %6s@."
+              dist_name ntasks w mode domains elapsed
+              (if elapsed > 0.0 then seq_s /. elapsed else 1.0)
+              ns
+              (match st with
+               | Some (s : Pacor_sched.Sched.stats) -> string_of_int s.steals
+               | None -> "-")
+              (match st with
+               | Some (s : Pacor_sched.Sched.stats) -> string_of_int s.parks
+               | None -> "-"))
+         modes)
+    rows;
+  let json =
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"bench\": \"pacor-steal-bench\",\n";
+    Printf.bprintf buf "  \"cores\": %d,\n" cores;
+    Printf.bprintf buf "  \"results\": [\n";
+    List.iteri
+      (fun i (dist, ntasks, w, seq_sum, seq_s, modes) ->
+         let dist_name = match dist with `Uniform -> "uniform" | `Skewed -> "skewed" in
+         Printf.bprintf buf
+           "    {\"fingerprint\": \"stealb dist=%s ntasks=%d work=%d checksum=%d\",\n"
+           dist_name ntasks w seq_sum;
+         Printf.bprintf buf "     \"seq_elapsed_s\": %.4f, \"modes\": [\n" seq_s;
+         List.iteri
+           (fun j (mode, domains, elapsed, sum, st, ns) ->
+              Printf.bprintf buf
+                "      {\"mode\": %S, \"domains\": %d, \"elapsed_s\": %.4f, \
+                 \"speedup_vs_seq\": %.3f, \"sched_ns_per_task\": %.0f, \
+                 \"checksum_ok\": %b%s}%s\n"
+                mode domains elapsed
+                (if elapsed > 0.0 then seq_s /. elapsed else 1.0)
+                ns (sum = seq_sum)
+                (match st with
+                 | Some (s : Pacor_sched.Sched.stats) ->
+                   Printf.sprintf ", \"steals\": %d, \"parks\": %d, \"executed\": %d"
+                     s.steals s.parks s.executed
+                 | None -> "")
+                (if j = List.length modes - 1 then "" else ","))
+           modes;
+         Printf.bprintf buf "    ]}%s\n" (if i = List.length rows - 1 then "" else ",")
+      )
+      rows;
     Buffer.add_string buf "  ]\n}\n";
     Buffer.contents buf
   in
@@ -504,7 +811,7 @@ let print_jobs_scaling ~steps ~seeds ~jobs_list () =
     let oc = open_out path in
     output_string oc json;
     close_out oc;
-    Format.printf "jobs-scaling JSON written to %s@." path
+    Format.printf "steal-bench JSON written to %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Route bench: conflict-driven incremental negotiation vs the paper's *)
@@ -2019,7 +2326,18 @@ let () =
     (* Standalone perf-trajectory run: the jobs-scaling batch only, with
        its JSON record (committed as BENCH_parallel.json). *)
     Format.printf "PACOR benchmark harness (jobs-scaling only)@.";
-    print_jobs_scaling ~steps:3 ~seeds:4 ~jobs_list:[ 1; 2; 4; 8 ] ();
+    (* 48 instances: one batch takes ~0.2s, so the min-of-rounds wall
+       clock resolves the 3% no-regression bound above machine noise. *)
+    print_jobs_scaling ~steps:3 ~seeds:16 ~jobs_list:[ 1; 2; 4; 8 ] ();
+    Format.printf "@.done.@."
+  end
+  else if steal_bench_only then begin
+    (* Scheduler micro-benchmark: locked queue vs work-stealing deques on
+       uniform and skewed task sets, with the JSON record (committed as
+       BENCH_steal.json). --smoke restricts to the small spec for CI. *)
+    Format.printf "PACOR benchmark harness (steal-bench only%s)@."
+      (if smoke then ", smoke" else "");
+    print_steal_bench ();
     Format.printf "@.done.@."
   end
   else if smoke then begin
@@ -2040,7 +2358,9 @@ let () =
     print_delta_sweep ();
     print_scaling ();
     print_flow_search_stats ();
-    print_jobs_scaling ~steps:3 ~seeds:4 ~jobs_list:[ 1; 2; 4; 8 ] ();
+    (* 48 instances: one batch takes ~0.2s, so the min-of-rounds wall
+       clock resolves the 3% no-regression bound above machine noise. *)
+    print_jobs_scaling ~steps:3 ~seeds:16 ~jobs_list:[ 1; 2; 4; 8 ] ();
     run_micro_benches ();
     Format.printf "@.done.@."
   end

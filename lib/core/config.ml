@@ -21,6 +21,7 @@ type t = {
   hier : hier_mode;
   hier_tile : int;
   hier_threshold : int;
+  sched : Pacor_sched.Sched.t option;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     hier = Hier_auto;
     hier_tile = 8;
     hier_threshold = 200_000;
+    sched = None;
   }
 
 let make ?(variant = Full) () = { default with variant }

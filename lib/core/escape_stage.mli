@@ -17,6 +17,7 @@ type outcome = {
 
 val run :
   ?alive:(unit -> bool) ->
+  ?sched:Pacor_sched.Sched.t ->
   ?workspace:Pacor_route.Workspace.t ->
   ?corridor:(int -> bool) ->
   ?corridor_fallback:(int -> bool) ->

@@ -1,12 +1,21 @@
-(** Fixed-size domain worker pool for batch routing.
+(** Fixed-size worker pool for batch routing, backed by the
+    {!Pacor_sched.Sched} work-stealing scheduler.
 
-    A pool spawns [jobs] OCaml 5 domains over one [Mutex]/[Condition]
-    task queue. Each worker owns its private routing context — a
-    {!Pacor_route.Workspace.t} (and the {!Pacor_route.Search_stats.t}
-    implicit in it) — satisfying the workspace's single-search-at-a-time
-    contract without any locking on the hot path: tasks running on
-    different domains never share a workspace, and a worker's warm arrays
-    persist across the tasks it executes.
+    A pool has [jobs] {e logical} worker contexts — each owning a private
+    routing context, a {!Pacor_route.Workspace.t} (and the
+    {!Pacor_route.Search_stats.t} implicit in it) — but spawns only
+    [min jobs (Domain.recommended_domain_count ())] domains by default.
+    Logical contexts are acquired from a lock-free free-list for the
+    duration of each task, so a task still never shares a workspace with
+    a concurrently executing task, workers' warm arrays persist across
+    the tasks they execute, and [jobs > cores] no longer oversubscribes
+    the machine with idle domains fighting the GC.
+
+    Tasks are injected into the scheduler; inside a task, code may fork
+    context-free subtasks with {!Pacor_sched.Sched.scope} /
+    [parallel_for] on {!sched} — those are stolen across the same
+    domains, which is how the intra-instance stage sharding gets its
+    parallelism without extra domains.
 
     Determinism contract: {!map} and {!map_ctx} return results in input
     order, regardless of which worker ran which task or in what order
@@ -16,27 +25,39 @@
     deterministic too. The remaining tasks still run to completion; a
     failing task never wedges the pool.
 
-    The pool is quiescent between [map] calls; {!shutdown} closes the
-    queue and joins every domain. All operations must be called from the
-    owning (spawning) domain. *)
+    Each [map] call synchronises on its own mutex/condition pair, so
+    concurrent [map_ctx] calls from different domains on one pool are
+    safe (they interleave on the scheduler but cannot lose each other's
+    completion wakeups). {!shutdown} joins every domain. *)
 
 type t
 
 type worker
-(** The per-domain routing context handed to {!map_ctx} callbacks. *)
+(** The per-task routing context handed to {!map_ctx} callbacks. *)
 
 val worker_workspace : worker -> Pacor_route.Workspace.t
-(** The calling worker's private search workspace. Valid only inside the
-    task callback running on that worker. *)
+(** The context's private search workspace. Valid only inside the task
+    callback the context was leased to. *)
 
 val worker_index : worker -> int
-(** Stable index in [0, jobs): which worker is executing the task. *)
+(** Stable index in [0, jobs): which logical context is executing the
+    task. *)
 
-val create : jobs:int -> t
-(** Spawns [jobs] worker domains (plus their workspaces).
-    @raise Invalid_argument if [jobs < 1]. *)
+val create : ?domains:int -> jobs:int -> unit -> t
+(** Creates [jobs] logical worker contexts and spawns
+    [min jobs (Domain.recommended_domain_count ())] scheduler domains —
+    or exactly [domains] when given (tests and benches use this to force
+    oversubscription on small machines). Concurrently executing tasks
+    never exceed the domain count, which never exceeds [jobs], so a task
+    can always acquire a free context without blocking.
+    @raise Invalid_argument if [jobs < 1] or [domains] is outside
+    [1, jobs]. *)
 
 val jobs : t -> int
+
+val sched : t -> Pacor_sched.Sched.t
+(** The underlying scheduler, for forking context-free subtasks from
+    inside a task (stage sharding) or for introspection. *)
 
 val map_ctx : t -> (worker -> 'a -> 'b) -> 'a list -> 'b list
 (** [map_ctx pool f xs] runs [f worker x] for every element on the pool
@@ -53,13 +74,18 @@ val try_map_ctx : t -> (worker -> 'a -> 'b) -> 'a list -> ('b, exn) result list
     @raise Invalid_argument on a pool that has been shut down. *)
 
 val search_stats : t -> Pacor_route.Search_stats.snapshot
-(** Sum of every worker's workspace counters since [create]. Only
-    meaningful while the pool is quiescent (no [map_ctx] in flight). *)
+(** Sum of every worker context's workspace counters since [create].
+    Only meaningful while the pool is quiescent (no [map_ctx] in
+    flight). *)
+
+val sched_stats : t -> Pacor_sched.Sched.stats
+(** Scheduler counters (steals / parks / executed tasks) since
+    [create]. Exact only while the pool is quiescent. *)
 
 val shutdown : t -> unit
-(** Closes the queue and joins all worker domains. Idempotent. *)
+(** Shuts the scheduler down and joins all worker domains. Idempotent. *)
 
-val with_pool : jobs:int -> (t -> 'b) -> 'b
+val with_pool : ?domains:int -> jobs:int -> (t -> 'b) -> 'b
 (** [with_pool ~jobs f] brackets [create]/[shutdown] around [f]. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,34 @@
+(* Global free-list of scratch workspaces for speculative parallel
+   probes. A Treiber stack: acquire pops (or creates on empty), release
+   pushes back. Workspaces are never shrunk, so a released workspace
+   keeps its warm arrays for the next lease — after the first few rounds
+   on a given grid size, leases stop allocating entirely.
+
+   The pool is deliberately process-global rather than per-Pool: leased
+   workspaces carry no identity that could leak into results (their
+   stats are absorbed field-selectively, excluding the growth-history
+   dependent [grid_allocs]), so sharing them across engines is safe and
+   maximises warm-array reuse. *)
+
+let free : Workspace.t list Atomic.t = Atomic.make []
+
+let rec acquire ~cells =
+  match Atomic.get free with
+  | [] ->
+    let ws = Workspace.create () in
+    Workspace.prepare ws ~cells;
+    ws
+  | ws :: rest as cur ->
+    if Atomic.compare_and_set free cur rest then begin
+      Workspace.prepare ws ~cells;
+      ws
+    end
+    else acquire ~cells
+
+let rec release ws =
+  let cur = Atomic.get free in
+  if not (Atomic.compare_and_set free cur (ws :: cur)) then release ws
+
+let with_workspace ~cells f =
+  let ws = acquire ~cells in
+  Fun.protect ~finally:(fun () -> release ws) (fun () -> f ws)

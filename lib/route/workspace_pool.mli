@@ -1,0 +1,25 @@
+(** Process-global lease pool of scratch {!Workspace.t}s.
+
+    Parallel inner stages (speculative negotiation probes, escape
+    subnetwork solves, certificate checks) each need a private workspace
+    for the duration of one search. Creating one per probe would pay a
+    grid-sized allocation every time; this pool recycles them so warm
+    arrays persist across leases. Lock-free (Treiber stack); safe to
+    call from any domain.
+
+    A leased workspace arrives {!Workspace.prepare}d for [cells] (arrays
+    sized, budget at its default unlimited value) but with arbitrary
+    prior epoch state — callers must run [begin_search]/[begin_claims]
+    themselves, exactly as they would on a private workspace. Stats from
+    a leased workspace are credited back to the main one with
+    {!Search_stats.absorb}. *)
+
+val acquire : cells:int -> Workspace.t
+(** Pop a free workspace (or create one), prepared for [cells] cells. *)
+
+val release : Workspace.t -> unit
+(** Return a workspace to the pool. The caller must not touch it
+    afterwards. *)
+
+val with_workspace : cells:int -> (Workspace.t -> 'a) -> 'a
+(** Bracketed {!acquire}/{!release}; releases on exception too. *)

@@ -1,0 +1,329 @@
+type task = unit -> unit
+
+type worker = {
+  wid : int;
+  deque : task Ws_deque.t;
+  (* Owner-written counters; read by [stats] when quiescent. *)
+  mutable steals : int;
+  mutable parks : int;
+  mutable executed : int;
+}
+
+type t = {
+  nworkers : int;
+  workers : worker array;
+  (* Injector: external submissions. Mutex-protected — submission is
+     per-batch, not per-subtask, so this lock is off the fork hot path. *)
+  injector : task Queue.t;
+  inj_size : int Atomic.t;  (* lock-free emptiness probe for idle sweeps *)
+  mutex : Mutex.t;
+  work_cond : Condition.t;
+  closed : bool Atomic.t;
+  (* Park protocol state: [sleepers] is read by every producer after
+     publishing work (usually 0 — one atomic load); [wake_seq] is bumped
+     under [mutex] by every wake so a worker between its final sweep and
+     [Condition.wait] detects the wake it would otherwise have missed. *)
+  sleepers : int Atomic.t;
+  wake_seq : int Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+let nop () = ()
+
+(* Which (scheduler, worker) the current domain belongs to. *)
+let dls_key : (Obj.t * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let self t =
+  match Domain.DLS.get dls_key with
+  | Some (o, w) when o == Obj.repr t -> Some w
+  | Some _ | None -> None
+
+let worker_id w = w.wid
+let domains t = t.nworkers
+
+(* -- Waking ------------------------------------------------------------- *)
+
+let wake_all t =
+  Mutex.lock t.mutex;
+  Atomic.incr t.wake_seq;
+  Condition.broadcast t.work_cond;
+  Mutex.unlock t.mutex
+
+(* Producers call this after publishing work. The sleeper count is
+   incremented before a parking worker's final sweep, so a producer that
+   reads 0 here is sequenced before that sweep — the sweep finds the new
+   task and no wake is needed. *)
+let wake_if_sleepers t = if Atomic.get t.sleepers > 0 then wake_all t
+
+(* -- Finding work ------------------------------------------------------- *)
+
+(* One sweep over the other workers' deques, starting after our own
+   index. [Retry] spins on the same victim: contention means the deque is
+   non-empty, so leaving would miss real work. *)
+let try_steal t (w : worker) =
+  let n = t.nworkers in
+  let rec attempt victim k =
+    match Ws_deque.steal victim.deque with
+    | Ws_deque.Stolen task ->
+      w.steals <- w.steals + 1;
+      Some task
+    | Ws_deque.Empty -> scan (k + 1)
+    | Ws_deque.Retry ->
+      Domain.cpu_relax ();
+      attempt victim k
+  and scan k =
+    if k >= n - 1 then None
+    else attempt t.workers.((w.wid + 1 + k) mod n) k
+  in
+  if n <= 1 then None else scan 0
+
+let try_injector t =
+  if Atomic.get t.inj_size = 0 then None
+  else begin
+    Mutex.lock t.mutex;
+    let r =
+      if Queue.is_empty t.injector then None
+      else begin
+        Atomic.decr t.inj_size;
+        Some (Queue.pop t.injector)
+      end
+    in
+    Mutex.unlock t.mutex;
+    r
+  end
+
+(* Work sources a joining worker may use: its own forked subtasks and
+   other workers' forked subtasks — never the injector (an injected task
+   may need exclusive context the joiner already holds). *)
+let find_forked t w =
+  match Ws_deque.pop w.deque with
+  | Some _ as r -> r
+  | None -> try_steal t w
+
+let find_any t w =
+  match find_forked t w with
+  | Some _ as r -> r
+  | None -> try_injector t
+
+let exec (w : worker) task =
+  w.executed <- w.executed + 1;
+  task ()
+
+(* -- Worker loop -------------------------------------------------------- *)
+
+let spin_rounds = 32
+
+let rec worker_loop t w =
+  match find_any t w with
+  | Some task ->
+    exec w task;
+    worker_loop t w
+  | None ->
+    if Atomic.get t.closed then begin
+      (* Drain the injector before exiting so shutdown never strands a
+         submitted task; forked work cannot exist here (scopes join). *)
+      match try_injector t with
+      | Some task ->
+        exec w task;
+        worker_loop t w
+      | None -> ()
+    end
+    else begin
+      let found = spin t w spin_rounds in
+      if not found then park t w;
+      worker_loop t w
+    end
+
+and spin t w rounds =
+  if rounds = 0 then false
+  else begin
+    Domain.cpu_relax ();
+    match find_any t w with
+    | Some task ->
+      exec w task;
+      true
+    | None -> spin t w (rounds - 1)
+  end
+
+and park t w =
+  Mutex.lock t.mutex;
+  let seq = Atomic.get t.wake_seq in
+  Atomic.incr t.sleepers;
+  Mutex.unlock t.mutex;
+  (* Final sweep with the sleeper count visible: any producer that
+     publishes after this point sees [sleepers > 0] and wakes us; any
+     producer we raced published before the sweep and is found by it. *)
+  (match find_any t w with
+   | Some task ->
+     Atomic.decr t.sleepers;
+     exec w task
+   | None ->
+     Mutex.lock t.mutex;
+     if Atomic.get t.wake_seq = seq && not (Atomic.get t.closed)
+        && Queue.is_empty t.injector
+     then begin
+       w.parks <- w.parks + 1;
+       Condition.wait t.work_cond t.mutex
+     end;
+     Atomic.decr t.sleepers;
+     Mutex.unlock t.mutex)
+
+(* -- Construction / lifecycle ------------------------------------------- *)
+
+let create ~domains:n =
+  if n < 1 then invalid_arg "Sched.create: domains must be >= 1";
+  let t =
+    {
+      nworkers = n;
+      workers =
+        Array.init n (fun wid ->
+          { wid; deque = Ws_deque.create ~dummy:nop; steals = 0; parks = 0;
+            executed = 0 });
+      injector = Queue.create ();
+      inj_size = Atomic.make 0;
+      mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      closed = Atomic.make false;
+      sleepers = Atomic.make 0;
+      wake_seq = Atomic.make 0;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.map
+      (fun w ->
+        Domain.spawn (fun () ->
+          Domain.DLS.set dls_key (Some (Obj.repr t, w));
+          worker_loop t w))
+      t.workers;
+  t
+
+let submit_batch t tasks =
+  if Atomic.get t.closed then
+    invalid_arg "Sched.submit: scheduler has been shut down";
+  if Array.length tasks > 0 then begin
+    Mutex.lock t.mutex;
+    Array.iter (fun task -> Queue.push task t.injector) tasks;
+    Atomic.set t.inj_size (Atomic.get t.inj_size + Array.length tasks);
+    Atomic.incr t.wake_seq;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.mutex
+  end
+
+let submit t task = submit_batch t [| task |]
+
+let shutdown t =
+  let was_closed = Atomic.exchange t.closed true in
+  if not was_closed then begin
+    wake_all t;
+    Array.iter Domain.join t.domains
+  end
+
+(* -- Fork-join ---------------------------------------------------------- *)
+
+type scope = {
+  sched : t;
+  pending : int Atomic.t;
+  next_idx : int Atomic.t;
+  (* Earliest-fork-index failure; CAS keeps the smallest index so the
+     re-raise is deterministic whatever order subtasks actually fail in. *)
+  fail : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let record_failure scope idx exn bt =
+  let rec go () =
+    let cur = Atomic.get scope.fail in
+    let replace = match cur with None -> true | Some (i, _, _) -> idx < i in
+    if replace then
+      if not (Atomic.compare_and_set scope.fail cur (Some (idx, exn, bt))) then
+        go ()
+  in
+  go ()
+
+let run_subtask scope idx f =
+  (match f () with
+   | () -> ()
+   | exception exn ->
+     record_failure scope idx exn (Printexc.get_raw_backtrace ()));
+  Atomic.decr scope.pending
+
+let fork scope f =
+  let idx = Atomic.fetch_and_add scope.next_idx 1 in
+  Atomic.incr scope.pending;
+  match self scope.sched with
+  | Some w ->
+    Ws_deque.push w.deque (fun () -> run_subtask scope idx f);
+    wake_if_sleepers scope.sched
+  | None ->
+    (* Non-worker context: inline execution, sequential semantics. *)
+    run_subtask scope idx f
+
+let join scope =
+  let t = scope.sched in
+  let help = self t in
+  let rec wait () =
+    if Atomic.get scope.pending > 0 then begin
+      (match help with
+       | Some w ->
+         (* Caller-helping: run pending forked subtasks (ours first,
+            then steal) instead of blocking a domain. Never parks and
+            never touches the injector. *)
+         (match find_forked t w with
+          | Some task -> exec w task
+          | None -> Domain.cpu_relax ())
+       | None -> Domain.cpu_relax ());
+      wait ()
+    end
+  in
+  wait ();
+  match Atomic.get scope.fail with
+  | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let scope t f =
+  let s =
+    { sched = t; pending = Atomic.make 0; next_idx = Atomic.make 0;
+      fail = Atomic.make None }
+  in
+  (* The body itself may raise after forking: join first so no subtask
+     outlives the scope, then report — body failure wins over subtask
+     failures, matching a plain sequential [f] as closely as possible. *)
+  match f s with
+  | () -> join s
+  | exception exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try join s with _ -> ());
+    Printexc.raise_with_backtrace exn bt
+
+let parallel_for t ~n f =
+  if n = 1 then f 0
+  else if n > 1 then begin
+    match self t with
+    | None ->
+      for i = 0 to n - 1 do
+        f i
+      done
+    | Some _ ->
+      scope t (fun s ->
+        for i = 0 to n - 1 do
+          fork s (fun () -> f i)
+        done)
+  end
+
+(* -- Introspection ------------------------------------------------------ *)
+
+type stats = {
+  steals : int;
+  parks : int;
+  executed : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc (w : worker) ->
+      { steals = acc.steals + w.steals;
+        parks = acc.parks + w.parks;
+        executed = acc.executed + w.executed })
+    { steals = 0; parks = 0; executed = 0 }
+    t.workers

@@ -1,0 +1,98 @@
+(** Work-stealing domain scheduler.
+
+    A scheduler owns a fixed set of worker domains. Each worker has a
+    private {!Ws_deque} for the subtasks it forks (owner pushes and pops
+    LIFO; thieves steal FIFO), and an idle worker sweeps the other
+    workers' deques before falling back to the shared {e injector} queue
+    that external callers submit through. A worker that finds nothing
+    after a bounded spin parks on a condition variable; any submission
+    that makes work visible wakes sleepers, and the park protocol
+    re-checks every source under a wake sequence number so a wakeup can
+    never be lost.
+
+    Two kinds of task flow through a scheduler:
+
+    - {e Injected} tasks ({!submit}, {!submit_batch}) run only on a
+      worker's top-level loop, never inside a {!join} — a joining worker
+      helping with an unrelated injected task could re-enter state (such
+      as a routing workspace) that the task in progress already holds.
+    - {e Forked} tasks ({!scope} / {!fork} / {!parallel_for}) are
+      context-free: they may run on any worker, including a worker that
+      is currently blocked in {!join} (caller-helping — a join never
+      parks, it executes or steals pending subtasks while it waits).
+
+    Determinism contract: the scheduler itself promises nothing about
+    execution order — callers get determinism by merging results in fork
+    index order ({!parallel_for} writes into caller-indexed slots) and by
+    the earliest-index exception rule: when several subtasks of one scope
+    raise, {!join} re-raises the one with the smallest fork index,
+    whatever order the failures actually happened in. *)
+
+type t
+
+type worker
+(** A worker-domain identity within one scheduler. *)
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1). The calling domain is not a
+    worker; it submits work and may fork/join (forks from a non-worker
+    context degrade to inline execution, see {!fork}).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+
+val self : t -> worker option
+(** The calling domain's worker identity in this scheduler, or [None]
+    when called from a domain this scheduler does not own. *)
+
+val worker_id : worker -> int
+(** Stable index in [0, domains). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one injected task. The task must not raise (wrap it).
+    @raise Invalid_argument on a scheduler that has been shut down. *)
+
+val submit_batch : t -> (unit -> unit) array -> unit
+(** Enqueue many injected tasks under one lock acquisition, preserving
+    array order in the injector (workers may still complete them in any
+    order). @raise Invalid_argument after shutdown. *)
+
+(** {2 Fork-join} *)
+
+type scope
+
+val scope : t -> (scope -> unit) -> unit
+(** [scope t f] runs [f] with a fresh scope and then joins: it returns
+    only when every task forked into the scope (including tasks forked
+    by subtasks) has settled. If any subtask raised, the exception with
+    the smallest fork index is re-raised with its backtrace after all
+    subtasks have settled. Scopes nest freely. *)
+
+val fork : scope -> (unit -> unit) -> unit
+(** Fork a subtask into the scope. On a worker of the owning scheduler
+    this pushes onto the worker's own deque (and wakes a sleeper if any);
+    from any other domain the subtask runs inline immediately —
+    sequential execution with identical semantics. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f 0 .. f (n-1)], in parallel when the
+    caller is one of [t]'s workers and inline (ascending order) otherwise.
+    Joins before returning; earliest-index exception wins. [f] must write
+    its result into a caller-owned slot for index [i] — merge order, not
+    execution order, is what makes the caller deterministic. *)
+
+(** {2 Lifecycle and introspection} *)
+
+val shutdown : t -> unit
+(** Drain the injector, stop and join every worker domain. Idempotent.
+    Pending forked subtasks of a live scope must not exist at shutdown
+    (callers join their scopes before releasing the scheduler). *)
+
+type stats = {
+  steals : int;      (** successful steals across all workers *)
+  parks : int;       (** times a worker went to sleep *)
+  executed : int;    (** tasks executed (injected + forked) *)
+}
+
+val stats : t -> stats
+(** Aggregate counters. Exact only while the scheduler is quiescent. *)

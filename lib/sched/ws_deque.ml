@@ -1,0 +1,91 @@
+type 'a buf = {
+  data : 'a array;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+}
+
+type 'a t = {
+  mutable buf : 'a buf;  (* replaced by the owner on growth only *)
+  dummy : 'a;
+  top : int Atomic.t;     (* thief end: next logical index to steal *)
+  bottom : int Atomic.t;  (* owner end: next logical index to push *)
+}
+
+let create ~dummy =
+  {
+    buf = { data = Array.make 16 dummy; mask = 15 };
+    dummy;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+(* Copy the live range [tp, b) into a buffer twice the size. The old
+   buffer is never written again, so thieves holding it still read the
+   correct element for any logical index their [top] CAS can validate. *)
+let grow t b tp =
+  let old = t.buf in
+  let cap = 2 * (old.mask + 1) in
+  let data = Array.make cap t.dummy in
+  for i = tp to b - 1 do
+    data.(i land (cap - 1)) <- old.data.(i land old.mask)
+  done;
+  t.buf <- { data; mask = cap - 1 }
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.buf.mask then grow t b tp;
+  let buf = t.buf in
+  buf.data.(b land buf.mask) <- x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty; undo the reservation. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then begin
+    let buf = t.buf in
+    let i = b land buf.mask in
+    let x = buf.data.(i) in
+    buf.data.(i) <- t.dummy;
+    Some x
+  end
+  else begin
+    (* Last element: race thieves for it through [top]. Either way the
+       deque ends up empty with [top = bottom = tp + 1]. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then begin
+      let buf = t.buf in
+      let i = b land buf.mask in
+      let x = buf.data.(i) in
+      buf.data.(i) <- t.dummy;
+      Some x
+    end
+    else None
+  end
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty
+  | Retry
+
+let steal t =
+  (* Read order matters: [top] before [bottom] (Lê et al. 2013). *)
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else begin
+    let buf = t.buf in
+    let x = buf.data.(tp land buf.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Stolen x else Retry
+  end
+
+let size t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b > tp then b - tp else 0

@@ -1,0 +1,49 @@
+(** Chase-Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops at the bottom (LIFO — freshly
+    forked subtasks stay hot in the owner's cache); any number of {e thief}
+    domains steal from the top (FIFO — the oldest, usually largest, pending
+    task migrates first). The fast path is lock-free: owner operations are
+    plain array writes plus one [Atomic] store, and a steal is two [Atomic]
+    reads, one array read, and one compare-and-set.
+
+    The circular buffer grows geometrically and never shrinks. Growth is
+    owner-only and safe against concurrent thieves: a thief that read the
+    old buffer validates its element with the [top] CAS, and a replaced
+    buffer is never written again, so the stale read is either correct or
+    the CAS fails.
+
+    Invariants (logical indices, monotonically increasing):
+    - [top <= bottom + 1]; the deque holds elements [top .. bottom - 1].
+    - [top] only advances (CAS by thieves, or by the owner taking the last
+      element); [bottom] is written by the owner alone.
+    - A buffer slot is reused only after [top] has passed its previous
+      logical index, which is what makes the pre-CAS element read safe.
+
+    All operations use OCaml 5 sequentially consistent atomics; no
+    fences are needed beyond what [Atomic] provides. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills empty slots so popped elements do not outlive their
+    task for the GC. It is never returned. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Amortised O(1); grows the buffer when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Takes the most recently pushed element; [None] when
+    empty. Competes with thieves for the last element via CAS. *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty
+  | Retry  (** lost a CAS race with the owner or another thief *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain. Takes the oldest element. [Retry] means contention, not
+    emptiness — the caller decides whether to spin or move on. *)
+
+val size : 'a t -> int
+(** Snapshot estimate of the element count (racy; >= 0). *)

@@ -33,14 +33,14 @@ type t = {
 }
 
 let create ?(cache_capacity = 64) ?(limits = Pacor_route.Budget.no_limits)
-    ?(hier = Pacor.Config.Hier_auto) ?(replay_capacity = 256) ?journal () =
+    ?(hier = Pacor.Config.Hier_auto) ?sched ?(replay_capacity = 256) ?journal () =
   {
     cache = Lru.create ~capacity:cache_capacity;
     sessions = Hashtbl.create 16;
     pool = [];
     pool_limit = 8;
     poisoned = Hashtbl.create 4;
-    config = { Pacor.Config.default with limits; hier };
+    config = { Pacor.Config.default with limits; hier; sched };
     started_at = Pacor_route.Clock.now_mono ();
     journal;
     replay = Lru.create ~capacity:replay_capacity;
@@ -417,7 +417,8 @@ let do_delta t ~workspace ~(req : Protocol.request) ~session:name ~delta =
           { sess.solution with Pacor.Solution.problem }
       else
         match
-          Pacor_fault.Repair.reroute ~workspace ?limits:req.Protocol.limits
+          Pacor_fault.Repair.reroute ?sched:t.config.Pacor.Config.sched
+            ~workspace ?limits:req.Protocol.limits
             ~stage:(Protocol.delta_label delta) ~problem ~is_dirty ~revise sess.solution
         with
         | Ok r
@@ -434,7 +435,8 @@ let do_delta t ~workspace ~(req : Protocol.request) ~session:name ~delta =
         | Error _ -> fallback ~problem ~dirty:dirty_ids None)
     | Ok (Repair { faults; fproblem }) -> (
       match
-        Pacor_fault.Repair.run ~workspace ?limits:req.Protocol.limits ~faults
+        Pacor_fault.Repair.run ?sched:t.config.Pacor.Config.sched
+          ~workspace ?limits:req.Protocol.limits ~faults
           sess.solution
       with
       | Ok r

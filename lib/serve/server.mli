@@ -40,6 +40,7 @@ val create :
   ?cache_capacity:int ->
   ?limits:Pacor_route.Budget.limits ->
   ?hier:Pacor.Config.hier_mode ->
+  ?sched:Pacor_sched.Sched.t ->
   ?replay_capacity:int ->
   ?journal:Journal.t ->
   unit ->
@@ -47,7 +48,13 @@ val create :
 (** Fresh daemon state. [cache_capacity] bounds the solution LRU (default
     64 entries); [limits] is the default per-request budget (default
     unlimited); [hier] selects hierarchical routing for every served run
-    (default [Hier_auto]); [replay_capacity] bounds the retry replay cache
+    (default [Hier_auto]); [sched] shards each request's inner routing
+    stages across a work-stealing scheduler — for that to engage, the
+    serve loop itself must run on one of the scheduler's worker domains
+    (the CLI wraps it in a one-task pool map when [--jobs > 1]); requests
+    arming a budget fall back to sequential automatically, so served
+    results stay byte-identical to unscheduled ones;
+    [replay_capacity] bounds the retry replay cache
     (default 256 responses); [journal] makes every session mutation
     durable. *)
 

@@ -363,7 +363,7 @@ let test_workspace_cross_size_reuse () =
 let test_pool_cross_size_reuse () =
   (* One worker domain: every problem funnels through the same pooled
      workspace, exercising grow-then-shrink-then-grow request orders. *)
-  let pool = Pacor_par.Pool.create ~jobs:1 in
+  let pool = Pacor_par.Pool.create ~jobs:1 () in
   Fun.protect
     ~finally:(fun () -> Pacor_par.Pool.shutdown pool)
     (fun () ->

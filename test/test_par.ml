@@ -146,7 +146,7 @@ let test_pool_propagates_exception () =
     Alcotest.(check int) "earliest failing task reported" 3 x
 
 let test_pool_shutdown_semantics () =
-  let pool = Pacor_par.Pool.create ~jobs:2 in
+  let pool = Pacor_par.Pool.create ~jobs:2 () in
   Alcotest.(check int) "jobs" 2 (Pacor_par.Pool.jobs pool);
   let r1 = Pacor_par.Pool.map_ctx pool (fun _ x -> x + 1) [ 1; 2; 3 ] in
   let indices =
@@ -253,7 +253,7 @@ let test_batch_budget_exhaustion_and_retry () =
     Alcotest.failf "expected one quarantined item, got %d" (List.length items)
 
 let test_pool_worker_death_isolated () =
-  let pool = Pacor_par.Pool.create ~jobs:2 in
+  let pool = Pacor_par.Pool.create ~jobs:2 () in
   let xs = List.init 20 Fun.id in
   let results =
     Pacor_par.Pool.try_map_ctx pool
